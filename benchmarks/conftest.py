@@ -1,0 +1,24 @@
+"""Benchmark-harness helpers.
+
+Each benchmark regenerates one figure of the paper at a reduced (but
+shape-preserving) scale, prints the same series the paper reports, and
+asserts the qualitative result. Run the full-scale versions with
+``python examples/reproduce_figures.py``.
+"""
+
+from __future__ import annotations
+
+
+def record(benchmark, **extra) -> None:
+    """Attach experiment outputs to the pytest-benchmark record."""
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark fixture.
+
+    The experiments measure *virtual* time internally; wall-clock
+    repetition would only re-run identical deterministic simulations.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,35 @@
+"""Extension benchmark (not a paper figure): the KVM port preserves the
+headline results (paper §5.3 porting guidance / §9 future work)."""
+
+from conftest import once, record
+
+from repro.experiments import kvm_compare
+from repro.sim.units import MIB
+
+
+def test_extension_kvm_port_parity(benchmark):
+    result = once(benchmark, kvm_compare.run)
+    print()
+    print(kvm_compare.format_result(result))
+
+    record(benchmark,
+           xen_speedup_4mb=result.speedup("xen", 4),
+           kvm_speedup_4mb=result.speedup("kvm", 4),
+           xen_clone_mib=result.xen_clone_bytes / MIB,
+           kvm_clone_mib=result.kvm_clone_bytes / MIB)
+
+    # Cloning beats booting by a large factor on both platforms.
+    assert result.speedup("xen", 4) > 5
+    assert result.speedup("kvm", 4) > 5
+    # Clone cost grows with guest size on both (page-table work).
+    for platform in ("xen", "kvm"):
+        small = result.rows[0]
+        large = result.rows[-1]
+        clone_small = (small.xen_clone_ms if platform == "xen"
+                       else small.kvm_clone_ms)
+        clone_large = (large.xen_clone_ms if platform == "xen"
+                       else large.kvm_clone_ms)
+        assert clone_large > clone_small
+    # Clones are far cheaper than full guests on both platforms.
+    assert result.xen_clone_bytes < 4 * MIB
+    assert result.kvm_clone_bytes < 24 * MIB  # VMM resident dominates

@@ -1,0 +1,36 @@
+"""Fig 10: OpenFaaS memory consumption, containers vs unikernels."""
+
+import pytest
+from conftest import once, record
+
+from repro.experiments import fig10_faas_memory as fig10
+
+
+def test_fig10_faas_memory(benchmark):
+    result = once(benchmark, fig10.run)
+    print()
+    print(fig10.format_result(result))
+
+    container_first = result.containers.memory[1][1]
+    unikernel_first = result.unikernels.memory[1][1]
+    container_step = result.per_instance_mb(result.containers)
+    unikernel_step = result.per_instance_mb(result.unikernels)
+    record(benchmark,
+           container_first_mb=container_first,
+           unikernel_first_mb=unikernel_first,
+           container_step_mb=container_step,
+           unikernel_step_mb=unikernel_step)
+
+    # Paper: first instances are similar (90 MB vs 85 MB)...
+    assert container_first == pytest.approx(90, abs=8)
+    assert unikernel_first == pytest.approx(85, rel=0.2)
+    # ...but each further container costs ~220 MB vs ~35 MB per clone.
+    assert container_step == pytest.approx(220, rel=0.1)
+    assert unikernel_step == pytest.approx(35, rel=0.3)
+    # Unikernel instances become ready sooner, event for event.
+    for c_ready, u_ready in zip(result.containers.ready_times_s,
+                                result.unikernels.ready_times_s):
+        assert u_ready + 5 <= c_ready
+    # Memory never decreases during the scale-up phase.
+    mems = [m for _, m in result.unikernels.memory]
+    assert all(b >= a - 1e-6 for a, b in zip(mems, mems[1:]))

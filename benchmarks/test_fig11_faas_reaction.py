@@ -1,0 +1,47 @@
+"""Fig 11: reaction of containers vs unikernels to rising demand."""
+
+import pytest
+from conftest import once, record
+
+from repro.experiments import fig11_faas_reaction as fig11
+from repro.apps.faas import AB_WORKERS, AB_WORKER_RPS
+
+
+def test_fig11_faas_reaction(benchmark):
+    result = once(benchmark, fig11.run)
+    print()
+    print(fig11.format_result(result))
+
+    demand = AB_WORKERS * AB_WORKER_RPS
+    record(benchmark,
+           container_ready=result.containers.ready_times_s,
+           unikernel_ready=result.unikernels.ready_times_s,
+           t_containers_meet=result.time_to_reach(result.containers,
+                                                  0.95 * demand),
+           t_unikernels_meet=result.time_to_reach(result.unikernels,
+                                                  0.95 * demand))
+
+    # Readiness dashed lines: containers ~33/42/56 s, clones ~3/14/25 s.
+    c_ready = result.containers.ready_times_s
+    u_ready = result.unikernels.ready_times_s
+    assert c_ready[0] == pytest.approx(33, abs=5)
+    assert c_ready[1] == pytest.approx(42, abs=6)
+    assert c_ready[2] == pytest.approx(56, abs=8)
+    assert u_ready[0] == pytest.approx(3, abs=2)
+    assert u_ready[1] == pytest.approx(14, abs=3)
+    assert u_ready[2] == pytest.approx(25, abs=4)
+
+    # Containers start higher (600 vs 300 rps per instance)...
+    assert result.throughput_at(result.containers, 5) == \
+        pytest.approx(600, rel=0.1)
+    assert result.throughput_at(result.unikernels, 1) == \
+        pytest.approx(300, rel=0.1)
+    # ...but unikernels track the load closely and meet demand sooner.
+    t_containers = result.time_to_reach(result.containers, 0.95 * demand)
+    t_unikernels = result.time_to_reach(result.unikernels, 0.95 * demand)
+    assert t_unikernels < t_containers
+    # Both eventually serve the full ab demand (~1440 rps).
+    assert result.throughput_at(result.containers, 120) == \
+        pytest.approx(demand, rel=0.1)
+    assert result.throughput_at(result.unikernels, 120) == \
+        pytest.approx(demand, rel=0.1)

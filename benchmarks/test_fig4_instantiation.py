@@ -1,0 +1,36 @@
+"""Fig 4: instantiation times (boot vs restore vs clone vs deep copy)."""
+
+from conftest import once, record
+
+from repro.experiments import fig4_instantiation as fig4
+
+INSTANCES = 300
+
+
+def test_fig4_instantiation(benchmark):
+    result = once(benchmark, lambda: fig4.run(instances=INSTANCES))
+    print()
+    print(fig4.format_result(result))
+
+    summary = result.summary()
+    record(benchmark,
+           boot_first_ms=summary["boot"]["first"],
+           boot_last_ms=summary["boot"]["last"],
+           clone_first_ms=summary["clone"]["first"],
+           clone_last_ms=summary["clone"]["last"],
+           clone_speedup=result.clone_speedup,
+           rotations=result.rotations)
+
+    # Paper shapes: boot 160->300 ms; restore slightly above boot;
+    # deep copy 40->130 ms; clone 20->30 ms; clone ~8x faster than boot.
+    assert 130 <= summary["boot"]["first"] <= 210
+    assert summary["restore"]["first"] > summary["boot"]["first"]
+    assert 30 <= summary["clone + XS deep copy"]["first"] <= 60
+    assert 15 <= summary["clone"]["first"] <= 30
+    assert summary["clone"]["last"] <= 45
+    assert summary["boot"]["last"] > summary["boot"]["first"]
+    assert 6.0 <= result.clone_speedup <= 11.0
+    # xs_clone keeps the Xenstore log almost quiet (paper: 2 spikes per
+    # 1000 clones => none expected in a 300-clone run).
+    assert result.rotations["clone"] <= 1
+    assert result.rotations["boot"] >= 1

@@ -1,0 +1,48 @@
+"""Fig 5: memory density, booting vs cloning to exhaustion."""
+
+from conftest import once, record
+
+from repro.experiments import fig5_density as fig5
+from repro.sim.units import GIB, MIB
+
+#: Quarter-scale host (1 GB guest pool + 4 GB Dom0) keeps the benchmark
+#: fast; the per-instance footprints (and hence the ratio) are scale-free.
+HOST_BYTES = 5 * GIB
+
+
+def test_fig5_memory_density(benchmark):
+    result = once(benchmark,
+                  lambda: fig5.run(sample_every=50,
+                                   total_memory_bytes=HOST_BYTES))
+    print()
+    print(fig5.format_result(result))
+
+    record(benchmark,
+           boot_instances=result.boot.instances,
+           clone_instances=result.clone.instances,
+           boot_mib_per_instance=result.boot.per_instance_bytes / MIB,
+           clone_mib_per_instance=result.clone.per_instance_bytes / MIB,
+           density_ratio=result.density_ratio)
+
+    # Paper shapes: ~4.4 MiB per booted 4 MiB guest, ~1.4-1.6 MiB per
+    # clone (1 MiB of it the RX buffers), ~3x density.
+    assert 4.0 * MIB <= result.boot.per_instance_bytes <= 5.0 * MIB
+    assert 1.0 * MIB <= result.clone.per_instance_bytes <= 2.0 * MIB
+    assert 2.5 <= result.density_ratio <= 4.0
+    # Dom0 free declines with instances in both modes.
+    assert result.boot.samples[0][2] > result.boot.samples[-1][2]
+    assert result.clone.samples[0][2] > result.clone.samples[-1][2]
+
+
+def test_fig5_full_scale_16gb(benchmark):
+    """The paper's actual 16 GB host: 2800 boots vs 8900 clones."""
+    result = once(benchmark, lambda: fig5.run(sample_every=500))
+    print()
+    print(fig5.format_result(result))
+    record(benchmark,
+           boot_instances=result.boot.instances,
+           clone_instances=result.clone.instances,
+           saved_gb=result.memory_saved_bytes / GIB)
+    assert 2500 <= result.boot.instances <= 3100     # paper: 2800
+    assert 8000 <= result.clone.instances <= 9800    # paper: 8900
+    assert 18 <= result.memory_saved_bytes / GIB <= 27  # paper: 21 GB

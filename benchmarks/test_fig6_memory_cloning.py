@@ -1,0 +1,46 @@
+"""Fig 6: fork vs clone duration as allocation size grows."""
+
+import pytest
+from conftest import once, record
+
+from repro.experiments import fig6_memory_cloning as fig6
+
+SIZES_MB = (1, 2, 4, 16, 64, 256, 1024, 4096)
+
+
+def test_fig6_memory_cloning(benchmark):
+    result = once(benchmark,
+                  lambda: fig6.run(sizes_mb=SIZES_MB, repetitions=2))
+    print()
+    print(fig6.format_result(result))
+
+    smallest = result.rows[0]
+    largest = result.rows[-1]
+    record(benchmark,
+           fork2_small_ms=smallest.process_fork2_ms,
+           clone2_small_ms=smallest.clone2_ms,
+           fork2_4gb_ms=largest.process_fork2_ms,
+           clone2_4gb_ms=largest.clone2_ms,
+           gap_small_pct=result.gap_percent(SIZES_MB[0]),
+           gap_4gb_pct=result.gap_percent(SIZES_MB[-1]))
+
+    # Paper anchors.
+    assert smallest.process_fork2_ms == pytest.approx(0.07, abs=0.04)
+    assert smallest.clone2_ms == pytest.approx(4.1, rel=0.25)
+    assert largest.process_fork2_ms == pytest.approx(65.2, rel=0.1)
+    assert largest.clone2_ms == pytest.approx(79.2, rel=0.1)
+    # The gap narrows from thousands of percent to tens.
+    assert result.gap_percent(SIZES_MB[0]) > 2000
+    assert result.gap_percent(SIZES_MB[-1]) < 40
+    # First call slower than second, for both fork and clone.
+    for row in result.rows:
+        assert row.process_fork1_ms > row.process_fork2_ms
+        assert row.clone1_ms > row.clone2_ms
+    # Clone duration flat below Xen's 4 MB minimum.
+    assert result.row(1).clone2_ms == pytest.approx(result.row(4).clone2_ms,
+                                                    rel=0.1)
+    # Userspace operations are constant in allocation size (paper: 1.9 ms
+    # for the second clone).
+    user = [row.userspace2_ms for row in result.rows]
+    assert max(user) - min(user) < 0.5
+    assert user[0] == pytest.approx(1.9, rel=0.2)

@@ -1,0 +1,31 @@
+"""Fig 7: NGINX throughput with worker processes vs worker clones."""
+
+from conftest import once, record
+
+from repro.experiments import fig7_nginx as fig7
+
+
+def test_fig7_nginx(benchmark):
+    result = once(benchmark, lambda: fig7.run(repetitions=30))
+    print()
+    print(fig7.format_result(result))
+
+    record(benchmark, **{
+        f"clones_{p.workers}w_rps": p.mean_rps for p in result.clones
+    }, **{
+        f"procs_{p.workers}w_rps": p.mean_rps for p in result.processes
+    })
+
+    clones = {p.workers: p for p in result.clones}
+    procs = {p.workers: p for p in result.processes}
+    # Linear growth with workers for both setups.
+    for series in (clones, procs):
+        ratio = series[4].mean_rps / series[1].mean_rps
+        assert 3.4 <= ratio <= 4.6
+    # Clones achieve higher throughput at every worker count...
+    for workers in (1, 2, 3, 4):
+        assert clones[workers].mean_rps > procs[workers].mean_rps
+    # ...and are less variable (paper: "higher and less variable").
+    assert clones[4].stdev_rps < procs[4].stdev_rps
+    # Absolute scale: ~100-130k req/s at 4 workers.
+    assert 95_000 <= clones[4].mean_rps <= 135_000

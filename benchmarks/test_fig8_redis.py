@@ -1,0 +1,35 @@
+"""Fig 8: Redis database saving times vs number of keys."""
+
+from conftest import once, record
+
+from repro.experiments import fig8_redis as fig8
+
+
+def test_fig8_redis(benchmark):
+    result = once(benchmark, fig8.run)
+    print()
+    print(fig8.format_result(result))
+
+    empty = result.row(0)
+    full = result.row(1_000_000)
+    record(benchmark,
+           clone_empty_ms=empty.clone_ms,
+           clone_1m_ms=full.clone_ms,
+           fork_1m_ms=full.vm_fork_ms,
+           save_1m_ms=full.unikraft_save_ms,
+           userspace_ms=empty.userspace_ms)
+
+    # Clone cost starts higher than fork cost (the 9pfs/I/O constant)...
+    assert empty.clone_ms > empty.vm_fork_ms
+    # ...but is amortized at large key counts: save dominates both.
+    assert full.unikraft_save_ms > 5 * full.clone_ms
+    assert full.vm_save_ms > 5 * full.vm_fork_ms
+    # Save times comparable between fork and clone (same share).
+    ratio = full.unikraft_save_ms / full.vm_save_ms
+    assert 0.8 <= ratio <= 1.25
+    # Fork and clone durations both grow with the updated keys.
+    assert full.vm_fork_ms > empty.vm_fork_ms
+    assert full.clone_ms > empty.clone_ms
+    # Userspace ops stay constant across key counts.
+    user = [row.userspace_ms for row in result.rows]
+    assert max(user) - min(user) < 1.0

@@ -1,0 +1,43 @@
+"""Fig 9: fuzzing throughput across the four setups."""
+
+import pytest
+from conftest import once, record
+
+from repro.experiments import fig9_fuzzing as fig9
+
+#: 60 simulated seconds per series keeps the benchmark quick; plateaus
+#: are stable well before that (full 300 s via examples/).
+DURATION_S = 60.0
+
+
+def test_fig9_fuzzing(benchmark):
+    result = once(benchmark, lambda: fig9.run(duration_s=DURATION_S))
+    print()
+    print(fig9.format_result(result))
+
+    noclone = result.mean("Unikraft baseline (KFX+AFL)")
+    clone = result.mean("Unikraft+cloning baseline (KFX+AFL)")
+    process = result.mean("Linux process baseline (AFL)")
+    module = result.mean("Linux kernel module baseline (KFX+AFL)")
+    record(benchmark, noclone=noclone, clone=clone, process=process,
+           module=module,
+           clone_vs_process_pct=result.clone_vs_process_percent,
+           module_vs_clone_pct=result.module_vs_clone_percent)
+
+    # Paper plateaus: 2 / 470 / 590 / 320 exec/s.
+    assert noclone == pytest.approx(2.0, abs=1.0)
+    assert clone == pytest.approx(470.0, rel=0.08)
+    assert process == pytest.approx(590.0, rel=0.08)
+    assert module == pytest.approx(320.0, rel=0.08)
+    # Ordering + the quoted gaps (18.6% and 31.9%).
+    assert 12 <= result.clone_vs_process_percent <= 25
+    assert 25 <= result.module_vs_clone_percent <= 40
+    # Reset statistics: ~125 us / 3 pages vs ~250 us / 8 pages.
+    clone_report = result.reports["Unikraft+cloning baseline (KFX+AFL)"]
+    module_report = result.reports["Linux kernel module baseline (KFX+AFL)"]
+    assert clone_report.avg_dirty_pages == pytest.approx(3, abs=0.5)
+    assert module_report.avg_dirty_pages == pytest.approx(8, abs=0.5)
+    assert module_report.avg_reset_us > 1.7 * clone_report.avg_reset_us
+    # The non-baseline series are noisier and slightly slower.
+    actual = result.reports["Unikraft+cloning (KFX+AFL)"]
+    assert actual.mean_throughput < clone

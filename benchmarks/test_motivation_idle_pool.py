@@ -1,0 +1,31 @@
+"""The §1 motivating claim: idle pools waste memory; cloning doesn't."""
+
+from conftest import once, record
+
+from repro.experiments import motivation_idle_pool
+from repro.sim.units import MIB
+
+
+def test_motivation_idle_pool(benchmark):
+    result = once(benchmark, lambda: motivation_idle_pool.run(burst=64))
+    print()
+    print(motivation_idle_pool.format_result(result))
+
+    idle = result.strategy("idle pool")
+    boot = result.strategy("boot on demand")
+    clone = result.strategy("clone on demand")
+    record(benchmark,
+           idle_standing_mib=idle.standing_memory_bytes / MIB,
+           clone_standing_mib=clone.standing_memory_bytes / MIB,
+           boot_mean_ms=boot.mean_start_latency_ms,
+           clone_mean_ms=clone.mean_start_latency_ms)
+
+    # The idle pool pays the full fleet memory up front; Nephele keeps
+    # one warm parent (~1/burst of the standing cost).
+    assert idle.standing_memory_bytes > 30 * clone.standing_memory_bytes
+    # Booting on demand is "too long" (paper: that's why pools exist);
+    # cloning is close to warm-start latency.
+    assert boot.mean_start_latency_ms > 100
+    assert clone.mean_start_latency_ms < 35
+    # And the burst itself costs ~3x less memory with clones.
+    assert idle.burst_memory_bytes > 2.5 * clone.burst_memory_bytes

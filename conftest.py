@@ -1,0 +1,13 @@
+"""Root conftest: make the source tree importable without installation.
+
+Offline environments may lack the ``wheel`` package that ``pip install
+-e .`` needs; ``pytest`` then still works straight from the checkout
+(``python setup.py develop`` is the offline install alternative).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The KVM port of Nephele (paper §5.3 porting guidance, §9 future work).
+
+Shows the same cloning flow on a Linux/KVM host: the VM is a VMM
+process, so the first stage rides on fork() (guest memory COW-shared by
+the host kernel), kvmcloned re-plumbs virtio-net behind a family bond,
+and virtio-9p fid tables are inherited by fork without any QMP-style
+surgery.
+"""
+
+from repro.kvm import KvmPlatform
+from repro.sim.units import GIB, MIB
+
+
+def main() -> None:
+    kvm = KvmPlatform(memory_bytes=16 * GIB)
+
+    t0 = kvm.now
+    parent = kvm.create_vm("py-fn", 64 * MIB, ip="10.0.5.1",
+                           p9_export="/srv/fn", max_clones=16)
+    boot_ms = kvm.now - t0
+    print(f"booted VM {parent.name!r} (VMM pid {parent.pid}) "
+          f"in {boot_ms:.1f} ms")
+
+    # Open a file pre-clone: the fid survives the fork.
+    fid = parent.p9.open("/state", create=True)
+    parent.p9.write(fid, 1000)
+
+    t0 = kvm.now
+    pids = kvm.clone(parent.pid, count=4)
+    clone_ms = (kvm.now - t0) / 4
+    print(f"KVM_CLONE_VM created {len(pids)} clones at {clone_ms:.2f} ms "
+          f"each ({boot_ms / clone_ms:.0f}x faster than booting)")
+
+    bond = kvm.host.family_bond(parent.net.ip)
+    print(f"family bond {bond.name!r} aggregates {len(bond.slaves)} taps "
+          f"(same MAC/IP: {parent.net.mac} / {parent.net.ip})")
+
+    child = kvm.host.get_vm(pids[0])
+    print(f"clone inherited 9p fid {fid} at offset "
+          f"{child.p9.fids[fid].offset} (fork duplicated the descriptor)")
+    print(f"clone shares {child.memory.shared_pages()} pages with the "
+          f"parent, {child.memory.private_pages()} private")
+
+    # COW on write, exactly as on Xen.
+    stats = child.memory.write_range(0, 8)
+    print(f"writing 8 shared pages in the clone: {stats.copied} COW copies")
+
+    kvm.check_invariants()
+    print("host frame accounting holds")
+
+
+if __name__ == "__main__":
+    main()

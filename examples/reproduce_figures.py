@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's evaluation at full scale.
+
+Prints the series the paper plots (Figs 4-11). Full scale means the
+paper's parameters: 1000 instances for Fig 4, the 16 GB host for Fig 5,
+1 MB..4 GB for Fig 6, 30 wrk runs for Fig 7, up to 1M keys for Fig 8,
+300 s sessions for Fig 9, 200/150 s for Figs 10/11.
+
+Takes a few minutes of wall-clock time. Pass --quick for the reduced
+scales the pytest benchmarks use.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig4_instantiation,
+    fig5_density,
+    fig6_memory_cloning,
+    fig7_nginx,
+    fig8_redis,
+    fig9_fuzzing,
+    fig10_faas_memory,
+    fig11_faas_reaction,
+)
+from repro.sim.units import GIB
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced scales (seconds instead of minutes)")
+    parser.add_argument("--only", type=str, default="",
+                        help="comma-separated figure numbers, e.g. 4,9")
+    args = parser.parse_args()
+    quick = args.quick
+    selected = {int(x) for x in args.only.split(",") if x.strip()}
+
+    def wanted(figure: int) -> bool:
+        return not selected or figure in selected
+
+    runs = []
+    if wanted(4):
+        runs.append((4, lambda: fig4_instantiation.format_result(
+            fig4_instantiation.run(instances=300 if quick else 1000))))
+    if wanted(5):
+        runs.append((5, lambda: fig5_density.format_result(
+            fig5_density.run(total_memory_bytes=(8 if quick else 16) * GIB))))
+    if wanted(6):
+        runs.append((6, lambda: fig6_memory_cloning.format_result(
+            fig6_memory_cloning.run(
+                repetitions=2 if quick else 5,
+                sizes_mb=(1, 4, 64, 1024, 4096) if quick
+                else fig6_memory_cloning.DEFAULT_SIZES_MB))))
+    if wanted(7):
+        runs.append((7, lambda: fig7_nginx.format_result(
+            fig7_nginx.run(repetitions=10 if quick else 30))))
+    if wanted(8):
+        runs.append((8, lambda: fig8_redis.format_result(fig8_redis.run())))
+    if wanted(9):
+        runs.append((9, lambda: fig9_fuzzing.format_result(
+            fig9_fuzzing.run(duration_s=60 if quick else 300))))
+    if wanted(10):
+        runs.append((10, lambda: fig10_faas_memory.format_result(
+            fig10_faas_memory.run())))
+    if wanted(11):
+        runs.append((11, lambda: fig11_faas_reaction.format_result(
+            fig11_faas_reaction.run())))
+
+    for figure, runner in runs:
+        started = time.time()
+        print(f"\n{'#' * 72}\n# Figure {figure}\n{'#' * 72}")
+        print(runner())
+        print(f"[figure {figure} regenerated in {time.time() - started:.1f} s "
+              "wall clock]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Setuptools shim (the environment lacks the ``wheel`` package, so the
+legacy ``setup.py``-based editable install path is used)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Nephele (EuroSys'23) reproduction: cloning unikernel-based VMs "
+        "on a simulated Xen platform"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,25 @@
+"""Nephele reproduction: cloning unikernel-based VMs on a simulated Xen.
+
+Reproduces Lupu et al., "Nephele: Extending Virtualization Environments
+for Cloning Unikernel-based VMs" (EuroSys 2023) as a deterministic
+discrete-event simulation. See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.guest.app import GuestApp
+from repro.platform import Platform, PlatformConfig
+from repro.sim import CostModel
+from repro.toolstack.config import DomainConfig, P9Config, VifConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Platform",
+    "PlatformConfig",
+    "CostModel",
+    "DomainConfig",
+    "VifConfig",
+    "P9Config",
+    "GuestApp",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Workload applications used by the paper's evaluation.
+
+- :mod:`repro.apps.udp_server` — Mini-OS UDP server (§6.1 instantiation,
+  §6.2 memory density).
+- :mod:`repro.apps.memhog` — resident-allocation fork/clone probe (Fig 6).
+- :mod:`repro.apps.nginx` — NGINX workers as processes vs clones (Fig 7).
+- :mod:`repro.apps.redis` — Redis BGSAVE via fork/clone + 9pfs (Fig 8).
+- :mod:`repro.apps.fuzzing` — KFX+AFL fuzzing over clones (Fig 9).
+- :mod:`repro.apps.faas` — OpenFaaS autoscaling, containers vs clones
+  (Fig 10, Fig 11).
+"""
+
+from repro.apps.faas import FaasBackendType, OpenFaasGateway, PythonFunctionApp
+from repro.apps.fuzzing import FuzzMode, FuzzSession, SyscallAdapterApp
+from repro.apps.memhog import MemhogApp
+from repro.apps.nginx import NginxApp, NginxCloneCluster, NginxProcessCluster
+from repro.apps.redis import (
+    RedisApp,
+    RedisProcessBaseline,
+    bgsave_unikernel,
+    redis_unikernel_config,
+)
+from repro.apps.udp_server import UdpServerApp
+
+__all__ = [
+    "UdpServerApp",
+    "MemhogApp",
+    "NginxApp",
+    "NginxCloneCluster",
+    "NginxProcessCluster",
+    "RedisApp",
+    "RedisProcessBaseline",
+    "redis_unikernel_config",
+    "bgsave_unikernel",
+    "FuzzMode",
+    "FuzzSession",
+    "SyscallAdapterApp",
+    "FaasBackendType",
+    "OpenFaasGateway",
+    "PythonFunctionApp",
+]

@@ -1,0 +1,130 @@
+"""A coverage-guided fuzzer core (AFL model).
+
+KFX "does coverage-guided fuzzing and therefore it needs to instrument
+the VM code in order to step through the binary code of the targeted
+guest" (paper §7.2). This module models the fuzzer side: a corpus of
+inputs, mutation, an edge-coverage bitmap, and the target — the
+syscall-adapter program of the experiment, which decodes AFL's input
+bytes into a sequence of system calls.
+
+The target's behaviour is synthetic but structured: each (syscall,
+argument-class) pair exercises an edge; some syscalls are unsupported
+in the Unikraft tree under test and crash the run. This makes corpus
+growth, coverage saturation and crash discovery real, measurable
+dynamics rather than random noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim import DeterministicRNG
+
+#: The guest's syscall table: number -> (supported, argument classes).
+#: getppid is the trivially supported baseline syscall of the paper.
+SYSCALL_TABLE: dict[int, tuple[bool, int]] = {
+    0: (True, 4),    # read
+    1: (True, 4),    # write
+    2: (True, 6),    # open
+    3: (True, 2),    # close
+    9: (True, 8),    # mmap
+    11: (True, 4),   # munmap
+    12: (True, 3),   # brk
+    39: (True, 1),   # getpid
+    57: (False, 1),  # fork - unsupported in a unikernel!
+    59: (False, 4),  # execve - unsupported
+    110: (True, 1),  # getppid (the baseline target)
+    158: (False, 3), # arch_prctl - partially supported
+    231: (True, 1),  # exit_group
+    435: (False, 2), # clone3 - unsupported
+}
+
+GETPPID = 110
+
+
+@dataclass
+class ExecutionResult:
+    edges: frozenset[int]
+    crashed: bool
+    syscalls_run: int
+
+
+def run_syscall_adapter(data: bytes, baseline: bool) -> ExecutionResult:
+    """Execute one AFL input against the adapter.
+
+    ``baseline=True`` pins every decoded syscall to getppid (the paper's
+    stable-throughput control); otherwise the input chooses syscalls and
+    may hit unsupported ones, which crash the iteration.
+    """
+    numbers = sorted(SYSCALL_TABLE)
+    edges: set[int] = set()
+    crashed = False
+    ran = 0
+    previous = 0
+    for offset in range(0, len(data) - 1, 2):
+        if baseline:
+            nr = GETPPID
+        else:
+            nr = numbers[data[offset] % len(numbers)]
+        supported, arg_classes = SYSCALL_TABLE[nr]
+        arg_class = data[offset + 1] % arg_classes
+        # Edge = (previous syscall -> this syscall, argument class).
+        edges.add(hash((previous, nr, arg_class)) & 0xFFFF)
+        previous = nr
+        ran += 1
+        if not supported:
+            crashed = True
+            break
+    return ExecutionResult(frozenset(edges), crashed, ran)
+
+
+@dataclass
+class AflStats:
+    executions: int = 0
+    crashes: int = 0
+    corpus_size: int = 0
+    edges_found: int = 0
+
+
+class AflFuzzer:
+    """Corpus + mutation + coverage bookkeeping."""
+
+    INPUT_LEN = 16
+
+    def __init__(self, rng: DeterministicRNG, baseline: bool = False) -> None:
+        self.rng = rng
+        self.baseline = baseline
+        self.corpus: list[bytes] = [bytes(self.INPUT_LEN)]
+        self.coverage: set[int] = set()
+        self.crashing_inputs: set[bytes] = set()
+        self.stats = AflStats(corpus_size=1)
+
+    def next_input(self) -> bytes:
+        """Pick a corpus entry and mutate it (havoc-lite)."""
+        seed = bytearray(self.rng.choice(self.corpus))
+        for _ in range(self.rng.randint(1, 4)):
+            position = self.rng.randint(0, len(seed) - 1)
+            seed[position] = self.rng.randint(0, 255)
+        return bytes(seed)
+
+    def report(self, data: bytes, result: ExecutionResult) -> bool:
+        """Record an execution; returns True if the input was interesting
+        (new coverage) and joined the corpus."""
+        self.stats.executions += 1
+        if result.crashed:
+            self.stats.crashes += 1
+            self.crashing_inputs.add(data)
+        new_edges = result.edges - self.coverage
+        if not new_edges:
+            return False
+        self.coverage |= new_edges
+        self.corpus.append(data)
+        self.stats.corpus_size = len(self.corpus)
+        self.stats.edges_found = len(self.coverage)
+        return True
+
+    def fuzz_one(self) -> tuple[ExecutionResult, bool]:
+        """Generate, execute, record. Returns (result, interesting)."""
+        data = self.next_input()
+        result = run_syscall_adapter(data, self.baseline)
+        return result, self.report(data, result)

@@ -1,0 +1,101 @@
+"""Demand profiles for the FaaS experiments.
+
+The paper drives OpenFaaS with a constant closed-loop ab workload;
+these profiles generalize the load generator so the autoscaler can be
+studied under ramps, bursts and diurnal patterns as well.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class DemandProfile:
+    """Request demand as a function of time (seconds -> req/s)."""
+
+    def rps_at(self, t_s: float) -> float:  # pragma: no cover - interface
+        """Demand in requests/sec at time ``t_s``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantDemand(DemandProfile):
+    """The paper's setup: ab workers saturating from t=0."""
+
+    rps: float
+
+    def rps_at(self, t_s: float) -> float:
+        """Constant demand."""
+        return self.rps
+
+
+@dataclass(frozen=True)
+class StepDemand(DemandProfile):
+    """Piecewise-constant demand: [(start_s, rps), ...] sorted by time."""
+
+    steps: tuple[tuple[float, float], ...]
+
+    def rps_at(self, t_s: float) -> float:
+        """The rate of the last step at or before ``t_s``."""
+        current = 0.0
+        for start, rps in self.steps:
+            if t_s >= start:
+                current = rps
+            else:
+                break
+        return current
+
+
+@dataclass(frozen=True)
+class RampDemand(DemandProfile):
+    """Linear ramp from ``start_rps`` to ``end_rps`` over ``duration_s``."""
+
+    start_rps: float
+    end_rps: float
+    duration_s: float
+
+    def rps_at(self, t_s: float) -> float:
+        """Linear interpolation, clamped at the end rate."""
+        if t_s >= self.duration_s:
+            return self.end_rps
+        fraction = max(0.0, t_s / self.duration_s)
+        return self.start_rps + (self.end_rps - self.start_rps) * fraction
+
+
+@dataclass(frozen=True)
+class BurstDemand(DemandProfile):
+    """Square-wave bursts: ``peak_rps`` for the first ``duty`` fraction
+    of each period, ``base_rps`` otherwise."""
+
+    base_rps: float
+    peak_rps: float
+    period_s: float
+    duty: float = 0.2
+
+    def rps_at(self, t_s: float) -> float:
+        """Peak during the duty window of each period, base otherwise."""
+        phase = (t_s % self.period_s) / self.period_s
+        return self.peak_rps if phase < self.duty else self.base_rps
+
+
+@dataclass(frozen=True)
+class DiurnalDemand(DemandProfile):
+    """Sinusoidal day/night pattern between ``low_rps`` and ``high_rps``."""
+
+    low_rps: float
+    high_rps: float
+    period_s: float
+
+    def rps_at(self, t_s: float) -> float:
+        """Sine between the low and high rates."""
+        mid = (self.low_rps + self.high_rps) / 2.0
+        amplitude = (self.high_rps - self.low_rps) / 2.0
+        return mid + amplitude * math.sin(2 * math.pi * t_s / self.period_s)
+
+
+def as_profile(demand) -> DemandProfile:
+    """Accept a bare number or a profile."""
+    if isinstance(demand, DemandProfile):
+        return demand
+    return ConstantDemand(float(demand))

@@ -1,0 +1,234 @@
+"""Redis BGSAVE: fork/clone + 9pfs serialization (Fig 8, paper §7.1).
+
+"Redis relies on fork() to create processes for saving the in-memory
+database to storage." The experiment issues a save right after startup
+(the slow first fork), mass-inserts keys, then saves again and reports
+the *second* fork/clone duration plus the time to serialize the
+snapshot to a 9pfs share. The baseline runs Redis as a process inside
+an Alpine Linux VM writing to the same kind of share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.guest.api import GuestAPI, Region
+from repro.guest.app import GuestApp
+from repro.guest.linux import LinuxProcess, LinuxVM
+from repro.sim.units import MIB
+from repro.toolstack.config import DomainConfig, P9Config
+
+# ---------------------------------------------------------------------
+# Workload calibration
+# ---------------------------------------------------------------------
+#: Redis resident set right after startup.
+BASE_RESIDENT_BYTES = 8 * MIB
+#: In-memory footprint per key (key + value + dict/entry overhead).
+VALUE_BYTES = 100
+#: RDB bytes written per key.
+RDB_BYTES_PER_KEY = 60
+#: CPU time to serialize one key into RDB format (ms).
+SERIALIZE_MS_PER_KEY = 0.0003
+#: Fixed RDB header/footer work (ms).
+SERIALIZE_FIXED_MS = 0.05
+
+
+@dataclass
+class SaveTimings:
+    """One BGSAVE measurement."""
+
+    fork_ms: float
+    save_ms: float
+    keys: int
+
+
+class RedisApp(GuestApp):
+    """Redis on Unikraft: dict store + clone-based BGSAVE."""
+
+    image_name = "unikraft-redis"
+
+    def __init__(self) -> None:
+        self.keys = 0
+        self.base_region: Region | None = None
+        self.data_regions: list[Region] = []
+        #: Set by the parent before forking; tells the child to save.
+        self.pending_save = False
+        #: Filled in by the child after its save completes.
+        self.last_save_ms: float | None = None
+        self.saves_done = 0
+
+    def main(self, api: GuestAPI) -> None:
+        """Redis startup: allocate the base resident set."""
+        self.base_region = api.alloc(BASE_RESIDENT_BYTES, touch=True)
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def mass_insert(self, api: GuestAPI, count: int) -> None:
+        """Bulk-load ``count`` keys (the paper uses redis mass insertion)."""
+        if count <= 0:
+            return
+        region = api.alloc(count * VALUE_BYTES, touch=True)
+        self.data_regions.append(region)
+        self.keys += count
+
+    def set_key(self, api: GuestAPI, count: int = 1) -> None:
+        """Individual SETs: same memory behaviour as a small bulk load."""
+        self.mass_insert(api, count)
+
+    # ------------------------------------------------------------------
+    # BGSAVE (child side)
+    # ------------------------------------------------------------------
+    def on_cloned(self, api: GuestAPI, child_index: int) -> None:
+        """The BGSAVE child: serialize and exit."""
+        if self.pending_save:
+            self.pending_save = False
+            self._do_save(api)
+
+    def _do_save(self, api: GuestAPI) -> None:
+        start = api.now
+        fid = api.open("/dump.rdb", mode="w", create=True)
+        api.platform.clock.charge(
+            SERIALIZE_FIXED_MS + SERIALIZE_MS_PER_KEY * self.keys)
+        api.write_file(fid, self.keys * RDB_BYTES_PER_KEY)
+        api.close_file(fid)
+        self.last_save_ms = api.now - start
+        self.saves_done += 1
+
+    def clone_for_child(self) -> "RedisApp":
+        """Child state: a snapshot view of the database."""
+        child = RedisApp()
+        child.keys = self.keys
+        child.base_region = self.base_region
+        child.data_regions = list(self.data_regions)
+        child.pending_save = self.pending_save
+        return child
+
+
+class RedisSaveScheduler:
+    """The three BGSAVE triggers (paper §7.1): "periodically, when some
+    number of database updates is reached, and when requested explicitly
+    by using the Redis client tool"."""
+
+    def __init__(self, platform, domain,
+                 save_every_updates: int | None = None,
+                 save_every_s: float | None = None) -> None:
+        self.platform = platform
+        self.domain = domain
+        self.save_every_updates = save_every_updates
+        self.save_every_s = save_every_s
+        self.saves: list[SaveTimings] = []
+        self._updates_since_save = 0
+        self._timer = None
+        if save_every_s is not None:
+            from repro.sim.units import SEC
+
+            self._timer = platform.engine.every(save_every_s * SEC,
+                                                self._periodic_save)
+
+    # -- trigger 1: explicit (the redis-cli SAVE/BGSAVE command) --------
+    def bgsave(self) -> SaveTimings:
+        """Explicit trigger (redis-cli BGSAVE)."""
+        timings = bgsave_unikernel(self.platform, self.domain)
+        self._updates_since_save = 0
+        self.saves.append(timings)
+        return timings
+
+    # -- trigger 2: update count (redis.conf "save <sec> <changes>") ----
+    def record_updates(self, count: int) -> SaveTimings | None:
+        """Count updates; saves when the configured threshold is hit."""
+        self._updates_since_save += count
+        if (self.save_every_updates is not None
+                and self._updates_since_save >= self.save_every_updates):
+            return self.bgsave()
+        return None
+
+    def insert(self, count: int) -> SaveTimings | None:
+        """Insert keys and apply the update-count trigger."""
+        app: RedisApp = self.domain.guest.app
+        app.mass_insert(self.domain.guest.api, count)
+        return self.record_updates(count)
+
+    # -- trigger 3: periodic -------------------------------------------
+    def _periodic_save(self) -> None:
+        if self.domain.domid not in self.platform.hypervisor.domains:
+            self.stop()
+            return
+        self.bgsave()
+
+    def stop(self) -> None:
+        """Cancel the periodic trigger."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+
+def redis_unikernel_config(name: str, memory_mb: int = 256,
+                           max_clones: int = 64) -> DomainConfig:
+    """A Redis unikernel with a 9pfs share and no network (the paper
+    skips cloning devices the clones do not need: "we skip cloning
+    network devices because the Redis clones do not need any network
+    support")."""
+    return DomainConfig(
+        name=name, memory_mb=memory_mb, kernel="unikraft-redis",
+        p9fs=[P9Config(tag="data", export_root="/srv/redis", mount_point="/")],
+        max_clones=max_clones, start_clones_paused=True)
+
+
+def bgsave_unikernel(platform, domain) -> SaveTimings:
+    """Trigger a clone-backed BGSAVE; returns the measured timings.
+
+    The clone is configured to start paused so the fork duration (as
+    seen by the parent) and the child's save duration are measured
+    separately, like the two series of Fig 8. The child is destroyed
+    afterwards (Redis savers exit when done).
+    """
+    app: RedisApp = domain.guest.app
+    app.pending_save = True
+    start = platform.clock.now
+    children = platform.cloneop.clone(domain.domid, count=1)
+    fork_ms = platform.clock.now - start
+    app.pending_save = False
+
+    child_domid = children[0]
+    platform.cloneop.resume_clone(child_domid)
+    child = platform.hypervisor.get_domain(child_domid)
+    child_app: RedisApp = child.guest.app
+    if child_app.last_save_ms is None:
+        raise RuntimeError("Redis clone did not perform its save")
+    timings = SaveTimings(fork_ms=fork_ms, save_ms=child_app.last_save_ms,
+                          keys=app.keys)
+    platform.xl.destroy(child_domid)
+    return timings
+
+
+class RedisProcessBaseline:
+    """Redis as a process in an Alpine VM, saving to a 9pfs share."""
+
+    def __init__(self, platform, vm_domain) -> None:
+        self.platform = platform
+        self.domain = vm_domain
+        self.linux = LinuxVM(vm_domain.guest)
+        self.process = self.linux.spawn("redis-server",
+                                        resident_bytes=BASE_RESIDENT_BYTES)
+        self.keys = 0
+
+    def mass_insert(self, count: int) -> None:
+        """Bulk-load keys into the process's resident set."""
+        if count <= 0:
+            return
+        self.process.grow(count * VALUE_BYTES)
+        self.keys += count
+
+    def bgsave(self) -> SaveTimings:
+        """fork() + child writes the RDB through the VM's 9pfs mount."""
+        child, fork_ms = self.process.fork()
+        start = self.platform.clock.now
+        mount = self.linux.p9_mount()
+        fid = mount.open("/dump.rdb", mode="w", create=True)
+        self.platform.clock.charge(
+            SERIALIZE_FIXED_MS + SERIALIZE_MS_PER_KEY * self.keys)
+        mount.write(fid, self.keys * RDB_BYTES_PER_KEY)
+        mount.close(fid)
+        save_ms = self.platform.clock.now - start
+        return SaveTimings(fork_ms=fork_ms, save_ms=save_ms, keys=self.keys)

@@ -1,0 +1,335 @@
+"""The CLONEOP hypercall.
+
+Nephele extends the hypervisor interface with exactly one hypercall;
+every cloning operation is a subcommand of it (paper §5.1): cloning a
+guest (from inside, or from Dom0 with an explicit target), signalling
+second-stage completion, enabling cloning globally, and — for the
+fuzzing use case (§7.2) — ``clone_cow`` (explicit COW of pages about to
+receive breakpoints) and ``clone_reset`` (restore a clone's memory to
+its recorded baseline between fuzzing iterations).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core import first_stage
+from repro.core.notify_ring import CloneNotificationRing, RingFullError
+from repro.xen.domain import Domain, DomainState
+from repro.xen.domid import DOM0
+from repro.xen.errors import XenPermissionError
+from repro.xen.frames import Extent, PageType
+from repro.xen.hypervisor import Hypervisor
+from repro.xen.memory import Segment
+
+
+class CloneSubOp(enum.Enum):
+    """Subcommands of the CLONEOP hypercall."""
+
+    CLONE = "clone"
+    CLONE_COMPLETION = "clone_completion"
+    CLONE_COW = "clone_cow"
+    CLONE_RESET = "clone_reset"
+    SET_GLOBAL_ENABLE = "set_global_enable"
+
+
+class CloneOpError(Exception):
+    """CLONEOP subcommand failure (policy or protocol violation)."""
+
+
+@dataclass
+class SegmentSnapshot:
+    """Baseline record of one memory segment (for clone_reset)."""
+
+    pfn_start: int
+    npages: int
+    extent: Extent
+    extent_offset: int
+    label: str
+
+
+class CloneOp:
+    """The hypervisor-resident CLONEOP implementation."""
+
+    def __init__(self, hypervisor: Hypervisor,
+                 ring_capacity: int = 64) -> None:
+        self.hypervisor = hypervisor
+        self.globally_enabled = False
+        self.ring = CloneNotificationRing(ring_capacity)
+        #: child domid -> parent domid, for in-flight second stages.
+        self._pending: dict[int, int] = {}
+        #: clone_reset baselines: domid -> list of segment snapshots.
+        self._baselines: dict[int, list[SegmentSnapshot]] = {}
+        self.stats = {"clones": 0, "resets": 0, "explicit_cows": 0}
+        hypervisor.set_cloneop(self)
+
+    def _is_privileged(self, domid: int) -> bool:
+        """Dom0 (whether or not modelled as a Domain object) and any
+        privileged domain may issue control subops."""
+        if domid == DOM0:
+            return True
+        domain = self.hypervisor.domains.get(domid)
+        return domain is not None and domain.privileged
+
+    # ------------------------------------------------------------------
+    # subop: SET_GLOBAL_ENABLE (called by xencloned)
+    # ------------------------------------------------------------------
+    def set_global_enable(self, enabled: bool) -> None:
+        """Enable/disable cloning host-wide (xencloned's privilege)."""
+        self.globally_enabled = enabled
+
+    # ------------------------------------------------------------------
+    # subop: CLONE
+    # ------------------------------------------------------------------
+    def clone(self, caller_domid: int, count: int = 1,
+              target_domid: int | None = None) -> list[int]:
+        """Clone a guest ``count`` times; returns the children's domids.
+
+        From inside a guest, ``target_domid`` is omitted (the guest
+        clones itself). From Dom0 — e.g. for VM fuzzing — the target is
+        passed explicitly (paper §5.1).
+        """
+        hyp = self.hypervisor
+        hyp.clock.charge(hyp.costs.hypercall_base)
+        if count < 1:
+            raise CloneOpError(f"non-positive clone count: {count}")
+        if not self.globally_enabled:
+            raise CloneOpError("cloning is disabled globally "
+                               "(xencloned not running?)")
+        if target_domid is None or target_domid == caller_domid:
+            parent = hyp.get_domain(caller_domid)
+        else:
+            if not self._is_privileged(caller_domid):
+                raise XenPermissionError(
+                    f"domain {caller_domid} may not clone domain {target_domid}")
+            parent = hyp.get_domain(target_domid)
+        if not parent.may_clone(count):
+            raise CloneOpError(
+                f"domain {parent.domid} may not create {count} more clones "
+                f"(max {parent.max_clones}, created {parent.clones_created})")
+
+        # The parent is paused until the completion of the second stage,
+        # "to keep its state consistent for all its clones" (paper §5).
+        previous_state = parent.state
+        hyp.pause_domain(parent.domid)
+
+        children: list[Domain] = []
+        for i in range(count):
+            child_index = parent.clones_created
+            known = set(hyp.domains)
+            try:
+                child = first_stage.clone_domain(hyp, parent, child_index)
+            except Exception:
+                # Unwind the partial child (ENOMEM mid-stage, ...): the
+                # parent must come back runnable and nothing may leak.
+                self._abort_partial_clone(parent, known, previous_state)
+                raise
+            parent.clones_created += 1
+            self._pending[child.domid] = parent.domid
+            try:
+                self._notify(parent, child)
+            except Exception:
+                # Second stage failed (backend error, Dom0 trouble):
+                # drop the half-plumbed child and resume the parent.
+                self._pending.pop(child.domid, None)
+                parent.clones_created -= 1
+                self._abort_partial_clone(parent, known, previous_state)
+                raise
+            children.append(child)
+            hyp.clock.charge(hyp.costs.clone_coordination)
+            self.stats["clones"] += 1
+
+        # The synchronous second stage has signalled completion for each
+        # child by now; anything left pending means xencloned is absent.
+        still_pending = [c.domid for c in children if c.domid in self._pending]
+        if still_pending:
+            raise CloneOpError(
+                f"second stage never completed for {still_pending} "
+                "(is xencloned attached?)")
+
+        # rax fixups: 0 in the parent (paper §5.2).
+        for vcpu in parent.vcpus:
+            vcpu.registers["rax"] = 0
+        if previous_state is DomainState.RUNNING or previous_state is DomainState.CREATED:
+            hyp.unpause_domain(parent.domid)
+        else:
+            parent.state = previous_state
+
+        self._resume_children(parent, children)
+        return [child.domid for child in children]
+
+    def _abort_partial_clone(self, parent: Domain, known: set[int],
+                             previous_state: DomainState) -> None:
+        hyp = self.hypervisor
+        for domid in set(hyp.domains) - known:
+            orphan = hyp.domains[domid]
+            if domid in parent.children:
+                parent.children.remove(domid)
+            orphan.parent_id = None
+            hyp.destroy_domain(domid)
+        if previous_state in (DomainState.RUNNING, DomainState.CREATED):
+            hyp.unpause_domain(parent.domid)
+        else:
+            parent.state = previous_state
+
+    def _notify(self, parent: Domain, child: Domain) -> None:
+        entry = first_stage.make_notification(parent, child)
+        try:
+            self.ring.push(entry)
+        except RingFullError:
+            # Backpressure: stall the first stage until xencloned drains.
+            self.hypervisor.notify_cloned()
+            self.ring.push(entry)
+        self.hypervisor.notify_cloned()
+
+    def _resume_children(self, parent: Domain, children: list[Domain]) -> None:
+        start_paused = (parent.config is not None
+                        and parent.config.start_clones_paused)
+        for child in children:
+            if start_paused:
+                continue
+            self.resume_clone(child.domid)
+
+    def resume_clone(self, child_domid: int) -> None:
+        """Unpause a clone and run its post-fork continuation."""
+        child = self.hypervisor.get_domain(child_domid)
+        self.hypervisor.unpause_domain(child_domid)
+        if child.guest is not None:
+            rax = child.vcpus[0].registers["rax"]
+            child.guest.on_resumed_after_clone(rax - 1)
+
+    # ------------------------------------------------------------------
+    # subop: CLONE_COMPLETION (called by xencloned)
+    # ------------------------------------------------------------------
+    def clone_completion(self, caller_domid: int, parent_domid: int,
+                         child_domid: int) -> None:
+        """xencloned signals that a child's second stage finished."""
+        if not self._is_privileged(caller_domid):
+            raise XenPermissionError("clone_completion is Dom0-only")
+        self.hypervisor.clock.charge(self.hypervisor.costs.hypercall_base)
+        pending_parent = self._pending.pop(child_domid, None)
+        if pending_parent != parent_domid:
+            raise CloneOpError(
+                f"unexpected completion for child {child_domid} "
+                f"(parent {parent_domid}, pending {pending_parent})")
+
+    # ------------------------------------------------------------------
+    # subop: CLONE_COW (fuzzing: breakpoint insertion, §7.2)
+    # ------------------------------------------------------------------
+    def clone_cow(self, caller_domid: int, target_domid: int, pfn: int,
+                  npages: int = 1):
+        """Explicitly trigger COW on a clone's pages so the fuzzer can
+        plant breakpoints without touching the shared originals."""
+        if not self._is_privileged(caller_domid):
+            raise XenPermissionError("clone_cow is Dom0-only")
+        target = self.hypervisor.get_domain(target_domid)
+        stats = target.memory.write_range(pfn, npages)
+        self.hypervisor.clock.charge(
+            self.hypervisor.costs.hypercall_base
+            + self.hypervisor.costs.clone_cow_per_page * npages)
+        self.stats["explicit_cows"] += npages
+        return stats
+
+    # ------------------------------------------------------------------
+    # subop: CLONE_RESET (fuzzing: restore memory between iterations)
+    # ------------------------------------------------------------------
+    def snapshot(self, target_domid: int) -> int:
+        """Record the reset baseline for ``target_domid``.
+
+        Models KFX keeping the original contents of the pages it will
+        restore: the baseline holds its own references on the shared
+        extents so resets can re-map them. Returns segments recorded.
+        """
+        target = self.hypervisor.get_domain(target_domid)
+        self.release_baseline(target_domid)
+        baseline: list[SegmentSnapshot] = []
+        for seg in target.memory.segments:
+            if seg.extent.page_type is not PageType.NORMAL:
+                continue
+            if seg.extent.shared:
+                self.hypervisor.frames.add_ref_range(
+                    seg.extent, seg.extent_offset, seg.npages)
+            baseline.append(SegmentSnapshot(
+                pfn_start=seg.pfn_start, npages=seg.npages,
+                extent=seg.extent, extent_offset=seg.extent_offset,
+                label=seg.label))
+        self._baselines[target_domid] = baseline
+        target.memory.clear_dirty()
+        return len(baseline)
+
+    def clone_reset(self, caller_domid: int, target_domid: int) -> int:
+        """Restore a clone's memory to its baseline; returns the number
+        of dirty pages that were rolled back."""
+        if not self._is_privileged(caller_domid):
+            raise XenPermissionError("clone_reset is Dom0-only")
+        baseline = self._baselines.get(target_domid)
+        if baseline is None:
+            raise CloneOpError(
+                f"no reset baseline recorded for domain {target_domid}")
+        target = self.hypervisor.get_domain(target_domid)
+        frames = self.hypervisor.frames
+        dirty = target.memory.clear_dirty()
+
+        # A segment identical to its baseline snapshot would be dropped
+        # and immediately re-added - skip the pair (pfn_start makes the
+        # key unique within a domain).
+        def seg_key(pfn_start, npages, extent, offset):
+            return (pfn_start, npages, extent.extent_id, offset)
+
+        baseline_keys = {
+            seg_key(s.pfn_start, s.npages, s.extent, s.extent_offset)
+            for s in baseline
+        }
+        keep_extents = {snap.extent.extent_id for snap in baseline}
+        survivors: list[Segment] = []
+        unchanged: set = set()
+        for seg in target.memory.segments:
+            if seg.extent.page_type is not PageType.NORMAL:
+                survivors.append(seg)
+                continue
+            key = seg_key(seg.pfn_start, seg.npages, seg.extent,
+                          seg.extent_offset)
+            if key in baseline_keys:
+                survivors.append(seg)
+                unchanged.add(key)
+                continue
+            if seg.extent.shared:
+                frames.drop_ref_range(seg.extent, seg.extent_offset,
+                                      seg.npages)
+            elif seg.extent.extent_id not in keep_extents:
+                frames.free_extent(seg.extent)
+            # Baseline-private extents are kept; they get re-mapped below.
+
+        restored: list[Segment] = []
+        for snap in baseline:
+            key = seg_key(snap.pfn_start, snap.npages, snap.extent,
+                          snap.extent_offset)
+            if key in unchanged:
+                continue
+            if snap.extent.shared:
+                frames.add_ref_range(snap.extent, snap.extent_offset,
+                                     snap.npages)
+            restored.append(Segment(snap.pfn_start, snap.npages, snap.extent,
+                                    snap.extent_offset, snap.label))
+        merged = survivors + restored
+        merged.sort(key=lambda s: s.pfn_start)
+        target.memory.segments = merged
+        target.memory._starts_cache = None
+
+        self.hypervisor.clock.charge(
+            self.hypervisor.costs.hypercall_base
+            + self.hypervisor.costs.clone_reset_fixed
+            + self.hypervisor.costs.clone_reset_per_page * dirty)
+        self.stats["resets"] += 1
+        return dirty
+
+    def release_baseline(self, domid: int) -> None:
+        """Drop a baseline's extent references (on domain teardown)."""
+        baseline = self._baselines.pop(domid, None)
+        if not baseline:
+            return
+        for snap in baseline:
+            if snap.extent.shared:
+                self.hypervisor.frames.drop_ref_range(
+                    snap.extent, snap.extent_offset, snap.npages)

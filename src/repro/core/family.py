@@ -1,0 +1,33 @@
+"""Domain families and the memory-sharing security constraint.
+
+Two domains are family "if and only if they do have some common
+ancestor domain or one of them is the ancestor of the other" (paper
+§4). Nephele avoids the known memory-deduplication side channels by
+allowing sharing only inside a family, i.e. among clones of one trusted
+VM of one tenant (paper §1, §8).
+"""
+
+from __future__ import annotations
+
+from repro.xen.hypervisor import Hypervisor
+
+
+def family_of(hypervisor: Hypervisor, domid: int) -> frozenset[int]:
+    """All live members of ``domid``'s family, including itself."""
+    return hypervisor.family_of(domid)
+
+
+def is_family(hypervisor: Hypervisor, a: int, b: int) -> bool:
+    """True when ``a`` and ``b`` are family (or the same domain)."""
+    if a == b:
+        return True
+    return b in hypervisor.family_of(a)
+
+
+def share_allowed(hypervisor: Hypervisor, a: int, b: int) -> bool:
+    """May pages be COW-shared between ``a`` and ``b``?
+
+    Only within a family: content-based sharing between unrelated
+    tenants is exactly the attack surface Nephele closes.
+    """
+    return is_family(hypervisor, a, b)

@@ -1,0 +1,101 @@
+"""SMP mitigation via clone fleets (paper §9).
+
+"Cloning can also be used to side-step other limitations of existing
+unikernels, for instance lack of SMP support can be mitigated by
+running clones on different CPUs." A :class:`CloneFleet` turns one
+single-vCPU unikernel into a family with one member pinned per physical
+CPU — the pattern the NGINX experiment uses, packaged as a first-class
+primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cloneop import CloneOpError
+from repro.xen.domain import Domain
+from repro.xen.errors import XenInvalidError
+
+
+@dataclass
+class FleetMember:
+    domid: int
+    cpu: int
+    is_parent: bool
+
+
+@dataclass
+class CloneFleet:
+    """A parent plus clones, one per physical CPU."""
+
+    platform: object
+    parent_domid: int
+    members: list[FleetMember] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def domains(self) -> list[Domain]:
+        """The live Domain objects of every member."""
+        return [self.platform.hypervisor.get_domain(m.domid)
+                for m in self.members]
+
+    def member_on_cpu(self, cpu: int) -> FleetMember:
+        """The member pinned to ``cpu``."""
+        for member in self.members:
+            if member.cpu == cpu:
+                return member
+        raise XenInvalidError(f"no fleet member on CPU {cpu}")
+
+    def scale_to(self, cpus: int) -> list[int]:
+        """Grow the fleet to cover ``cpus`` CPUs; returns new domids."""
+        platform = self.platform
+        if cpus > platform.hypervisor.cpus:
+            raise XenInvalidError(
+                f"host has {platform.hypervisor.cpus} CPUs, asked for {cpus}")
+        if cpus <= self.size:
+            return []
+        needed = cpus - self.size
+        parent = platform.hypervisor.get_domain(self.parent_domid)
+        if not parent.may_clone(needed):
+            raise CloneOpError(
+                f"fleet needs {needed} more clones but domain "
+                f"{self.parent_domid} has budget "
+                f"{parent.max_clones - parent.clones_created}")
+        new_ids = platform.cloneop.clone(self.parent_domid, count=needed)
+        next_cpu = self.size
+        for domid in new_ids:
+            platform.domctl.set_vcpu_affinity(0, domid, 0, {next_cpu})
+            self.members.append(FleetMember(domid, next_cpu, False))
+            next_cpu += 1
+        return new_ids
+
+    def destroy_clones(self) -> None:
+        """Tear down the clones, keep the parent."""
+        for member in [m for m in self.members if not m.is_parent]:
+            self.platform.xl.destroy(member.domid)
+        self.members = [m for m in self.members if m.is_parent]
+
+
+def build_fleet(platform, parent_domid: int,
+                cpus: int | None = None) -> CloneFleet:
+    """Pin ``parent_domid`` to CPU 0, clone it across the remaining CPUs.
+
+    ``cpus`` defaults to every physical CPU on the host. Every member
+    ends up pinned to its own core, ready for embarrassingly-parallel
+    scale-out (the unikernel itself stays single-vCPU).
+    """
+    target = platform.hypervisor.cpus if cpus is None else cpus
+    if target < 1:
+        raise XenInvalidError(f"fleet needs at least one CPU: {target}")
+    parent = platform.hypervisor.get_domain(parent_domid)
+    if len(parent.vcpus) != 1:
+        raise XenInvalidError(
+            "clone fleets are for single-vCPU unikernels "
+            f"(domain {parent_domid} has {len(parent.vcpus)})")
+    platform.domctl.set_vcpu_affinity(0, parent_domid, 0, {0})
+    fleet = CloneFleet(platform, parent_domid)
+    fleet.members.append(FleetMember(parent_domid, 0, True))
+    fleet.scale_to(target)
+    return fleet

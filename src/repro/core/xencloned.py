@@ -1,0 +1,202 @@
+"""xencloned: the Nephele second-stage daemon (paper §4.2, §5.2.1).
+
+Runs in Dom0, woken by ``VIRQ_CLONED``. For each notification it
+introduces the child to xenstored (passing the parent ID), generates
+and sets the clone's name — guaranteed unique, so no xl-style name scan
+is needed — clones the device directories (with ``xs_clone`` or, for
+the ablation, the pre-Nephele deep copy), reacts to the udev events the
+backends emit (enslaving clone vifs to the family's bond or OVS group),
+asks the 9pfs backend over QMP to clone fid tables, and finally signals
+completion back to the hypervisor via CLONEOP.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.cloneop import CloneOp
+from repro.devices.console import console_backend_path, console_frontend_path
+from repro.devices.p9 import p9_backend_path, p9_frontend_path
+from repro.devices.udev import UdevEvent
+from repro.devices.vif import vif_backend_path, vif_frontend_path
+from repro.net.bridge import Bridge
+from repro.toolstack.dom0 import Dom0
+from repro.xen.domid import DOM0
+from repro.xen.domain import Domain
+from repro.xen.events import VIRQ_CLONED
+from repro.xen.hypervisor import Hypervisor
+from repro.xenstore.client import XsHandle
+from repro.xenstore.clone import XsCloneOp
+
+
+class CloneSwitchMode(enum.Enum):
+    """How clone vifs are aggregated (paper §5.2.1)."""
+
+    BOND = "bond"
+    OVS = "ovs"
+
+
+class Xencloned:
+    """The second-stage coordinator."""
+
+    def __init__(self, hypervisor: Hypervisor, dom0: Dom0, cloneop: CloneOp,
+                 use_xs_clone: bool = True,
+                 switch_mode: CloneSwitchMode = CloneSwitchMode.BOND) -> None:
+        self.hypervisor = hypervisor
+        self.dom0 = dom0
+        self.cloneop = cloneop
+        self.use_xs_clone = use_xs_clone
+        self.switch_mode = switch_mode
+        self.handle = XsHandle(dom0.xenstore, client="xencloned")
+        #: Parents whose Xenstore info is cached ("on first cloning the
+        #: parent Xenstore information is read and cached by xencloned to
+        #: speed up future invocations", paper §6.2).
+        self._parent_cache: set[int] = set()
+        self.clones_completed = 0
+
+        hypervisor.register_virq_handler(VIRQ_CLONED, self._on_virq)
+        dom0.udev.subscribe(self._on_udev)
+        # xencloned is responsible for enabling cloning globally (§5.1).
+        cloneop.set_global_enable(True)
+
+    # ------------------------------------------------------------------
+    # VIRQ_CLONED handling
+    # ------------------------------------------------------------------
+    def _on_virq(self, virq: int) -> None:
+        if virq != VIRQ_CLONED:
+            return
+        while True:
+            entry = self.cloneop.ring.pop()
+            if entry is None:
+                break
+            self._second_stage(entry.parent_domid, entry.child_domid)
+
+    def _second_stage(self, parent_domid: int, child_domid: int) -> None:
+        parent = self.hypervisor.get_domain(parent_domid)
+        child = self.hypervisor.get_domain(child_domid)
+
+        # 1. Introduce the child to xenstored, with the parent ID.
+        self.handle.introduce_domain(child_domid, parent_domid)
+
+        # 2. Parent-info cache: the first clone of a parent reads the
+        # parent's Xenstore info (one extra request); later clones skip it.
+        if parent_domid not in self._parent_cache:
+            self.handle.read_maybe(f"/local/domain/{parent_domid}/name")
+            self._parent_cache.add(parent_domid)
+
+        # 3. Generate + set the clone's name. xencloned guarantees
+        # uniqueness (domid-suffixed), so no name scan is needed.
+        child.name = f"{parent.name}-c{child_domid}"
+        self.handle.write(f"{child.store_path}/name", child.name)
+
+        # Grant reference and event port for the child's own Xenstore
+        # connection (paper §4: "...grant reference and event port for
+        # communication with the Xenstore daemon, etc.").
+        self.handle.write(f"{child.store_path}/store/ring-ref",
+                          str(child.special["xenstore"].extent_id))
+        self.handle.write(f"{child.store_path}/store/port", "1")
+
+        # 4. Device cloning (skippable per config: the Fig 6 probe keeps
+        # only the mandatory operations of the second stage).
+        clone_io = (parent.config is None
+                    or parent.config.clone_io_devices)
+        if clone_io:
+            if self.use_xs_clone:
+                self._clone_devices_xs(parent, child)
+            else:
+                self._clone_devices_deep(parent, child)
+
+        # 5. 9pfs backends clone over QMP.
+        if clone_io and parent.frontends.get("9pfs"):
+            self.dom0.p9.clone(parent_domid, child_domid)
+            self.dom0.p9.connect_clone_frontend(child)
+
+        # 6. Completion: unblocks the parent.
+        self.cloneop.clone_completion(DOM0, parent_domid, child_domid)
+        self.clones_completed += 1
+
+    # ------------------------------------------------------------------
+    # device directory cloning
+    # ------------------------------------------------------------------
+    def _clone_devices_xs(self, parent: Domain, child: Domain) -> None:
+        p, c = parent.domid, child.domid
+        if parent.frontends.get("console"):
+            self.handle.clone(p, c, XsCloneOp.DEV_CONSOLE,
+                              console_frontend_path(p), console_frontend_path(c))
+            self.handle.clone(p, c, XsCloneOp.DEV_CONSOLE,
+                              console_backend_path(p), console_backend_path(c))
+        if parent.frontends.get("vif"):
+            self.handle.clone(p, c, XsCloneOp.DEV_VIF,
+                              f"/local/domain/{p}/device/vif",
+                              f"/local/domain/{c}/device/vif")
+            self.handle.clone(p, c, XsCloneOp.DEV_VIF,
+                              f"/local/domain/0/backend/vif/{p}",
+                              f"/local/domain/0/backend/vif/{c}")
+        if parent.frontends.get("9pfs"):
+            self.handle.clone(p, c, XsCloneOp.DEV_9PFS,
+                              p9_frontend_path(p), p9_frontend_path(c))
+            self.handle.clone(p, c, XsCloneOp.DEV_9PFS,
+                              p9_backend_path(p), p9_backend_path(c))
+
+    def _clone_devices_deep(self, parent: Domain, child: Domain) -> None:
+        """Pre-Nephele ablation: one write request per Xenstore entry,
+        "similarly to how the Xenstore entries are created on regular
+        instantiation" (paper §6.1)."""
+        p, c = parent.domid, child.domid
+        if parent.frontends.get("console"):
+            self.handle.deep_copy(p, c, console_frontend_path(p),
+                                  console_frontend_path(c))
+            self.handle.deep_copy(p, c, console_backend_path(p),
+                                  console_backend_path(c))
+        if parent.frontends.get("vif"):
+            self.handle.deep_copy(p, c, f"/local/domain/{p}/device/vif",
+                                  f"/local/domain/{c}/device/vif")
+            self.handle.deep_copy(p, c, f"/local/domain/0/backend/vif/{p}",
+                                  f"/local/domain/0/backend/vif/{c}")
+        if parent.frontends.get("9pfs"):
+            self.handle.deep_copy(p, c, p9_frontend_path(p), p9_frontend_path(c))
+            self.handle.deep_copy(p, c, p9_backend_path(p), p9_backend_path(c))
+
+    # ------------------------------------------------------------------
+    # udev: finish clone vif setup
+    # ------------------------------------------------------------------
+    def _on_udev(self, event: UdevEvent) -> None:
+        if event.subsystem != "net" or event.action != "add":
+            return
+        if not event.properties.get("cloned"):
+            return
+        self.hypervisor.clock.charge(self.hypervisor.costs.udev_dispatch)
+        domid = event.properties["domid"]
+        index = event.properties["index"]
+        backend = self.dom0.netback.backends.get((domid, index))
+        if backend is None:
+            return
+        self._aggregate_family_vif(backend)
+
+    def _aggregate_family_vif(self, backend) -> None:
+        """Enslave a clone vif (and, the first time, the parent's vif)
+        to the family's bond or OVS group."""
+        ip = backend.ip
+        first_time = ip not in self.dom0._family_switch
+        if self.switch_mode is CloneSwitchMode.BOND:
+            switch = self.dom0.family_bond(ip)
+            add = switch.enslave
+        else:
+            switch = self.dom0.family_ovs_group(ip)
+            add = switch.add_bucket
+        if first_time:
+            parent_backend = self._parent_backend(backend)
+            if parent_backend is not None:
+                if isinstance(parent_backend.switch, Bridge):
+                    parent_backend.switch.detach(parent_backend.port)
+                add(parent_backend.port)
+        add(backend.port)
+        # Outbound clone traffic still reaches the host via the bridge.
+        backend.attach_switch(self.dom0.bridges["xenbr0"])
+        self.hypervisor.clock.charge(self.hypervisor.costs.switch_attach)
+
+    def _parent_backend(self, backend):
+        child = self.hypervisor.domains.get(backend.domid)
+        if child is None or child.parent_id is None:
+            return None
+        return self.dom0.netback.backends.get((child.parent_id, backend.index))

@@ -1,0 +1,31 @@
+"""Paravirtualized split drivers.
+
+Xen's split-device model (paper §3): each device is a frontend in the
+guest and a backend in Dom0, discovering each other through Xenstore
+and exchanging data over shared rings. Nephele teaches each supported
+backend (console, vif, 9pfs) to clone its per-guest state, skipping the
+frontend/backend negotiation entirely (paper §5.2.1).
+"""
+
+from repro.devices.console import ConsoleBackendDaemon, ConsoleFrontend
+from repro.devices.p9 import P9BackendPolicy, P9BackendProcess, P9Frontend, P9Service
+from repro.devices.rings import SharedRing
+from repro.devices.udev import UdevBus, UdevEvent
+from repro.devices.vif import NetBackend, NetBackendDriver, NetFrontend
+from repro.devices.xenbus import XenbusState
+
+__all__ = [
+    "XenbusState",
+    "SharedRing",
+    "ConsoleFrontend",
+    "ConsoleBackendDaemon",
+    "NetFrontend",
+    "NetBackend",
+    "NetBackendDriver",
+    "P9Frontend",
+    "P9BackendProcess",
+    "P9BackendPolicy",
+    "P9Service",
+    "UdevBus",
+    "UdevEvent",
+]

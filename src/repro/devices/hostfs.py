@@ -1,0 +1,87 @@
+"""Dom0 host filesystem (ramdisk-backed, as in the paper's testbed).
+
+Backs the 9pfs shares. Only structure and sizes are modelled; contents
+live with the applications.
+"""
+
+from __future__ import annotations
+
+import posixpath
+
+
+class HostFSError(Exception):
+    """Filesystem operation failure (missing path, bad arguments)."""
+
+
+class HostFS:
+    """In-memory filesystem: path -> size in bytes."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, int] = {}
+        self._dirs: set[str] = {"/"}
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory (parent must exist)."""
+        path = posixpath.normpath(path)
+        parent = posixpath.dirname(path)
+        if parent not in self._dirs:
+            raise HostFSError(f"parent directory missing: {parent}")
+        self._dirs.add(path)
+
+    def exists(self, path: str) -> bool:
+        """Does a file or directory exist at ``path``?"""
+        path = posixpath.normpath(path)
+        return path in self._files or path in self._dirs
+
+    def is_dir(self, path: str) -> bool:
+        """Is ``path`` a directory?"""
+        return posixpath.normpath(path) in self._dirs
+
+    def create(self, path: str) -> None:
+        """Create an empty file (parent directory must exist)."""
+        path = posixpath.normpath(path)
+        parent = posixpath.dirname(path)
+        if parent not in self._dirs:
+            raise HostFSError(f"parent directory missing: {parent}")
+        self._files.setdefault(path, 0)
+
+    def write(self, path: str, nbytes: int, append: bool = True) -> int:
+        """Write ``nbytes``; returns the new file size."""
+        path = posixpath.normpath(path)
+        if path not in self._files:
+            self.create(path)
+        if nbytes < 0:
+            raise HostFSError(f"negative write size: {nbytes}")
+        self._files[path] = self._files[path] + nbytes if append else nbytes
+        return self._files[path]
+
+    def size(self, path: str) -> int:
+        """File size in bytes."""
+        path = posixpath.normpath(path)
+        if path not in self._files:
+            raise HostFSError(f"no such file: {path}")
+        return self._files[path]
+
+    def unlink(self, path: str) -> None:
+        """Delete a file."""
+        path = posixpath.normpath(path)
+        if path not in self._files:
+            raise HostFSError(f"no such file: {path}")
+        del self._files[path]
+
+    def listdir(self, path: str) -> list[str]:
+        """Sorted entries directly under a directory."""
+        path = posixpath.normpath(path)
+        if path not in self._dirs:
+            raise HostFSError(f"no such directory: {path}")
+        prefix = path.rstrip("/") + "/"
+        names = set()
+        for candidate in list(self._files) + list(self._dirs):
+            if candidate != path and candidate.startswith(prefix):
+                rest = candidate[len(prefix):]
+                names.add(rest.split("/", 1)[0])
+        return sorted(names)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._files.values())

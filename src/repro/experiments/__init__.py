@@ -1,0 +1,20 @@
+"""Experiment runners: one module per figure of the paper's evaluation.
+
+Each module exposes a ``run_*`` function returning a structured result
+plus a ``format_*`` helper that prints the same series the paper plots.
+The benchmarks under ``benchmarks/`` and ``examples/reproduce_figures.py``
+are thin wrappers over these.
+"""
+
+from repro.experiments import (  # noqa: F401
+    fig4_instantiation,
+    fig5_density,
+    fig6_memory_cloning,
+    fig7_nginx,
+    fig8_redis,
+    fig9_fuzzing,
+    fig10_faas_memory,
+    fig11_faas_reaction,
+    kvm_compare,
+    motivation_idle_pool,
+)

@@ -1,0 +1,160 @@
+"""Fig 4: instantiation times for the Mini-OS UDP server.
+
+Four series over N instances (paper: N = 1000):
+
+- **boot**: ``xl create`` per instance (LightVM methodology: measure
+  until the UDP ready notification reaches the host).
+- **restore**: per iteration, create + save + restore; the plotted
+  value is the restore duration.
+- **clone + XS deep copy**: the parent forks itself with xencloned in
+  the pre-Nephele deep-copy mode.
+- **clone**: same with the ``xs_clone`` request.
+
+Paper results: boot 160->300 ms, restore 180->330 ms, deep copy
+40->130 ms, clone 20->30 ms; cloning ~8x faster than booting; with
+xs_clone only 2 Xenstore log-rotation spikes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.udp_server import UdpServerApp
+from repro.experiments.plot import line_chart
+from repro.experiments.report import format_table, series_summary
+from repro.platform import Platform
+from repro.toolstack.config import DomainConfig, VifConfig
+
+#: Values above this are log-rotation spikes (for summary statistics).
+SPIKE_THRESHOLD_MS = 400.0
+
+
+def _udp_config(name: str, ip: str, max_clones: int = 0) -> DomainConfig:
+    return DomainConfig(name=name, memory_mb=4, kernel="minios-udp",
+                        vifs=[VifConfig(ip=ip)], max_clones=max_clones)
+
+
+def _guest_ip(i: int) -> str:
+    return f"10.{1 + i // 62500}.{(i // 250) % 250}.{1 + i % 250}"
+
+
+@dataclass
+class Fig4Result:
+    boot_ms: list[float] = field(default_factory=list)
+    restore_ms: list[float] = field(default_factory=list)
+    deep_copy_clone_ms: list[float] = field(default_factory=list)
+    clone_ms: list[float] = field(default_factory=list)
+    rotations: dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, dict]:
+        """Per-series first/last/mean/max (spikes excluded from mean)."""
+        return {
+            name: series_summary(series, SPIKE_THRESHOLD_MS)
+            for name, series in (
+                ("boot", self.boot_ms),
+                ("restore", self.restore_ms),
+                ("clone + XS deep copy", self.deep_copy_clone_ms),
+                ("clone", self.clone_ms),
+            ) if series
+        }
+
+    @property
+    def clone_speedup(self) -> float:
+        """Mean boot time over mean clone time (the paper's 8x)."""
+        boot = series_summary(self.boot_ms, SPIKE_THRESHOLD_MS)["mean"]
+        clone = series_summary(self.clone_ms, SPIKE_THRESHOLD_MS)["mean"]
+        return boot / clone if clone else float("inf")
+
+
+def run_boot_series(instances: int) -> tuple[list[float], int]:
+    """Boot ``instances`` fresh UDP servers; per-instance durations."""
+    platform = Platform.create()
+    ready: list[object] = []
+    platform.dom0.listen(9999, lambda pkt: ready.append(pkt.payload))
+    times: list[float] = []
+    for i in range(instances):
+        t0 = platform.now
+        platform.xl.create(_udp_config(f"udp{i}", _guest_ip(i)),
+                           app=UdpServerApp())
+        times.append(platform.now - t0)
+    assert len(ready) == instances, "every guest must signal readiness"
+    return times, platform.xenstore.access_log.rotations
+
+
+def run_restore_series(iterations: int) -> tuple[list[float], int]:
+    """Create + save + restore per iteration; restore durations."""
+    platform = Platform.create()
+    times: list[float] = []
+    for i in range(iterations):
+        domain = platform.xl.create(_udp_config(f"udp{i}", _guest_ip(i)),
+                                    app=UdpServerApp())
+        image = platform.xl.save(domain.domid)
+        t0 = platform.now
+        restored = platform.xl.restore(image)
+        times.append(platform.now - t0)
+        # Leave the restored instance running, like the boot series.
+        del restored
+    return times, platform.xenstore.access_log.rotations
+
+
+def run_clone_series(clones: int, use_xs_clone: bool) -> tuple[list[float], int]:
+    """One parent forks itself ``clones`` times; fork() durations."""
+    platform = Platform.create(use_xs_clone=use_xs_clone)
+    parent = platform.xl.create(
+        _udp_config("udp0", "10.0.1.1", max_clones=clones + 1),
+        app=UdpServerApp())
+    times: list[float] = []
+    for _ in range(clones):
+        t0 = platform.now
+        platform.cloneop.clone(parent.domid)
+        times.append(platform.now - t0)
+    platform.check_invariants()
+    return times, platform.xenstore.access_log.rotations
+
+
+def run(instances: int = 1000, include_restore: bool = True) -> Fig4Result:
+    """Run all four Fig 4 series."""
+    result = Fig4Result()
+    result.boot_ms, result.rotations["boot"] = run_boot_series(instances)
+    if include_restore:
+        result.restore_ms, result.rotations["restore"] = \
+            run_restore_series(instances)
+    result.deep_copy_clone_ms, result.rotations["deep_copy"] = \
+        run_clone_series(instances, use_xs_clone=False)
+    result.clone_ms, result.rotations["clone"] = \
+        run_clone_series(instances, use_xs_clone=True)
+    return result
+
+
+def format_result(result: Fig4Result) -> str:
+    """The paper's table + an ASCII rendition of the plot."""
+    rows = []
+    paper = {
+        "boot": "160 -> 300",
+        "restore": "180 -> 330",
+        "clone + XS deep copy": "40 -> 130",
+        "clone": "20 -> 30",
+    }
+    for name, stats in result.summary().items():
+        rows.append([name, stats["first"], stats["last"], stats["mean"],
+                     stats["max"], paper[name]])
+    table = format_table(
+        f"Fig 4: instantiation times, {len(result.boot_ms)} instances (ms)",
+        ["series", "first", "last", "mean", "max(spikes)", "paper"],
+        rows)
+    footer = (f"\nclone speedup over boot: {result.clone_speedup:.1f}x "
+              f"(paper: ~8x)\n"
+              f"Xenstore log rotations: {result.rotations}")
+    series = {
+        name: [(float(i), v) for i, v in enumerate(values)
+               if v < SPIKE_THRESHOLD_MS]
+        for name, values in (
+            ("boot", result.boot_ms),
+            ("restore", result.restore_ms),
+            ("deep copy", result.deep_copy_clone_ms),
+            ("clone", result.clone_ms),
+        ) if values
+    }
+    chart = line_chart(series, title="\ninstantiation time (ms) vs instance #"
+                       " (spikes clipped)", y_label="ms")
+    return table + footer + "\n" + chart

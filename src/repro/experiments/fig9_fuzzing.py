@@ -1,0 +1,102 @@
+"""Fig 9: fuzzing throughput (KFX + AFL) over a 300 s session.
+
+Seven series, as plotted in the paper: Unikraft with and without
+cloning (baseline getppid + actual syscall fuzzing), the native Linux
+process under plain AFL (baseline + actual), and the Linux kernel
+module baseline under KFX.
+
+Paper plateaus: no-clone 2 exec/s, clone 470 exec/s, Linux process
+590 exec/s (clone is 18.6% lower), kernel module 320 exec/s (31.9%
+lower than Unikraft+cloning); memory reset 125 us / 3 dirty pages for
+Unikraft vs 250 us / 8 pages for the Linux VM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.fuzzing import FuzzMode, FuzzReport, FuzzSession
+from repro.experiments.plot import line_chart
+from repro.experiments.report import format_table
+from repro.platform import Platform
+
+#: The series of the paper's legend: (label, mode, baseline).
+SERIES = (
+    ("Unikraft baseline (KFX+AFL)", FuzzMode.UNIKRAFT_NOCLONE, True),
+    ("Unikraft (KFX+AFL)", FuzzMode.UNIKRAFT_NOCLONE, False),
+    ("Unikraft+cloning baseline (KFX+AFL)", FuzzMode.UNIKRAFT_CLONE, True),
+    ("Unikraft+cloning (KFX+AFL)", FuzzMode.UNIKRAFT_CLONE, False),
+    ("Linux process baseline (AFL)", FuzzMode.LINUX_PROCESS, True),
+    ("Linux process (AFL)", FuzzMode.LINUX_PROCESS, False),
+    ("Linux kernel module baseline (KFX+AFL)", FuzzMode.LINUX_MODULE, True),
+)
+
+
+@dataclass
+class Fig9Result:
+    reports: dict[str, FuzzReport] = field(default_factory=dict)
+
+    def mean(self, label: str) -> float:
+        """Mean throughput of one series."""
+        return self.reports[label].mean_throughput
+
+    @property
+    def clone_vs_process_percent(self) -> float:
+        """How much lower cloning-based fuzzing is than the native
+        process (paper: 18.6%)."""
+        clone = self.mean("Unikraft+cloning baseline (KFX+AFL)")
+        process = self.mean("Linux process baseline (AFL)")
+        return 100.0 * (process - clone) / process
+
+    @property
+    def module_vs_clone_percent(self) -> float:
+        """How much lower the kernel module is than Unikraft+cloning
+        (paper: 31.9%)."""
+        clone = self.mean("Unikraft+cloning baseline (KFX+AFL)")
+        module = self.mean("Linux kernel module baseline (KFX+AFL)")
+        return 100.0 * (clone - module) / clone
+
+
+def run(duration_s: float = 300.0) -> Fig9Result:
+    """Run all seven fuzzing series."""
+    result = Fig9Result()
+    for label, mode, baseline in SERIES:
+        platform = Platform.create()
+        session = FuzzSession(platform, mode, baseline=baseline)
+        result.reports[label] = session.run(duration_s=duration_s)
+    return result
+
+
+def format_result(result: Fig9Result) -> str:
+    """The Fig 9 table, gaps and chart."""
+    paper = {
+        "Unikraft baseline (KFX+AFL)": "~2",
+        "Unikraft (KFX+AFL)": "~2",
+        "Unikraft+cloning baseline (KFX+AFL)": "~470",
+        "Unikraft+cloning (KFX+AFL)": "~470 (noisy)",
+        "Linux process baseline (AFL)": "~590",
+        "Linux process (AFL)": "~590 (noisy)",
+        "Linux kernel module baseline (KFX+AFL)": "~320",
+    }
+    rows = []
+    for label, report in result.reports.items():
+        extras = ""
+        if report.avg_reset_us is not None:
+            extras = (f"reset {report.avg_reset_us:.0f} us / "
+                      f"{report.avg_dirty_pages:.1f} dirty pages")
+        rows.append([label, report.mean_throughput, paper[label], extras])
+    table = format_table(
+        "Fig 9: fuzzing throughput (mean executions/sec)",
+        ["series", "exec/s", "paper", "reset stats"], rows)
+    footer = (f"\nclone vs process gap: "
+              f"{result.clone_vs_process_percent:.1f}% (paper: 18.6%); "
+              f"module vs clone gap: "
+              f"{result.module_vs_clone_percent:.1f}% (paper: 31.9%)")
+    series = {
+        label.replace(" (KFX+AFL)", "").replace(" (AFL)", ""):
+            [(s.t_s, s.execs_per_s) for s in report.samples]
+        for label, report in result.reports.items()
+    }
+    chart = line_chart(series, title="\nexecutions/sec vs time (s)",
+                       y_label="exec/s")
+    return table + footer + "\n" + chart

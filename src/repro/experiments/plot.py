@@ -1,0 +1,90 @@
+"""ASCII plotting for experiment series.
+
+The paper's figures are line plots; these helpers render the same
+series as terminal charts so `examples/reproduce_figures.py` output can
+be eyeballed against the paper directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Eight vertical resolution levels per character cell.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line sparkline, resampled to ``width`` columns."""
+    if not values:
+        return ""
+    resampled = _resample(list(values), width)
+    low = min(resampled)
+    high = max(resampled)
+    span = high - low
+    if span <= 0:
+        return _SPARK[0] * len(resampled)
+    chars = []
+    for value in resampled:
+        level = int((value - low) / span * (len(_SPARK) - 1))
+        chars.append(_SPARK[level])
+    return "".join(chars)
+
+
+def _resample(values: list[float], width: int) -> list[float]:
+    if len(values) <= width:
+        return values
+    bucket = len(values) / width
+    out = []
+    for i in range(width):
+        start = int(i * bucket)
+        end = max(start + 1, int((i + 1) * bucket))
+        window = values[start:end]
+        out.append(sum(window) / len(window))
+    return out
+
+
+def line_chart(series: dict[str, Sequence[tuple[float, float]]],
+               width: int = 64, height: int = 12,
+               title: str = "", y_label: str = "") -> str:
+    """Multi-series ASCII line chart over (x, y) points.
+
+    Each series gets a distinct marker; overlapping points show the
+    later series' marker.
+    """
+    markers = "*o+x#@%&"
+    points = {name: list(values) for name, values in series.items() if values}
+    if not points:
+        return title
+    xs = [x for values in points.values() for x, _ in values]
+    ys = [y for values in points.values() for _, y in values]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(0.0, min(ys)), max(ys)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(points.items()):
+        marker = markers[index % len(markers)]
+        for x, y in values:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:,.0f} {y_label}".rstrip()
+    lines.append(f"{top_label:>10} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    bottom_label = f"{y_lo:,.0f}"
+    lines.append(f"{bottom_label:>10} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    lines.append(" " * 12 + f"{x_lo:,.0f}".ljust(width - 8)
+                 + f"{x_hi:,.0f}".rjust(8))
+    legend = "   ".join(f"{markers[i % len(markers)]} {name}"
+                        for i, name in enumerate(points))
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

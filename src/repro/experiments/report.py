@@ -1,0 +1,50 @@
+"""Plain-text reporting helpers for the experiment runners."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.0f}"
+        if value >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def series_summary(values: Sequence[float],
+                   spike_threshold: float | None = None) -> dict:
+    """First/last/mean/max summary, optionally excluding spikes."""
+    if not values:
+        return {"first": 0.0, "last": 0.0, "mean": 0.0, "max": 0.0, "n": 0}
+    usable = ([v for v in values if v < spike_threshold]
+              if spike_threshold is not None else list(values))
+    if not usable:
+        usable = list(values)
+    return {
+        "first": values[0],
+        "last": usable[-1],
+        "mean": sum(usable) / len(usable),
+        "max": max(values),
+        "n": len(values),
+    }

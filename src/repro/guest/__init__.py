@@ -1,0 +1,25 @@
+"""Guests: unikernel VMs and Linux baselines.
+
+The unikernel model covers Mini-OS and Unikraft style guests: a
+statically linked image, a tinyalloc-style heap, paravirtual device
+frontends and the Nephele guest API (``fork()``, IDC, sockets, 9pfs
+files). Linux baselines model process ``fork()`` cost (Fig 6/8) and an
+Alpine VM for the Redis comparison.
+"""
+
+from repro.guest.api import GuestAPI, Region
+from repro.guest.app import GuestApp
+from repro.guest.image import UnikernelImage, IMAGES
+from repro.guest.linux import LinuxProcess, LinuxVM
+from repro.guest.unikernel import UnikernelVM
+
+__all__ = [
+    "UnikernelImage",
+    "IMAGES",
+    "GuestApp",
+    "GuestAPI",
+    "Region",
+    "UnikernelVM",
+    "LinuxProcess",
+    "LinuxVM",
+]

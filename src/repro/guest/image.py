@@ -1,0 +1,90 @@
+"""Unikernel images.
+
+Statically linked unikernels have comparatively large binaries with a
+significant share of text/rodata, which makes them "great candidates
+for increasing the memory density by means of cloning" (paper §4.1):
+those sections are read-only or written once at init, so clones share
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.units import KIB, MIB, pages_of
+
+
+@dataclass(frozen=True)
+class UnikernelImage:
+    """Section layout of a unikernel binary."""
+
+    name: str
+    text_bytes: int
+    rodata_bytes: int
+    data_bytes: int
+    bss_bytes: int
+    flavor: str = "unikraft"  # "minios" | "unikraft" | "linux"
+
+    @property
+    def binary_bytes(self) -> int:
+        """On-disk image size (bss occupies no file space)."""
+        return self.text_bytes + self.rodata_bytes + self.data_bytes
+
+    @property
+    def kernel_pages(self) -> int:
+        """Resident pages the loaded image occupies."""
+        return pages_of(self.text_bytes + self.rodata_bytes
+                        + self.data_bytes + self.bss_bytes)
+
+    @property
+    def readonly_pages(self) -> int:
+        """Pages that stay read-only for the image's lifetime."""
+        return pages_of(self.text_bytes + self.rodata_bytes)
+
+
+#: Image catalogue used by the experiments.
+IMAGES: dict[str, UnikernelImage] = {
+    # The Mini-OS UDP server of §6.1 (LightVM methodology): tiny guest.
+    "minios-udp": UnikernelImage(
+        name="minios-udp", flavor="minios",
+        text_bytes=260 * KIB, rodata_bytes=90 * KIB,
+        data_bytes=40 * KIB, bss_bytes=180 * KIB,
+    ),
+    # Unikraft + tinyalloc memhog for the Fig 6 memory-cloning probe.
+    "unikraft-memhog": UnikernelImage(
+        name="unikraft-memhog", flavor="unikraft",
+        text_bytes=420 * KIB, rodata_bytes=120 * KIB,
+        data_bytes=60 * KIB, bss_bytes=220 * KIB,
+    ),
+    # Unikraft + lwip + NGINX (§7.1).
+    "unikraft-nginx": UnikernelImage(
+        name="unikraft-nginx", flavor="unikraft",
+        text_bytes=1300 * KIB, rodata_bytes=420 * KIB,
+        data_bytes=130 * KIB, bss_bytes=400 * KIB,
+    ),
+    # Unikraft + Redis (§7.1).
+    "unikraft-redis": UnikernelImage(
+        name="unikraft-redis", flavor="unikraft",
+        text_bytes=1500 * KIB, rodata_bytes=380 * KIB,
+        data_bytes=150 * KIB, bss_bytes=500 * KIB,
+    ),
+    # Unikraft syscall-fuzzing adapter (§7.2).
+    "unikraft-fuzz": UnikernelImage(
+        name="unikraft-fuzz", flavor="unikraft",
+        text_bytes=600 * KIB, rodata_bytes=150 * KIB,
+        data_bytes=80 * KIB, bss_bytes=250 * KIB,
+    ),
+    # Unikraft + Python 3.7 interpreter for FaaS (§7.3): "a 6 MB binary
+    # image linking together Unikraft with the Python 3.7.4 interpreter".
+    "unikraft-python": UnikernelImage(
+        name="unikraft-python", flavor="unikraft",
+        text_bytes=4200 * KIB, rodata_bytes=1300 * KIB,
+        data_bytes=250 * KIB, bss_bytes=900 * KIB,
+    ),
+    # Alpine Linux kernel+initrd for the Redis baseline VM.
+    "alpine-linux": UnikernelImage(
+        name="alpine-linux", flavor="linux",
+        text_bytes=12 * MIB, rodata_bytes=4 * MIB,
+        data_bytes=2 * MIB, bss_bytes=6 * MIB,
+    ),
+}

@@ -1,0 +1,27 @@
+"""Inter-domain communication (IDC).
+
+Nephele's replacement for IPC between related processes (paper §4.3):
+shared memory granted with the ``DOMID_CHILD`` wildcard plus event
+channels for notifications, composed into anonymous pipes and socket
+pairs — the two mechanisms the paper's target applications use.
+"""
+
+from repro.idc.channel import IdcChannel
+from repro.idc.mqueue import MessageQueue, MqueueError
+from repro.idc.pipe import Pipe, PipeClosedError, PipeEnd
+from repro.idc.shm import IdcSharedArea
+from repro.idc.socketpair import SocketPair
+from repro.idc.sync import IdcBarrier, IdcSemaphore
+
+__all__ = [
+    "IdcSharedArea",
+    "IdcChannel",
+    "Pipe",
+    "PipeEnd",
+    "PipeClosedError",
+    "SocketPair",
+    "MessageQueue",
+    "MqueueError",
+    "IdcSemaphore",
+    "IdcBarrier",
+]

@@ -1,0 +1,38 @@
+"""IDC notification channels.
+
+An event channel bound to ``DOMID_CHILD``: clones are implicitly
+connected at creation (paper §5.2.2). Notifications fan out to every
+peer except the sender.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.xen.domid import DOMID_CHILD
+from repro.xen.domain import Domain
+from repro.xen.hypervisor import Hypervisor
+
+Notification = Callable[[int], None]
+
+
+class IdcChannel:
+    """One IDC notification channel of a family."""
+
+    def __init__(self, hypervisor: Hypervisor, owner: Domain) -> None:
+        self.hypervisor = hypervisor
+        self.owner = owner
+        self.channel = owner.events.alloc_unbound(DOMID_CHILD)
+        hypervisor.clock.charge(hypervisor.costs.evtchn_op)
+
+    @property
+    def port(self) -> int:
+        return self.channel.port
+
+    def set_handler(self, domain: Domain, handler: Notification) -> None:
+        """Install the wakeup handler on ``domain``'s endpoint."""
+        domain.events.set_handler(self.port, handler)
+
+    def notify(self, sender: Domain) -> int:
+        """Send from ``sender``'s endpoint; returns peers notified."""
+        return self.hypervisor.send_event(sender.domid, self.port)

@@ -1,0 +1,132 @@
+"""Anonymous pipes over IDC.
+
+A pipe is a byte ring in an IDC shared area plus an IDC notification
+channel. Like POSIX pipes, it is created before forking; after the
+clone both family members hold both ends and close the one they do not
+use. Unlike Kylinx — where IPC is initialized asynchronously after
+fork() returns — the pipe is usable the instant the clone completes
+(paper §8, comparison with Kylinx).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.idc.channel import IdcChannel
+from repro.idc.shm import IdcSharedArea
+from repro.sim.units import PAGE_SIZE
+from repro.xen.domain import Domain
+from repro.xen.hypervisor import Hypervisor
+
+#: Default pipe buffer: 16 pages, like Linux.
+PIPE_PAGES = 16
+
+DataHandler = Callable[[bytes], None]
+
+
+class PipeClosedError(Exception):
+    """Operation on a closed or wrong-direction pipe end."""
+
+
+class Pipe:
+    """The shared pipe object (physically: shared pages + channel)."""
+
+    def __init__(self, hypervisor: Hypervisor, owner: Domain,
+                 npages: int = PIPE_PAGES) -> None:
+        self.hypervisor = hypervisor
+        self.area = IdcSharedArea(hypervisor, owner, npages, label="pipe")
+        self.channel = IdcChannel(hypervisor, owner)
+        self.capacity = npages * PAGE_SIZE
+        self.buffer: deque[bytes] = deque()
+        self.buffered_bytes = 0
+        self.write_closed: set[int] = set()
+        self.read_closed: set[int] = set()
+        #: Registered data callbacks per domid (reader wakeups).
+        self._readers: dict[int, DataHandler] = {}
+
+    def read_end(self, domain: Domain) -> "PipeEnd":
+        """``domain``'s read end of the pipe."""
+        return PipeEnd(self, domain, readable=True, writable=False)
+
+    def write_end(self, domain: Domain) -> "PipeEnd":
+        """``domain``'s write end of the pipe."""
+        return PipeEnd(self, domain, readable=False, writable=True)
+
+    # ------------------------------------------------------------------
+    def _write(self, writer: Domain, data: bytes) -> int:
+        if writer.domid in self.write_closed:
+            raise PipeClosedError(f"write end closed in domain {writer.domid}")
+        accepted = min(len(data), self.capacity - self.buffered_bytes)
+        if accepted <= 0:
+            return 0
+        chunk = data[:accepted]
+        self.area.write(writer, accepted)
+        self.buffer.append(chunk)
+        self.buffered_bytes += accepted
+        self.channel.notify(writer)
+        self._wake_readers(exclude=writer.domid)
+        return accepted
+
+    def _read(self, reader: Domain, max_bytes: int | None = None) -> bytes:
+        if reader.domid in self.read_closed:
+            raise PipeClosedError(f"read end closed in domain {reader.domid}")
+        out = bytearray()
+        budget = self.buffered_bytes if max_bytes is None else max_bytes
+        while self.buffer and budget > 0:
+            chunk = self.buffer[0]
+            if len(chunk) <= budget:
+                out.extend(chunk)
+                budget -= len(chunk)
+                self.buffer.popleft()
+            else:
+                out.extend(chunk[:budget])
+                self.buffer[0] = chunk[budget:]
+                budget = 0
+        self.buffered_bytes -= len(out)
+        return bytes(out)
+
+    def _wake_readers(self, exclude: int) -> None:
+        for domid, handler in list(self._readers.items()):
+            if domid == exclude or domid in self.read_closed:
+                continue
+            data = self._read(self.hypervisor.get_domain(domid))
+            if data:
+                handler(data)
+
+    def on_data(self, domain: Domain, handler: DataHandler) -> None:
+        """Register an asynchronous reader callback for ``domain``."""
+        self._readers[domain.domid] = handler
+
+
+class PipeEnd:
+    """One direction of a pipe, held by one domain."""
+
+    def __init__(self, pipe: Pipe, domain: Domain, readable: bool,
+                 writable: bool) -> None:
+        self.pipe = pipe
+        self.domain = domain
+        self.readable = readable
+        self.writable = writable
+        self.closed = False
+
+    def write(self, data: bytes) -> int:
+        """Write; returns bytes accepted (bounded by pipe capacity)."""
+        if self.closed or not self.writable:
+            raise PipeClosedError("not a writable open end")
+        return self.pipe._write(self.domain, data)
+
+    def read(self, max_bytes: int | None = None) -> bytes:
+        """Read up to ``max_bytes`` (everything buffered by default)."""
+        if self.closed or not self.readable:
+            raise PipeClosedError("not a readable open end")
+        return self.pipe._read(self.domain, max_bytes)
+
+    def close(self) -> None:
+        """Close this end for its holder."""
+        self.closed = True
+        if self.writable:
+            self.pipe.write_closed.add(self.domain.domid)
+        if self.readable:
+            self.pipe.read_closed.add(self.domain.domid)
+            self.pipe._readers.pop(self.domain.domid, None)

@@ -1,0 +1,71 @@
+"""IDC shared memory areas.
+
+A parent allocates pages, grants them to ``DOMID_CHILD`` and shares
+them with the family; at the hypervisor level ownership moves to
+dom_cow but the pages remain writable by every family member (paper
+§5.2.2).
+"""
+
+from __future__ import annotations
+
+from repro.xen.domid import DOMID_CHILD
+from repro.xen.domain import Domain
+from repro.xen.frames import PageType
+from repro.xen.hypervisor import Hypervisor
+
+
+class IdcSharedArea:
+    """Family-shared writable memory region."""
+
+    def __init__(self, hypervisor: Hypervisor, owner: Domain,
+                 npages: int, label: str = "idc") -> None:
+        self.hypervisor = hypervisor
+        self.owner = owner
+        self.npages = npages
+        if owner.guest is not None and owner.guest.heap_npages:
+            # Carve the area out of the guest heap (tinyalloc chunk,
+            # retyped so the clone engine treats it as IDC memory).
+            # Touching first matters when the owner is itself a clone
+            # parent: the write COWs the pages back to private before
+            # they are re-shared family-writable.
+            from repro.sim.units import PAGE_SIZE
+
+            region = owner.guest.api.alloc(npages * PAGE_SIZE, touch=True)
+            self.segment = owner.memory.retype_range(
+                region.pfn_start, npages, PageType.IDC_SHM, label=label)
+        else:
+            self.segment = owner.populate_ram(npages, PageType.IDC_SHM,
+                                              label=label)
+            hypervisor.clock.charge(hypervisor.costs.page_alloc * npages)
+        #: One grant per page, to DOMID_CHILD.
+        self.grefs = [
+            owner.grants.grant_access(DOMID_CHILD, self.segment.pfn_start + i)
+            for i in range(npages)
+        ]
+        hypervisor.clock.charge(hypervisor.costs.grant_op * npages)
+        # Share immediately: ownership -> dom_cow, writable by the family.
+        hypervisor.frames.share_to_cow(self.segment.extent)
+        hypervisor.clock.charge(hypervisor.costs.share_page * npages)
+
+    @property
+    def pfn_start(self) -> int:
+        return self.segment.pfn_start
+
+    def map_into(self, domain: Domain) -> None:
+        """A family member maps the area (validates the grants)."""
+        for gref in self.grefs:
+            self.hypervisor.map_grant(self.owner.domid, gref, domain.domid)
+
+    def write(self, writer: Domain, nbytes: int) -> None:
+        """Account a write by a family member; shared-writable, no COW."""
+        from repro.sim.units import pages_of
+
+        pages = min(self.npages, max(1, pages_of(nbytes)))
+        stats = writer.memory.write_range(self.segment.pfn_start, pages) \
+            if writer is self.owner else None
+        # Non-owner writers touch via their grant mapping; either way the
+        # write must not COW.
+        if stats is not None and stats.copied:
+            raise AssertionError("IDC area was COWed on write")
+        self.hypervisor.clock.charge(
+            self.hypervisor.costs.guest_touch_page * pages)

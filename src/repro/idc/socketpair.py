@@ -1,0 +1,56 @@
+"""Socket pairs over IDC: two pipes, one per direction."""
+
+from __future__ import annotations
+
+from repro.idc.pipe import Pipe, PipeEnd
+from repro.xen.domain import Domain
+from repro.xen.hypervisor import Hypervisor
+
+
+class SocketEnd:
+    """One endpoint of a socket pair (bidirectional)."""
+
+    def __init__(self, rx: PipeEnd, tx: PipeEnd) -> None:
+        self._rx = rx
+        self._tx = tx
+
+    def send(self, data: bytes) -> int:
+        """Send towards the peer; returns bytes accepted."""
+        return self._tx.write(data)
+
+    def recv(self, max_bytes: int | None = None) -> bytes:
+        """Receive buffered bytes from the peer."""
+        return self._rx.read(max_bytes)
+
+    def on_data(self, handler) -> None:
+        """Register an asynchronous receive callback."""
+        self._rx.pipe.on_data(self._rx.domain, handler)
+
+    def close(self) -> None:
+        """Close both directions of this endpoint."""
+        self._rx.close()
+        self._tx.close()
+
+
+class SocketPair:
+    """An AF_UNIX-style socket pair usable across a clone family.
+
+    Created before forking; ``end_for(domain, role)`` hands each family
+    member its endpoint after the clone.
+    """
+
+    def __init__(self, hypervisor: Hypervisor, owner: Domain) -> None:
+        self.hypervisor = hypervisor
+        self.owner = owner
+        self._a_to_b = Pipe(hypervisor, owner)
+        self._b_to_a = Pipe(hypervisor, owner)
+
+    def end_a(self, domain: Domain) -> SocketEnd:
+        """Endpoint A, held by ``domain``."""
+        return SocketEnd(rx=self._b_to_a.read_end(domain),
+                         tx=self._a_to_b.write_end(domain))
+
+    def end_b(self, domain: Domain) -> SocketEnd:
+        """Endpoint B, held by ``domain``."""
+        return SocketEnd(rx=self._a_to_b.read_end(domain),
+                         tx=self._b_to_a.write_end(domain))

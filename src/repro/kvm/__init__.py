@@ -1,0 +1,34 @@
+"""The KVM port of Nephele (paper §5.3 "Porting to new platforms" and
+§9: "In future work we intend to port Nephele to KVM").
+
+The paper's porting guidance, followed here:
+
+- "KVM already supports page sharing between parent and child domains"
+  — on KVM a VM is a VMM process, so cloning rides on Linux ``fork()``:
+  guest memory becomes COW-shared by the host kernel for free.
+- "it needs hypervisor interface extensions (for both clone operations
+  and IDC)" — the ``KVM_CLONE_VM`` ioctl (:mod:`repro.kvm.clone`) plus
+  memfd-based family shared memory.
+- "and I/O cloning support (a central daemon like xencloned for
+  coordination and backend drivers modifications)" — the ``kvmcloned``
+  daemon re-plumbs virtio devices: fresh tap for the clone enslaved to
+  the family bond, vhost queues copied, virtio-9p fids inherited
+  naturally across fork (they are file descriptors).
+"""
+
+from repro.kvm.clone import KvmCloned, KvmCloneOp
+from repro.kvm.host import KvmHost
+from repro.kvm.platform import KvmPlatform
+from repro.kvm.virtio import Virtio9p, VirtioNet
+from repro.kvm.vm import KvmVm, VmState
+
+__all__ = [
+    "KvmHost",
+    "KvmVm",
+    "VmState",
+    "VirtioNet",
+    "Virtio9p",
+    "KvmCloneOp",
+    "KvmCloned",
+    "KvmPlatform",
+]

@@ -1,0 +1,70 @@
+"""KVM platform facade, mirroring :class:`repro.platform.Platform`."""
+
+from __future__ import annotations
+
+from repro.devices.hostfs import HostFS
+from repro.kvm.clone import KvmCloned, KvmCloneOp
+from repro.kvm.host import KvmHost
+from repro.kvm.vm import KvmVm
+from repro.kvm.virtio import Virtio9p, VirtioNet
+from repro.sim import CostModel, VirtualClock
+from repro.sim.units import GIB
+
+
+class KvmPlatform:
+    """A Linux/KVM host with Nephele's cloning extensions ported."""
+
+    def __init__(self, memory_bytes: int = 16 * GIB, cpus: int = 4,
+                 costs: CostModel | None = None) -> None:
+        self.clock = VirtualClock()
+        self.costs = costs if costs is not None else CostModel()
+        self.host = KvmHost(memory_bytes, cpus=cpus, clock=self.clock,
+                            costs=self.costs)
+        self.hostfs = HostFS()
+        self.hostfs.mkdir("/srv")
+        self.kvmcloned = KvmCloned(self.host)
+        self.cloneop = KvmCloneOp(self.host, self.kvmcloned)
+        self.host.cloneop = self.cloneop
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    # ------------------------------------------------------------------
+    def create_vm(self, name: str, memory_bytes: int, vcpus: int = 1,
+                  ip: str = "", p9_export: str = "",
+                  max_clones: int = 0, app=None) -> KvmVm:
+        """Launch a VMM process with the requested devices and boot it."""
+        vm = KvmVm(self.host, name, memory_bytes, vcpus)
+        if ip:
+            net = VirtioNet(vm, mac=f"52:54:00:00:{vm.pid % 256:02x}:00",
+                            ip=ip)
+            self.host.bridge.attach(net.port)
+            net.attach(self.host.bridge)
+            self.clock.charge(self.costs.switch_attach)
+        if p9_export:
+            Virtio9p(vm, p9_export, self.hostfs)
+        vm.enable_cloning(max_clones)
+        vm.app = app
+        if vm.net is not None:
+            vm.net.rx_handler = vm.dispatch_packet
+        vm.boot()
+        if app is not None:
+            app.main(vm.api)
+        return vm
+
+    def clone(self, pid: int, count: int = 1) -> list[int]:
+        """KVM_CLONE_VM: clone a VM ``count`` times."""
+        return self.cloneop.clone(pid, count=count)
+
+    def destroy(self, pid: int) -> None:
+        """Kill a VMM process and release its memory."""
+        self.host.get_vm(pid).destroy()
+
+    def free_bytes(self) -> int:
+        """Host memory still free."""
+        return self.host.free_bytes
+
+    def check_invariants(self) -> None:
+        """Frame-conservation check."""
+        self.host.frames.check_invariants()

@@ -1,0 +1,44 @@
+"""Learning bridge (Dom0's default vif multiplexer)."""
+
+from __future__ import annotations
+
+from repro.net.packets import Packet, Port
+
+
+class Bridge:
+    """MAC-learning software bridge."""
+
+    def __init__(self, name: str = "xenbr0") -> None:
+        self.name = name
+        self.ports: list[Port] = []
+        self._mac_table: dict[str, Port] = {}
+        self.forwarded = 0
+        self.flooded = 0
+
+    def attach(self, port: Port) -> None:
+        """Plug a port in and learn its MAC."""
+        self.ports.append(port)
+        self._mac_table[port.mac] = port
+
+    def detach(self, port: Port) -> None:
+        """Unplug a port and forget its MAC."""
+        if port in self.ports:
+            self.ports.remove(port)
+        if self._mac_table.get(port.mac) is port:
+            del self._mac_table[port.mac]
+
+    def forward(self, packet: Packet, ingress: Port | None = None) -> int:
+        """Forward a packet; returns the number of ports it reached."""
+        target = self._mac_table.get(packet.dst_mac)
+        if target is not None and target is not ingress:
+            self.forwarded += 1
+            target.deliver(packet)
+            return 1
+        # Unknown destination: flood.
+        reached = 0
+        for port in self.ports:
+            if port is not ingress:
+                port.deliver(packet)
+                reached += 1
+        self.flooded += 1
+        return reached

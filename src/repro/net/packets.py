@@ -1,0 +1,46 @@
+"""Packets and flows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Flow:
+    """The 5-tuple-ish key used by layer3+4 hashing."""
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    proto: str = "udp"
+
+
+@dataclass
+class Packet:
+    src_mac: str
+    dst_mac: str
+    flow: Flow
+    payload: Any = None
+    size: int = 64
+
+    @property
+    def src_ip(self) -> str:
+        return self.flow.src_ip
+
+    @property
+    def dst_ip(self) -> str:
+        return self.flow.dst_ip
+
+
+class Port:
+    """A switch port: anything with a ``deliver(packet)`` method and a MAC."""
+
+    def __init__(self, name: str, mac: str, deliver) -> None:
+        self.name = name
+        self.mac = mac
+        self.deliver = deliver
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Port({self.name} mac={self.mac})"

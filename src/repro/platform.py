@@ -1,0 +1,115 @@
+"""The Nephele platform: one physical host, fully wired.
+
+This is the main entry point of the library:
+
+    from repro import Platform, DomainConfig, VifConfig
+
+    platform = Platform.create()
+    config = DomainConfig(name="udp0", memory_mb=4,
+                          vifs=[VifConfig(ip="10.0.1.1")], max_clones=8)
+    domain = platform.xl.create(config, app=MyApp())
+    children = platform.cloneop.clone(domain.domid, count=4)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cloneop import CloneOp
+from repro.core.xencloned import CloneSwitchMode, Xencloned
+from repro.devices.p9 import P9BackendPolicy
+from repro.sim import CostModel, DeterministicRNG, Engine, VirtualClock
+from repro.sim.units import GIB
+from repro.toolstack.dom0 import Dom0
+from repro.toolstack.xl import XL
+from repro.xen.domctl import DomCtl
+from repro.xen.hypervisor import Hypervisor
+from repro.xenstore.store import XenstoreDaemon
+
+
+@dataclass
+class PlatformConfig:
+    """Host configuration (defaults: the paper's testbed, §6)."""
+
+    total_memory_bytes: int = 16 * GIB
+    dom0_memory_bytes: int = 4 * GIB
+    cpus: int = 4
+    seed: int = 0xC10E
+    #: Nephele vs pre-Nephele Xenstore cloning (Fig 4 ablation).
+    use_xs_clone: bool = True
+    #: Clone vif aggregation: bond (default) or OVS groups.
+    switch_mode: CloneSwitchMode = CloneSwitchMode.BOND
+    #: 9pfs backend cloning policy.
+    p9_policy: P9BackendPolicy = P9BackendPolicy.SHARED_PROCESS
+    #: oxenstored access logging (its rotation causes the Fig 4 spikes).
+    xenstore_log: bool = True
+    #: xl name-uniqueness check (the LightVM superlinear effect).
+    xl_check_names: bool = False
+
+    @property
+    def guest_pool_bytes(self) -> int:
+        return self.total_memory_bytes - self.dom0_memory_bytes
+
+
+class Platform:
+    """A host running Xen + Nephele."""
+
+    def __init__(self, config: PlatformConfig | None = None,
+                 costs: CostModel | None = None) -> None:
+        self.config = config if config is not None else PlatformConfig()
+        self.costs = costs if costs is not None else CostModel()
+        self.clock = VirtualClock()
+        self.engine = Engine(self.clock)
+        self.rng = DeterministicRNG(self.config.seed)
+
+        self.hypervisor = Hypervisor(
+            self.config.guest_pool_bytes, cpus=self.config.cpus,
+            clock=self.clock, costs=self.costs)
+        self.xenstore = XenstoreDaemon(
+            self.clock, self.costs, log_enabled=self.config.xenstore_log)
+        self.dom0 = Dom0(self.hypervisor, self.xenstore,
+                         self.config.dom0_memory_bytes,
+                         p9_policy=self.config.p9_policy)
+        self.domctl = DomCtl(self.hypervisor)
+        self.cloneop = CloneOp(self.hypervisor)
+        self.xencloned = Xencloned(
+            self.hypervisor, self.dom0, self.cloneop,
+            use_xs_clone=self.config.use_xs_clone,
+            switch_mode=self.config.switch_mode)
+        self.xl = XL(self, check_names=self.config.xl_check_names)
+
+    @classmethod
+    def create(cls, **overrides) -> "Platform":
+        """Build a platform, overriding :class:`PlatformConfig` fields."""
+        costs = overrides.pop("costs", None)
+        return cls(PlatformConfig(**overrides), costs=costs)
+
+    # ------------------------------------------------------------------
+    # convenience metrics
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def free_hypervisor_bytes(self) -> int:
+        """Guest-pool memory still free (Fig 5 "Hyp free")."""
+        return self.hypervisor.free_bytes
+
+    def free_dom0_bytes(self) -> int:
+        """Dom0 memory still free (Fig 5 "Dom0 free")."""
+        return self.dom0.free_bytes
+
+    def guest_count(self) -> int:
+        """Number of live guest domains."""
+        return len(self.hypervisor.domains)
+
+    def check_invariants(self) -> None:
+        """Frame-conservation and family-tree sanity checks."""
+        self.hypervisor.frames.check_invariants()
+        for domain in self.hypervisor.domains.values():
+            if domain.parent_id is not None:
+                parent = self.hypervisor.domains.get(domain.parent_id)
+                if parent is not None and domain.domid not in parent.children:
+                    raise AssertionError(
+                        f"family link broken: {domain.domid} not in "
+                        f"children of {domain.parent_id}")

@@ -1,0 +1,39 @@
+"""Simulation kernel: virtual time, event queue, RNG and cost model.
+
+All time in the reproduction is *virtual*. The base unit is the
+millisecond, matching the units the paper reports. Components never
+consult the wall clock; they charge calibrated costs (see
+:mod:`repro.sim.costs`) to a shared :class:`~repro.sim.clock.VirtualClock`.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.costs import CostModel
+from repro.sim.engine import Engine
+from repro.sim.rng import DeterministicRNG
+from repro.sim.units import (
+    GIB,
+    KIB,
+    MIB,
+    MSEC,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    SEC,
+    USEC,
+    pages_of,
+)
+
+__all__ = [
+    "VirtualClock",
+    "CostModel",
+    "Engine",
+    "DeterministicRNG",
+    "USEC",
+    "MSEC",
+    "SEC",
+    "KIB",
+    "MIB",
+    "GIB",
+    "PAGE_SIZE",
+    "PAGE_SHIFT",
+    "pages_of",
+]

@@ -1,0 +1,44 @@
+"""Virtual clock.
+
+The clock only moves forward. Components call :meth:`VirtualClock.charge`
+to account for the cost of an operation, or :meth:`VirtualClock.advance_to`
+when an event engine jumps to the next scheduled event.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(Exception):
+    """Raised on attempts to move the clock backwards."""
+
+
+class VirtualClock:
+    """Monotonic virtual clock, in milliseconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    def charge(self, cost_ms: float) -> float:
+        """Advance the clock by ``cost_ms`` and return the new time.
+
+        Negative costs are rejected: virtual time is monotonic.
+        """
+        if cost_ms < 0:
+            raise ClockError(f"negative cost: {cost_ms}")
+        self._now += cost_ms
+        return self._now
+
+    def advance_to(self, t_ms: float) -> float:
+        """Jump the clock forward to absolute time ``t_ms``."""
+        if t_ms < self._now:
+            raise ClockError(f"cannot rewind clock from {self._now} to {t_ms}")
+        self._now = t_ms
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.3f}ms)"

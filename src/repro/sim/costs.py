@@ -1,0 +1,253 @@
+"""Calibrated cost model.
+
+Every virtual-time charge in the simulation names a constant defined
+here. The constants are calibrated so the *shapes* of the paper's
+figures emerge from the actual operation counts performed by the
+simulated platform (number of Xenstore requests issued, number of pages
+shared, number of page-table entries cloned, ...), not from hard-coded
+curves. Each constant's derivation from a number reported in the paper
+is stated next to it.
+
+The paper's testbed for the microbenchmarks is an Intel Xeon E5-1620 v2
+at 3.7 GHz, 4 cores, 16 GB DDR3, Dom0 on a ramdisk (paper §6).
+All times are in milliseconds (see :mod:`repro.sim.units`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.units import MSEC, USEC
+
+
+@dataclass
+class CostModel:
+    """Tunable cost table. ``CostModel()`` is the paper calibration."""
+
+    # ------------------------------------------------------------------
+    # Hypervisor: domain lifecycle
+    # ------------------------------------------------------------------
+    #: Fixed cost of the domain-create hypercall path (struct domain,
+    #: domid allocation, scheduler registration). Part of the ~160 ms
+    #: boot floor of Fig 4.
+    hyp_domain_create: float = 2.0 * MSEC
+    #: Tearing down a domain and returning its frames.
+    hyp_domain_destroy: float = 1.5 * MSEC
+    #: Per-vCPU init (registers, timers).
+    hyp_vcpu_init: float = 0.1 * MSEC
+    #: Pause/unpause a domain.
+    hyp_domain_pause: float = 0.05 * MSEC
+    #: Generic hypercall entry/exit overhead.
+    hypercall_base: float = 2.0 * USEC
+
+    # ------------------------------------------------------------------
+    # Hypervisor: memory
+    # ------------------------------------------------------------------
+    #: Allocating one machine frame (populate_physmap, batched).
+    page_alloc: float = 2.0 * USEC
+    #: Freeing one machine frame.
+    page_free: float = 1.0 * USEC
+    #: memcpy of one 4 KiB page (~4 GB/s on the testbed's DDR3).
+    page_copy: float = 1.0 * USEC
+    #: Writing one page-table entry while building a fresh page table.
+    pt_entry_build: float = 0.02 * USEC
+    #: Extra cost of cloning one page-table entry for a child over a
+    #: plain build (walk parent PT, validate, rewrite mfn). Calibrated
+    #: with p2m_entry_clone and pt_entry_build from Fig 6: the second
+    #: clone of a 4 GiB guest (1 M pages) takes 79.2 ms of which ~75 ms
+    #: is per-page => ~72 ns per page total (build + PT-clone extra +
+    #: p2m-clone extra).
+    pt_entry_clone: float = 0.026 * USEC
+    #: Extra cost of cloning one p2m entry (rebuild with new mfns).
+    p2m_entry_clone: float = 0.026 * USEC
+    #: Copying one PTE on process fork (Linux baseline). Fig 6: the second
+    #: fork of a 4 GiB process takes 65.2 ms => 62 ns/page.
+    fork_pte_copy: float = 0.0622 * USEC
+    #: Marking one parent page read-only/COW on *first* fork.
+    fork_cow_mark: float = 0.09 * USEC
+    #: Fixed cost of fork() (syscall, task struct). Fig 6: second fork of
+    #: a small process is 0.07 ms (fixed cost + a few hundred PTEs).
+    fork_base: float = 0.055 * MSEC
+    #: Transferring ownership of one page to dom_cow and marking it
+    #: read-only during first-stage cloning (only pages not yet shared).
+    share_page: float = 0.06 * USEC
+    #: Handling one COW write fault: allocate + copy + remap.
+    cow_fault: float = 3.0 * USEC
+    #: COW "unshare to sole owner" fast path (refcount dropped to 1).
+    cow_adopt: float = 1.0 * USEC
+
+    # ------------------------------------------------------------------
+    # Hypervisor: grants, events, cloning plumbing
+    # ------------------------------------------------------------------
+    #: Copying one grant-table entry to a child.
+    grant_entry_clone: float = 0.05 * USEC
+    #: Granting / mapping / ending access to one page.
+    grant_op: float = 0.8 * USEC
+    #: Creating or binding one event channel.
+    evtchn_op: float = 0.6 * USEC
+    #: Sending an event notification (hypercall + vIRQ injection).
+    evtchn_send: float = 1.2 * USEC
+    #: Hypervisor-side fixed cost of CLONEOP clone (arg checks, struct
+    #: domain copy). Together with the per-page terms this keeps the
+    #: first stage at ~1 ms for a 4 MiB guest (paper §6.1: "the first
+    #: stage ... takes only 1 ms").
+    clone_first_stage_fixed: float = 0.8 * MSEC
+    #: Per-child coordination overhead around the two stages:
+    #: notification push + VIRQ_CLONED wakeup + completion hypercall +
+    #: parent/child pause/unpause. Calibrated so the small-guest second
+    #: clone of Fig 6 lands at ~4.1 ms (1.9 ms of which is userspace).
+    clone_coordination: float = 1.0 * MSEC
+    #: Restoring one dirty page during CLONEOP clone_reset (fuzzing).
+    #: Paper §7.2: resetting Unikraft (avg 3 dirty pages) takes ~125 us
+    #: and Linux (avg 8 dirty pages) ~250 us => ~30 us/page + fixed.
+    clone_reset_per_page: float = 30.0 * USEC
+    #: Fixed cost of a clone_reset call.
+    clone_reset_fixed: float = 35.0 * USEC
+    #: clone_cow explicit COW trigger, per page (fuzzer breakpoints).
+    clone_cow_per_page: float = 4.0 * USEC
+
+    # ------------------------------------------------------------------
+    # Xenstore
+    # ------------------------------------------------------------------
+    #: Fixed cost of one Xenstore request (socket roundtrip to
+    #: oxenstored, parsing, reply). Calibrated from Fig 6's "userspace
+    #: operations": the mandatory second stage issues ~4 requests and
+    #: costs 1.9 ms once the parent info is cached.
+    xs_request_base: float = 0.45 * MSEC
+    #: Store-size-dependent component of a request: oxenstored working
+    #: set grows with the number of nodes. Calibrated from Fig 4's boot
+    #: growth: +140 ms over 1000 instances with ~44 requests/boot and
+    #: ~45 nodes/instance => 7e-5 ms per node per request.
+    xs_request_per_node: float = 7.5e-5 * MSEC
+    #: Server-side per-node copy cost inside one xs_clone request (much
+    #: cheaper than one request per node, which is the whole point of
+    #: xs_clone, Fig 4 series "clone + XS deep copy" vs "clone").
+    xs_clone_per_node: float = 0.008 * MSEC
+    #: Extra fixed cost of an xs_clone request over a plain request.
+    xs_clone_base: float = 0.25 * MSEC
+    #: Firing one watch callback.
+    xs_watch_fire: float = 0.05 * MSEC
+    #: Bytes appended to the Xenstore access log per request.
+    xs_log_bytes_per_request: int = 120
+    #: Access-log rotation threshold. Calibrated so cloning 1000 guests
+    #: with xs_clone rotates twice (paper §6.1: "the number of spikes
+    #: drops to only 2") while booting 1000 guests rotates ~20 times.
+    xs_log_rotate_bytes: int = 448 * 1024
+    #: Cost of one access-log rotation: the Fig 4 spikes.
+    xs_log_rotate_cost: float = 500.0 * MSEC
+    #: Approximate resident bytes oxenstored spends per store node
+    #: (paper §6.2: oxenstored needed up to 350 MB for ~8900 guests with
+    #: ~45 nodes each => ~900 B/node).
+    xs_node_resident_bytes: int = 900
+
+    # ------------------------------------------------------------------
+    # Toolstack (xl / libxl / xencloned)
+    # ------------------------------------------------------------------
+    #: Scanning one existing domain name during xl's uniqueness check
+    #: (the superlinear LightVM effect; disabled for Fig 4's baseline).
+    xl_name_check_per_domain: float = 0.3 * MSEC
+    #: Fixed xl create overhead (config parse, libxl init).
+    xl_create_fixed: float = 4.0 * MSEC
+    #: Loading one page of the kernel image from the Dom0 ramdisk.
+    image_load_per_page: float = 5.0 * USEC
+    #: xl save: writing one page to the image.
+    save_per_page: float = 10.0 * USEC
+    #: xl restore: fixed overhead (image open, header parse).
+    restore_fixed: float = 20.0 * MSEC
+    #: xl restore: kernel/device resume work after memory population.
+    restore_resume_fixed: float = 60.0 * MSEC
+    #: xl restore: reading + populating one page from the image ("the
+    #: entire allocated VM memory is copied back from the image into the
+    #: machine memory", Fig 4: restore sits 20-30 ms above boot).
+    restore_per_page: float = 40.0 * USEC
+    #: Handling one udev event in xencloned.
+    udev_dispatch: float = 0.3 * MSEC
+    #: Per-node CPU work of the pre-Nephele deep copy in xencloned
+    #: (read parent entry, rewrite domid references, format the write).
+    #: Calibrated so a deep-copy clone starts at ~40 ms in Fig 4.
+    xencloned_deep_copy_per_node: float = 0.35 * MSEC
+
+    # ------------------------------------------------------------------
+    # Devices / Dom0 backends
+    # ------------------------------------------------------------------
+    #: One frontend/backend negotiation state transition (Xenstore write
+    #: + watch wakeup + driver work). Regular init walks ~7 states on
+    #: each end; cloning skips this entirely (paper §5.2.1).
+    xenbus_negotiation_step: float = 1.0 * MSEC
+    #: Creating the netback device state for a new vif.
+    vif_backend_create: float = 6.0 * MSEC
+    #: The 14-LoC cloning shortcut in netback: create state + mark
+    #: connected, no negotiation.
+    vif_backend_clone: float = 3.0 * MSEC
+    #: Attaching a vif to a bridge / enslaving to a bond or OVS group
+    #: (the hotplug script path; LightVM found it expensive).
+    switch_attach: float = 8.0 * MSEC
+    #: Console backend (qemu) state creation.
+    console_backend_create: float = 1.5 * MSEC
+    #: 9pfs backend: QMP clone request handling, plus per-fid below.
+    p9_qmp_clone_fixed: float = 1.2 * MSEC
+    #: Duplicating one fid during 9pfs clone.
+    p9_clone_per_fid: float = 15.0 * USEC
+    #: Launching a new 9pfs backend process (per-clone-process policy).
+    p9_process_launch: float = 45.0 * MSEC
+    #: 9pfs write throughput, per byte (ramdisk-backed, ~200 MB/s
+    #: including protocol overhead) -> 5 ns/B.
+    p9_write_per_byte: float = 5.0e-6 * MSEC
+    #: 9pfs per-request protocol overhead.
+    p9_request_base: float = 30.0 * USEC
+
+    # ------------------------------------------------------------------
+    # Guests
+    # ------------------------------------------------------------------
+    #: Mini-OS/Unikraft kernel boot after the toolstack hands over
+    #: (early init, memory init, lwip up). Part of the Fig 4 boot floor.
+    guest_boot_fixed: float = 108.0 * MSEC
+    #: Linux VM (Alpine) boot, for the Redis baseline setup.
+    linux_vm_boot: float = 4000.0 * MSEC
+    #: Guest application touching a fresh page (allocator + zeroing).
+    guest_touch_page: float = 0.4 * USEC
+    #: Sending one packet through the PV network path (grant + evtchn +
+    #: backend switch).
+    net_tx_packet: float = 12.0 * USEC
+
+    # ------------------------------------------------------------------
+    # Memory sizes (bytes) used by the platform model
+    # ------------------------------------------------------------------
+    #: Xen's minimum domain memory (paper §6.2: "the mandatory limit of
+    #: minimum 4 MB of memory that Xen imposes on any domain").
+    xen_min_domain_bytes: int = 4 * 1024 * 1024
+    #: Hypervisor bookkeeping per booted domain (struct domain, shadow,
+    #: frame-table slack). Fig 5: 12 GiB hosts 2800 booted 4 MiB guests
+    #: => ~0.38 MiB/guest of overhead.
+    hyp_per_domain_overhead_pages: int = 96
+    #: Extra hypervisor bookkeeping for a clone is smaller: most of the
+    #: struct-domain-adjacent allocations are shared or small. Fig 5:
+    #: 12 GiB hosts ~8900 clones at ~1.4 MiB of private memory each.
+    hyp_per_clone_overhead_pages: int = 24
+    #: Dom0 resident bytes per guest for backend state (netback, qemu
+    #: console, udev, OpenFaaS-side bookkeeping excluded). Fig 5: Dom0's
+    #: 4 GiB declines at the same rate for boot and clone and approaches
+    #: exhaustion around 9000 instances => ~0.45 MB/instance including
+    #: oxenstored growth.
+    dom0_backend_bytes_per_guest: int = 330 * 1024
+
+    # Free-form per-experiment overrides live with the experiment code,
+    # not here; everything above is shared platform calibration.
+    extras: dict = field(default_factory=dict)
+
+    def scaled(self, factor: float) -> "CostModel":
+        """Return a copy with all *time* costs scaled by ``factor``.
+
+        Useful for sensitivity/ablation runs ("what if the testbed were
+        2x slower"). Sizes and byte counts are left untouched.
+        """
+        clone = CostModel(**{k: v for k, v in self.__dict__.items() if k != "extras"})
+        for name, value in vars(clone).items():
+            if name == "extras" or name.endswith("_bytes") or name.endswith("_pages"):
+                continue
+            if name.endswith("_bytes_per_request") or name.endswith("_per_guest"):
+                continue
+            if isinstance(value, float):
+                setattr(clone, name, value * factor)
+        clone.extras = dict(self.extras)
+        return clone

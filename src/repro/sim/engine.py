@@ -1,0 +1,111 @@
+"""Discrete-event engine.
+
+A minimal event queue over :class:`~repro.sim.clock.VirtualClock`. Used by
+the time-series experiments (FaaS autoscaling, fuzzing sessions) where
+several actors interleave over simulated minutes. Most of the system
+charges costs synchronously and does not need the queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.sim.clock import VirtualClock
+
+EventCallback = Callable[[], None]
+
+
+class ScheduledEvent:
+    """Handle for a scheduled event; supports cancellation."""
+
+    __slots__ = ("time", "callback", "cancelled")
+
+    def __init__(self, time: float, callback: EventCallback) -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event (and, for periodic series, reoccurrence)."""
+        self.cancelled = True
+
+
+class Engine:
+    """Event queue bound to a virtual clock."""
+
+    def __init__(self, clock: VirtualClock | None = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._queue: list[tuple[float, int, ScheduledEvent]] = []
+        self._seq = itertools.count()
+
+    def schedule_at(self, t_ms: float, callback: EventCallback) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute virtual time ``t_ms``."""
+        if t_ms < self.clock.now:
+            raise ValueError(f"cannot schedule in the past: {t_ms} < {self.clock.now}")
+        event = ScheduledEvent(t_ms, callback)
+        heapq.heappush(self._queue, (t_ms, next(self._seq), event))
+        return event
+
+    def schedule_after(self, delay_ms: float, callback: EventCallback) -> ScheduledEvent:
+        """Schedule ``callback`` after ``delay_ms`` from now."""
+        if delay_ms < 0:
+            raise ValueError(f"negative delay: {delay_ms}")
+        return self.schedule_at(self.clock.now + delay_ms, callback)
+
+    def every(self, interval_ms: float, callback: EventCallback,
+              first_at: float | None = None) -> ScheduledEvent:
+        """Schedule ``callback`` periodically every ``interval_ms``.
+
+        Returns the handle of the *first* occurrence; cancelling it stops
+        the whole series.
+        """
+        if interval_ms <= 0:
+            raise ValueError(f"non-positive interval: {interval_ms}")
+        start = self.clock.now + interval_ms if first_at is None else first_at
+        series = ScheduledEvent(start, callback)
+
+        def tick() -> None:
+            if series.cancelled:
+                return
+            callback()
+            if not series.cancelled:
+                series.time = self.clock.now + interval_ms
+                heapq.heappush(self._queue, (series.time, next(self._seq), series))
+
+        series.callback = tick
+        heapq.heappush(self._queue, (start, next(self._seq), series))
+        return series
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Run the next event. Returns False when the queue is empty."""
+        while self._queue:
+            t_ms, _, event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(max(t_ms, self.clock.now))
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, t_ms: float) -> None:
+        """Run all events scheduled strictly before ``t_ms``, then advance."""
+        while self._queue:
+            head_time = self._queue[0][0]
+            if head_time >= t_ms:
+                break
+            self.step()
+        self.clock.advance_to(max(t_ms, self.clock.now))
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue; returns how many events ran."""
+        ran = 0
+        while ran < max_events and self.step():
+            ran += 1
+        return ran

@@ -1,0 +1,22 @@
+"""The Xen toolstack: xl, Dom0 and domain configuration.
+
+The toolstack resides in Dom0 and manages VM instantiation (paper §3).
+Nephele leaves cloning *configuration* entirely to the toolstack: a
+guest may only clone itself if its xl config sets a non-zero maximum
+clone count (paper §5.1).
+"""
+
+from repro.toolstack.config import DomainConfig, P9Config, VifConfig, parse_xl_config
+from repro.toolstack.dom0 import Dom0
+from repro.toolstack.xl import XL, SavedImage, ToolstackError
+
+__all__ = [
+    "DomainConfig",
+    "VifConfig",
+    "P9Config",
+    "parse_xl_config",
+    "Dom0",
+    "XL",
+    "SavedImage",
+    "ToolstackError",
+]

@@ -1,0 +1,139 @@
+"""The domain: Xen's unit of isolation.
+
+Holds everything the first stage of cloning must replicate: vCPUs,
+guest memory, paging state, grant table, event channels, the Xen
+special pages, and the Nephele per-domain clone configuration set via
+domctl (paper §5.1, toolstack-hypervisor interface).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any
+
+from repro.xen.errors import XenInvalidError, XenNoMemoryError
+from repro.xen.events import EventChannelTable
+from repro.xen.frames import Extent, FrameTable, PageType
+from repro.xen.grants import GrantTable
+from repro.xen.memory import GuestMemory
+from repro.xen.paging import PagingState
+from repro.xen.vcpu import VCPU
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.units import PAGE_SIZE  # noqa: F401
+
+
+class DomainState(enum.Enum):
+    """Lifecycle states of a domain."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    PAUSED = "paused"
+    DYING = "dying"
+    DEAD = "dead"
+
+
+#: Special pages every PV domain carries; all private memory on clone
+#: (paper §5.2: "the console page, the Xenstore interface page, the
+#: start_info page and the physical-to-machine (p2m) mapping").
+SPECIAL_PAGES = (
+    ("start_info", PageType.START_INFO),
+    ("shared_info", PageType.SHARED_INFO),
+    ("console", PageType.CONSOLE_RING),
+    ("xenstore", PageType.XENSTORE_RING),
+    ("grant_table", PageType.GRANT_TABLE),
+)
+
+
+class Domain:
+    """One guest VM (or Dom0)."""
+
+    def __init__(self, domid: int, name: str, frame_table: FrameTable,
+                 memory_bytes: int, vcpu_count: int = 1,
+                 privileged: bool = False) -> None:
+        from repro.sim.units import PAGE_SIZE, pages_of
+
+        if vcpu_count < 1:
+            raise XenInvalidError(f"domain needs at least one vCPU: {vcpu_count}")
+        self.domid = domid
+        self.name = name
+        self.privileged = privileged
+        self.state = DomainState.CREATED
+        self.memory_bytes = memory_bytes
+        self.ram_budget_pages = pages_of(memory_bytes)
+        self.vcpus = [VCPU(i) for i in range(vcpu_count)]
+        self.memory = GuestMemory(domid, frame_table)
+        self.paging: PagingState | None = None
+        self.grants = GrantTable(domid)
+        self.events = EventChannelTable(domid)
+        self.special: dict[str, Extent] = {}
+        self.overhead_extent: Extent | None = None
+
+        # --- Nephele clone state ---
+        self.cloning_enabled = False
+        self.max_clones = 0
+        self.clones_created = 0
+        self.parent_id: int | None = None
+        self.children: list[int] = []
+
+        # --- attachments from higher layers ---
+        #: Device frontends, keyed by device class ("vif", "console", "9pfs").
+        self.frontends: dict[str, list[Any]] = {}
+        #: Guest kernel/application object (set by repro.guest).
+        self.guest: Any = None
+        #: Toolstack configuration this domain was created from.
+        self.config: Any = None
+        self._page_size = PAGE_SIZE
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Domain({self.domid} {self.name!r} {self.state.value})"
+
+    @property
+    def is_clone(self) -> bool:
+        return self.parent_id is not None
+
+    @property
+    def store_path(self) -> str:
+        """This domain's directory in the Xenstore registry."""
+        return f"/local/domain/{self.domid}"
+
+    def populate_ram(self, npages: int, page_type: PageType = PageType.NORMAL,
+                     label: str = ""):
+        """Allocate guest RAM within the configured budget."""
+        if self.memory.total_pages + npages > self.ram_budget_pages:
+            raise XenNoMemoryError(
+                f"domain {self.domid}: populating {npages} pages exceeds "
+                f"RAM budget of {self.ram_budget_pages} "
+                f"(used {self.memory.total_pages})"
+            )
+        return self.memory.populate(npages, page_type, label=label)
+
+    def ram_pages_free(self) -> int:
+        """Unpopulated pages left in the RAM budget."""
+        return self.ram_budget_pages - self.memory.total_pages
+
+    def machine_pages(self) -> int:
+        """Machine frames attributable to this domain (RAM that is not
+        COW-shared, plus paging and special frames). Excludes hypervisor
+        overhead."""
+        total = self.memory.private_pages()
+        if self.paging is not None:
+            total += self.paging.pt_pages + self.paging.p2m_pages
+        total += sum(extent.count for extent in self.special.values())
+        return total
+
+    # ------------------------------------------------------------------
+    # clone configuration (set via domctl)
+    # ------------------------------------------------------------------
+    def enable_cloning(self, max_clones: int) -> None:
+        """Set the clone budget (0 disables cloning) - domctl-backed."""
+        if max_clones < 0:
+            raise XenInvalidError(f"negative max_clones: {max_clones}")
+        self.cloning_enabled = max_clones > 0
+        self.max_clones = max_clones
+
+    def may_clone(self, count: int = 1) -> bool:
+        """Does the clone budget allow ``count`` more children?"""
+        return (self.cloning_enabled
+                and self.clones_created + count <= self.max_clones)

@@ -1,0 +1,129 @@
+"""The domain-control (domctl) hypercall interface.
+
+Xen's domctl is the privileged toolstack-facing control surface.
+Nephele extends it "to enable and disable cloning for a given domain
+and to configure the maximum number of clones" (paper §5.1); the
+standard subset needed by the toolstack (pause/unpause, vCPU affinity,
+domain info) is here too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xen.domain import DomainState
+from repro.xen.domid import DOM0
+from repro.xen.errors import XenInvalidError, XenPermissionError
+from repro.xen.hypervisor import Hypervisor
+
+
+@dataclass(frozen=True)
+class DomainInfo:
+    """The getdomaininfo result."""
+
+    domid: int
+    name: str
+    state: str
+    memory_bytes: int
+    vcpus: int
+    # Nephele fields:
+    cloning_enabled: bool
+    max_clones: int
+    clones_created: int
+    parent_domid: int | None
+    children: tuple[int, ...]
+
+
+class DomCtl:
+    """Privileged domain control, as issued by the toolstack."""
+
+    def __init__(self, hypervisor: Hypervisor) -> None:
+        self.hypervisor = hypervisor
+
+    def _check_caller(self, caller_domid: int) -> None:
+        if caller_domid == DOM0:
+            return
+        domain = self.hypervisor.domains.get(caller_domid)
+        if domain is None or not domain.privileged:
+            raise XenPermissionError(
+                f"domctl requires a privileged caller, got {caller_domid}")
+
+    def _charge(self) -> None:
+        self.hypervisor.clock.charge(self.hypervisor.costs.hypercall_base)
+
+    # ------------------------------------------------------------------
+    # standard subops
+    # ------------------------------------------------------------------
+    def pause(self, caller_domid: int, domid: int) -> None:
+        """XEN_DOMCTL_pausedomain."""
+        self._check_caller(caller_domid)
+        self._charge()
+        self.hypervisor.pause_domain(domid)
+
+    def unpause(self, caller_domid: int, domid: int) -> None:
+        """XEN_DOMCTL_unpausedomain."""
+        self._check_caller(caller_domid)
+        self._charge()
+        self.hypervisor.unpause_domain(domid)
+
+    def set_vcpu_affinity(self, caller_domid: int, domid: int, vcpu: int,
+                          cpus: set[int]) -> None:
+        """XEN_DOMCTL_setvcpuaffinity: pin a vCPU to physical CPUs."""
+        self._check_caller(caller_domid)
+        self._charge()
+        domain = self.hypervisor.get_domain(domid)
+        if not 0 <= vcpu < len(domain.vcpus):
+            raise XenInvalidError(f"domain {domid} has no vCPU {vcpu}")
+        invalid = {c for c in cpus if not 0 <= c < self.hypervisor.cpus}
+        if invalid:
+            raise XenInvalidError(f"no such physical CPUs: {sorted(invalid)}")
+        domain.vcpus[vcpu].pin(cpus)
+
+    def getdomaininfo(self, caller_domid: int, domid: int) -> DomainInfo:
+        """XEN_DOMCTL_getdomaininfo, including the Nephele clone state."""
+        self._check_caller(caller_domid)
+        self._charge()
+        domain = self.hypervisor.get_domain(domid)
+        return DomainInfo(
+            domid=domain.domid,
+            name=domain.name,
+            state=domain.state.value,
+            memory_bytes=domain.memory_bytes,
+            vcpus=len(domain.vcpus),
+            cloning_enabled=domain.cloning_enabled,
+            max_clones=domain.max_clones,
+            clones_created=domain.clones_created,
+            parent_domid=domain.parent_id,
+            children=tuple(domain.children),
+        )
+
+    # ------------------------------------------------------------------
+    # Nephele subops (paper §5.1)
+    # ------------------------------------------------------------------
+    def enable_cloning(self, caller_domid: int, domid: int,
+                       max_clones: int) -> None:
+        """Enable cloning for a domain with a clone budget."""
+        self._check_caller(caller_domid)
+        self._charge()
+        if max_clones <= 0:
+            raise XenInvalidError(
+                f"enable_cloning needs a positive budget, got {max_clones}")
+        self.hypervisor.get_domain(domid).enable_cloning(max_clones)
+
+    def disable_cloning(self, caller_domid: int, domid: int) -> None:
+        """Nephele domctl: forbid further clones of this domain."""
+        self._check_caller(caller_domid)
+        self._charge()
+        self.hypervisor.get_domain(domid).enable_cloning(0)
+
+    def set_max_clones(self, caller_domid: int, domid: int,
+                       max_clones: int) -> None:
+        """Adjust the clone budget; never below what was already used."""
+        self._check_caller(caller_domid)
+        self._charge()
+        domain = self.hypervisor.get_domain(domid)
+        if max_clones < domain.clones_created:
+            raise XenInvalidError(
+                f"domain {domid} already created {domain.clones_created} "
+                f"clones; cannot cap at {max_clones}")
+        domain.enable_cloning(max_clones)

@@ -1,0 +1,27 @@
+"""Domain-ID constants.
+
+The reserved values mirror Xen's ``public/xen.h``; ``DOMID_CHILD`` is the
+wildcard Nephele adds so a parent can grant memory or bind event channels
+to its not-yet-existing clones (paper §5.1).
+"""
+
+DOM0: int = 0
+
+#: Accounting owner for the hypervisor's own bookkeeping allocations
+#: (struct domain, shadow pools, frame-table slack).
+XEN_OWNER: int = -1
+
+DOMID_FIRST_RESERVED: int = 0x7FF0
+#: The calling domain itself.
+DOMID_SELF: int = 0x7FF0
+#: Owner of pages shared for COW between clone families.
+DOMID_COW: int = 0x7FF2
+#: No domain.
+DOMID_INVALID: int = 0x7FF4
+#: Nephele: "whichever clones of mine exist now or in the future".
+DOMID_CHILD: int = 0x7FF6
+
+
+def is_reserved(domid: int) -> bool:
+    """True for wildcard/pseudo domain IDs that never name a real guest."""
+    return domid >= DOMID_FIRST_RESERVED

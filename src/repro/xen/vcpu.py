@@ -1,0 +1,53 @@
+"""Virtual CPUs.
+
+Only the state Nephele's first stage touches is modelled: user registers
+(with the ``rax`` hypercall-return fixup on clone, paper §5.2) and CPU
+affinity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Registers replicated on clone; values are symbolic.
+USER_REGISTERS = (
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp", "rip",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15", "rflags",
+)
+
+
+@dataclass
+class VCPU:
+    """One virtual CPU of a domain."""
+
+    vcpu_id: int
+    online: bool = True
+    #: Physical CPUs this vCPU may run on; empty means "any".
+    affinity: frozenset[int] = frozenset()
+    registers: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for reg in USER_REGISTERS:
+            self.registers.setdefault(reg, 0)
+
+    def clone_for_child(self, child_index: int) -> "VCPU":
+        """Replicate for a clone.
+
+        All user registers are copied except ``rax``, which carries the
+        CLONEOP return value: 0 in the parent, 1 + child index in the
+        child (paper §5.2: "on success it is zero for the parent and one
+        for any child"; the index lets tests tell children apart).
+        """
+        registers = dict(self.registers)
+        registers["rax"] = 1 + child_index
+        return VCPU(
+            vcpu_id=self.vcpu_id,
+            online=self.online,
+            affinity=self.affinity,
+            registers=registers,
+        )
+
+    def pin(self, cpus: frozenset[int] | set[int]) -> None:
+        """Restrict this vCPU to the given physical CPUs."""
+        self.affinity = frozenset(cpus)

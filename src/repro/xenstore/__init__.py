@@ -1,0 +1,21 @@
+"""Simulated Xenstore.
+
+Xenstore is Xen's device registry: a hierarchical key-value store with
+watches, used by the toolstack and the split drivers to negotiate
+devices (paper §3). Nephele extends it with the ``xs_clone`` request
+(paper §5.2.1, figures 2 and 3), which clones a whole device directory
+server-side instead of issuing one write per entry.
+"""
+
+from repro.xenstore.client import XsHandle
+from repro.xenstore.clone import XsCloneOp
+from repro.xenstore.logging import AccessLog
+from repro.xenstore.store import XenstoreDaemon, XenstoreError
+
+__all__ = [
+    "XenstoreDaemon",
+    "XenstoreError",
+    "XsHandle",
+    "XsCloneOp",
+    "AccessLog",
+]

@@ -1,0 +1,214 @@
+"""The Xenstore daemon: tree, watches, transactions, request accounting.
+
+Request latency in oxenstored grows with the size of the store (its
+working set and log handling scale with node count); the simulation
+charges ``xs_request_base + xs_request_per_node * node_count`` per
+request, which is what makes boot times in Fig 4 grow from 160 ms to
+300 ms across 1000 instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.sim import CostModel, VirtualClock
+from repro.xenstore.logging import AccessLog
+
+WatchCallback = Callable[[str, str], None]  # (fired path, token)
+
+
+class XenstoreError(Exception):
+    """Xenstore request failure (ENOENT and friends)."""
+
+
+class Node:
+    """One node of the store tree."""
+
+    __slots__ = ("value", "children")
+
+    def __init__(self, value: str = "") -> None:
+        self.value = value
+        self.children: dict[str, Node] = {}
+
+
+def _split(path: str) -> list[str]:
+    if not path.startswith("/"):
+        raise XenstoreError(f"path must be absolute: {path!r}")
+    return [part for part in path.split("/") if part]
+
+
+class Watch:
+    """A registered path-prefix watch."""
+
+    __slots__ = ("path", "token", "callback")
+
+    def __init__(self, path: str, token: str, callback: WatchCallback) -> None:
+        self.path = path.rstrip("/") or "/"
+        self.token = token
+        self.callback = callback
+
+
+class XenstoreDaemon:
+    """oxenstored: the store, its watches and its access log."""
+
+    def __init__(self, clock: VirtualClock, costs: CostModel,
+                 log_enabled: bool = True) -> None:
+        self.clock = clock
+        self.costs = costs
+        self.root = Node()
+        self.node_count = 0
+        self.access_log = AccessLog(clock, costs, enabled=log_enabled)
+        self._watches: dict[int, Watch] = {}
+        self._watch_ids = itertools.count(1)
+        from repro.xenstore.transactions import TransactionManager
+
+        self.transactions = TransactionManager(self)
+        #: Domains introduced to the daemon (domid -> parent domid or None).
+        self.introduced: dict[int, int | None] = {}
+        self.stats = {"requests": 0, "writes": 0, "reads": 0, "clones": 0}
+
+    # ------------------------------------------------------------------
+    # request accounting
+    # ------------------------------------------------------------------
+    def charge_request(self, extra: float = 0.0) -> None:
+        """Account one client request (cost + access log)."""
+        self.stats["requests"] += 1
+        self.clock.charge(
+            self.costs.xs_request_base
+            + self.costs.xs_request_per_node * self.node_count
+            + extra
+        )
+        self.access_log.record_request()
+
+    def resident_bytes(self) -> int:
+        """Approximate oxenstored resident memory (Dom0 accounting)."""
+        return self.node_count * self.costs.xs_node_resident_bytes
+
+    # ------------------------------------------------------------------
+    # tree primitives (no request accounting; used server-side)
+    # ------------------------------------------------------------------
+    def _lookup(self, path: str, create: bool = False) -> Node:
+        node = self.root
+        for part in _split(path):
+            child = node.children.get(part)
+            if child is None:
+                if not create:
+                    raise XenstoreError(f"ENOENT: {path!r}")
+                child = Node()
+                node.children[part] = child
+                self.node_count += 1
+            node = child
+        return node
+
+    def exists(self, path: str) -> bool:
+        """Does ``path`` exist?"""
+        try:
+            self._lookup(path)
+            return True
+        except XenstoreError:
+            return False
+
+    def write_node(self, path: str, value: str, fire: bool = True) -> None:
+        """Create/overwrite a node (creating intermediate directories)."""
+        node = self._lookup(path, create=True)
+        node.value = value
+        self.stats["writes"] += 1
+        self.transactions.record_external_write(path)
+        if fire:
+            self.fire_watches(path)
+
+    def read_node(self, path: str) -> str:
+        """The value at ``path`` (ENOENT if absent)."""
+        self.stats["reads"] += 1
+        return self._lookup(path).value
+
+    def directory(self, path: str) -> list[str]:
+        """Sorted child names of ``path``."""
+        return sorted(self._lookup(path).children)
+
+    def remove_node(self, path: str, fire: bool = True) -> int:
+        """Remove a subtree; returns the number of nodes removed."""
+        parts = _split(path)
+        if not parts:
+            raise XenstoreError("cannot remove the root")
+        parent = self.root
+        for part in parts[:-1]:
+            child = parent.children.get(part)
+            if child is None:
+                raise XenstoreError(f"ENOENT: {path!r}")
+            parent = child
+        target = parent.children.get(parts[-1])
+        if target is None:
+            raise XenstoreError(f"ENOENT: {path!r}")
+        removed = self._count_subtree(target)
+        del parent.children[parts[-1]]
+        self.node_count -= removed
+        self.transactions.record_external_write(path)
+        if fire:
+            self.fire_watches(path)
+        return removed
+
+    def _count_subtree(self, node: Node) -> int:
+        total = 1
+        for child in node.children.values():
+            total += self._count_subtree(child)
+        return total
+
+    def subtree_nodes(self, path: str) -> int:
+        """Node count of the subtree rooted at ``path``."""
+        return self._count_subtree(self._lookup(path))
+
+    def walk(self, path: str) -> list[tuple[str, str]]:
+        """All (path, value) pairs under ``path``, including it."""
+        result: list[tuple[str, str]] = []
+
+        def visit(prefix: str, node: Node) -> None:
+            result.append((prefix, node.value))
+            for name, child in sorted(node.children.items()):
+                visit(f"{prefix}/{name}", child)
+
+        visit(path.rstrip("/") or "/", self._lookup(path))
+        return result
+
+    # ------------------------------------------------------------------
+    # watches
+    # ------------------------------------------------------------------
+    def add_watch(self, path: str, token: str, callback: WatchCallback) -> int:
+        """Register a watch; fires for writes at/under ``path``."""
+        watch_id = next(self._watch_ids)
+        self._watches[watch_id] = Watch(path, token, callback)
+        return watch_id
+
+    def remove_watch(self, watch_id: int) -> None:
+        """Unregister a watch."""
+        self._watches.pop(watch_id, None)
+
+    def fire_watches(self, path: str) -> int:
+        """Fire all watches whose path is a prefix of ``path``."""
+        fired = 0
+        normalized = path.rstrip("/") or "/"
+        for watch in list(self._watches.values()):
+            if normalized == watch.path or normalized.startswith(watch.path + "/"):
+                self.clock.charge(self.costs.xs_watch_fire)
+                watch.callback(normalized, watch.token)
+                fired += 1
+        return fired
+
+    # ------------------------------------------------------------------
+    # domain introduction
+    # ------------------------------------------------------------------
+    def introduce_domain(self, domid: int, parent_domid: int | None = None) -> None:
+        """Make the daemon aware of a domain.
+
+        Nephele augments the introduction request with the parent ID
+        (paper §5.2.1: "the introduction request being augmented with an
+        additional parameter indicating the parent ID").
+        """
+        if domid in self.introduced:
+            raise XenstoreError(f"domain {domid} already introduced")
+        self.introduced[domid] = parent_domid
+
+    def release_domain(self, domid: int) -> None:
+        """Forget a (destroyed) domain."""
+        self.introduced.pop(domid, None)

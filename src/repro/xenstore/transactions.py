@@ -1,0 +1,137 @@
+"""Xenstore transactions.
+
+The xs_clone API of paper Fig. 2 takes an ``xs_transaction_t``; this
+module provides them. Transactions buffer writes/removes and validate,
+at commit time, that no node read or written inside the transaction was
+modified concurrently (oxenstored's optimistic concurrency: conflicting
+commits fail with EAGAIN and the client retries).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.xenstore.store import XenstoreDaemon, XenstoreError
+
+
+class TransactionConflict(XenstoreError):
+    """EAGAIN: the transaction raced with another commit."""
+
+
+@dataclass
+class _Op:
+    kind: str  # "write" | "rm"
+    path: str
+    value: str = ""
+
+
+@dataclass
+class Transaction:
+    tid: int
+    #: Store generation when the transaction started.
+    start_generation: int
+    ops: list[_Op] = field(default_factory=list)
+    #: Paths read or written (the conflict footprint).
+    footprint: set[str] = field(default_factory=set)
+    #: Local view of pending writes, for read-your-writes.
+    pending: dict[str, str | None] = field(default_factory=dict)
+    closed: bool = False
+
+
+class TransactionManager:
+    """Optimistic transactions over one Xenstore daemon."""
+
+    def __init__(self, daemon: XenstoreDaemon) -> None:
+        self.daemon = daemon
+        self._tids = itertools.count(1)
+        self._open: dict[int, Transaction] = {}
+        #: Bumped on every committed mutation; per-path generations are
+        #: tracked for precise conflict detection.
+        self.generation = 0
+        self._path_generation: dict[str, int] = {}
+        self.stats = {"commits": 0, "aborts": 0, "conflicts": 0}
+
+    # ------------------------------------------------------------------
+    def start(self) -> Transaction:
+        """Open a transaction pinned to the current store generation."""
+        transaction = Transaction(tid=next(self._tids),
+                                  start_generation=self.generation)
+        self._open[transaction.tid] = transaction
+        return transaction
+
+    def get(self, tid: int) -> Transaction:
+        """The open transaction ``tid`` (error if closed/unknown)."""
+        transaction = self._open.get(tid)
+        if transaction is None or transaction.closed:
+            raise XenstoreError(f"no such transaction: {tid}")
+        return transaction
+
+    # ------------------------------------------------------------------
+    # operations inside a transaction
+    # ------------------------------------------------------------------
+    def write(self, transaction: Transaction, path: str, value: str) -> None:
+        """Buffer a write; applied at commit."""
+        transaction.ops.append(_Op("write", path, value))
+        transaction.footprint.add(path)
+        transaction.pending[path] = value
+
+    def remove(self, transaction: Transaction, path: str) -> None:
+        """Buffer a removal; applied at commit."""
+        transaction.ops.append(_Op("rm", path))
+        transaction.footprint.add(path)
+        transaction.pending[path] = None
+
+    def read(self, transaction: Transaction, path: str) -> str:
+        """Read-your-writes view over the committed store."""
+        transaction.footprint.add(path)
+        if path in transaction.pending:
+            value = transaction.pending[path]
+            if value is None:
+                raise XenstoreError(f"ENOENT: {path!r} (removed in txn)")
+            return value
+        return self.daemon.read_node(path)
+
+    # ------------------------------------------------------------------
+    # commit / abort
+    # ------------------------------------------------------------------
+    def commit(self, transaction: Transaction) -> None:
+        """Apply atomically; raises :class:`TransactionConflict` if any
+        footprint path changed since the transaction started."""
+        if transaction.closed:
+            raise XenstoreError(f"transaction {transaction.tid} is closed")
+        for path in transaction.footprint:
+            if self._path_generation.get(path, 0) > transaction.start_generation:
+                self.stats["conflicts"] += 1
+                self._close(transaction)
+                raise TransactionConflict(
+                    f"EAGAIN: {path!r} changed during transaction "
+                    f"{transaction.tid}")
+        for op in transaction.ops:
+            self.generation += 1
+            self._path_generation[op.path] = self.generation
+            if op.kind == "write":
+                self.daemon.write_node(op.path, op.value)
+            else:
+                if self.daemon.exists(op.path):
+                    self.daemon.remove_node(op.path)
+        self.stats["commits"] += 1
+        self._close(transaction)
+
+    def record_external_write(self, path: str) -> None:
+        """Mark a non-transactional mutation (for conflict detection)."""
+        self.generation += 1
+        self._path_generation[path] = self.generation
+
+    def abort(self, transaction: Transaction) -> None:
+        """Discard the transaction's buffered operations."""
+        self.stats["aborts"] += 1
+        self._close(transaction)
+
+    def _close(self, transaction: Transaction) -> None:
+        transaction.closed = True
+        self._open.pop(transaction.tid, None)
+
+    @property
+    def open_count(self) -> int:
+        return len(self._open)

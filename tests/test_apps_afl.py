@@ -1,0 +1,100 @@
+"""Unit tests: the coverage-guided AFL core."""
+
+import pytest
+
+from repro.apps.afl import (
+    GETPPID,
+    SYSCALL_TABLE,
+    AflFuzzer,
+    run_syscall_adapter,
+)
+from repro.sim import DeterministicRNG
+
+
+def test_baseline_runs_only_getppid():
+    result = run_syscall_adapter(bytes(range(16)), baseline=True)
+    assert not result.crashed
+    assert result.syscalls_run == 8
+    # getppid is supported: the baseline never crashes.
+    assert SYSCALL_TABLE[GETPPID][0]
+
+
+def test_execution_is_deterministic():
+    data = bytes(range(16))
+    a = run_syscall_adapter(data, baseline=False)
+    b = run_syscall_adapter(data, baseline=False)
+    assert a.edges == b.edges
+    assert a.crashed == b.crashed
+
+
+def test_unsupported_syscall_crashes_and_cuts_short():
+    numbers = sorted(SYSCALL_TABLE)
+    bad = next(i for i, nr in enumerate(numbers) if not SYSCALL_TABLE[nr][0])
+    data = bytes([bad, 0] * 8)
+    result = run_syscall_adapter(data, baseline=False)
+    assert result.crashed
+    assert result.syscalls_run == 1
+
+
+def test_different_inputs_reach_different_edges():
+    numbers = sorted(SYSCALL_TABLE)
+    good = [i for i, nr in enumerate(numbers) if SYSCALL_TABLE[nr][0]]
+    a = run_syscall_adapter(bytes([good[0], 0] * 8), baseline=False)
+    b = run_syscall_adapter(bytes([good[1], 1] * 8), baseline=False)
+    assert a.edges != b.edges
+
+
+def test_fuzzer_grows_corpus_on_new_coverage():
+    fuzzer = AflFuzzer(DeterministicRNG(1), baseline=False)
+    for _ in range(500):
+        fuzzer.fuzz_one()
+    assert fuzzer.stats.corpus_size > 10
+    assert fuzzer.stats.edges_found > 20
+    assert fuzzer.stats.executions == 500
+
+
+def test_fuzzer_coverage_saturates():
+    fuzzer = AflFuzzer(DeterministicRNG(1), baseline=False)
+    for _ in range(2000):
+        fuzzer.fuzz_one()
+    early = fuzzer.stats.edges_found
+    for _ in range(2000):
+        fuzzer.fuzz_one()
+    late = fuzzer.stats.edges_found
+    # Diminishing returns: the second half finds far fewer new edges.
+    assert late - early < early
+
+
+def test_baseline_fuzzer_finds_no_crashes():
+    fuzzer = AflFuzzer(DeterministicRNG(1), baseline=True)
+    for _ in range(300):
+        fuzzer.fuzz_one()
+    assert fuzzer.stats.crashes == 0
+    # ...and almost no coverage: one edge chain, varying arg classes only.
+    assert fuzzer.stats.edges_found <= 4
+
+
+def test_actual_fuzzer_finds_crashes():
+    fuzzer = AflFuzzer(DeterministicRNG(1), baseline=False)
+    for _ in range(300):
+        fuzzer.fuzz_one()
+    assert fuzzer.stats.crashes > 0
+    assert len(fuzzer.crashing_inputs) > 0
+
+
+def test_fuzzer_deterministic_across_runs():
+    a = AflFuzzer(DeterministicRNG(7), baseline=False)
+    b = AflFuzzer(DeterministicRNG(7), baseline=False)
+    for _ in range(200):
+        a.fuzz_one()
+        b.fuzz_one()
+    assert a.stats.edges_found == b.stats.edges_found
+    assert a.stats.crashes == b.stats.crashes
+
+
+def test_report_ignores_known_coverage():
+    fuzzer = AflFuzzer(DeterministicRNG(1), baseline=False)
+    data = bytes(range(16))
+    result = run_syscall_adapter(data, baseline=False)
+    assert fuzzer.report(data, result)
+    assert not fuzzer.report(data, result)  # same edges: boring

@@ -1,0 +1,72 @@
+"""Tests: SMP mitigation via clone fleets (paper §9)."""
+
+import pytest
+
+from repro import Platform
+from repro.apps.udp_server import UdpServerApp
+from repro.core.cloneop import CloneOpError
+from repro.core.smp import build_fleet
+from repro.xen.errors import XenInvalidError
+from tests.conftest import udp_config
+
+
+def test_fleet_covers_all_cpus(platform, udp_parent):
+    fleet = build_fleet(platform, udp_parent.domid)
+    assert fleet.size == platform.hypervisor.cpus
+    cpus = {m.cpu for m in fleet.members}
+    assert cpus == set(range(platform.hypervisor.cpus))
+    for member in fleet.members:
+        domain = platform.hypervisor.get_domain(member.domid)
+        assert domain.vcpus[0].affinity == frozenset({member.cpu})
+
+
+def test_fleet_parent_is_member_zero(platform, udp_parent):
+    fleet = build_fleet(platform, udp_parent.domid)
+    assert fleet.member_on_cpu(0).domid == udp_parent.domid
+    assert fleet.member_on_cpu(0).is_parent
+
+
+def test_fleet_partial_then_grow(platform, udp_parent):
+    fleet = build_fleet(platform, udp_parent.domid, cpus=2)
+    assert fleet.size == 2
+    new = fleet.scale_to(4)
+    assert len(new) == 2
+    assert fleet.size == 4
+    assert fleet.scale_to(4) == []  # idempotent
+
+
+def test_fleet_rejects_too_many_cpus(platform, udp_parent):
+    fleet = build_fleet(platform, udp_parent.domid, cpus=1)
+    with pytest.raises(XenInvalidError):
+        fleet.scale_to(platform.hypervisor.cpus + 1)
+
+
+def test_fleet_respects_clone_budget(platform):
+    parent = platform.xl.create(udp_config("small", max_clones=1),
+                                app=UdpServerApp())
+    with pytest.raises(CloneOpError):
+        build_fleet(platform, parent.domid, cpus=4)
+
+
+def test_fleet_requires_single_vcpu(platform):
+    config = udp_config("smp2")
+    config.vcpus = 2
+    domain = platform.xl.create(config, app=UdpServerApp())
+    with pytest.raises(XenInvalidError):
+        build_fleet(platform, domain.domid)
+
+
+def test_fleet_destroy_clones_keeps_parent(platform, udp_parent):
+    fleet = build_fleet(platform, udp_parent.domid)
+    fleet.destroy_clones()
+    assert fleet.size == 1
+    assert platform.guest_count() == 1
+    platform.check_invariants()
+
+
+def test_fleet_members_share_memory(platform, udp_parent):
+    fleet = build_fleet(platform, udp_parent.domid)
+    for domain in fleet.domains():
+        if domain.domid == udp_parent.domid:
+            continue
+        assert domain.memory.shared_pages() > 0

@@ -1,0 +1,149 @@
+"""Unit tests: split-driver devices (rings, console, vif, hostfs)."""
+
+import pytest
+
+from repro.devices.hostfs import HostFS, HostFSError
+from repro.devices.rings import SharedRing
+from repro.devices.vif import (
+    RX_BUFFER_PAGES,
+    NetFrontend,
+)
+from repro.devices.xenbus import XenbusState
+from repro.sim.units import GIB, MIB
+from repro.xen.hypervisor import Hypervisor
+
+
+@pytest.fixture
+def hyp():
+    return Hypervisor(guest_pool_bytes=1 * GIB)
+
+
+@pytest.fixture
+def domain(hyp):
+    return hyp.create_domain("g", 8 * MIB)
+
+
+# ----------------------------------------------------------------------
+# shared rings
+# ----------------------------------------------------------------------
+def test_ring_allocates_guest_pages(domain):
+    before = domain.memory.total_pages
+    ring = SharedRing(domain, 2, "test-ring")
+    assert domain.memory.total_pages == before + 2
+    assert ring.extent.npages == 2
+
+
+def test_ring_fifo(domain):
+    ring = SharedRing(domain, 1, "r")
+    ring.push("a")
+    ring.push("b")
+    assert ring.pop() == "a"
+    assert ring.pop() == "b"
+
+
+def test_ring_clone_copy_contents(hyp, domain):
+    child = hyp.create_domain("c", 8 * MIB)
+    ring = SharedRing(domain, 1, "r")
+    ring.push("pending")
+    clone = ring.clone_for(child, copy_contents=True)
+    assert list(clone.entries) == ["pending"]
+    assert clone.domain is child
+
+
+def test_ring_clone_fresh(hyp, domain):
+    child = hyp.create_domain("c", 8 * MIB)
+    ring = SharedRing(domain, 1, "r")
+    ring.push("pending")
+    clone = ring.clone_for(child, copy_contents=False)
+    assert len(clone) == 0
+
+
+# ----------------------------------------------------------------------
+# netfront
+# ----------------------------------------------------------------------
+def test_netfront_allocates_rx_buffers(domain):
+    frontend = NetFrontend(domain, 0, "00:16:3e:00:00:01", "10.0.1.1")
+    # "1 MB is used for the RX network ring alone" (paper §6.2).
+    assert frontend.rx_buffers.npages == RX_BUFFER_PAGES == 256
+    assert frontend.private_pages >= 256
+    assert domain.frontends["vif"] == [frontend]
+
+
+def test_netfront_clone_copies_buffers_and_identity(hyp, domain):
+    child = hyp.create_domain("c", 8 * MIB)
+    frontend = NetFrontend(domain, 0, "00:16:3e:00:00:01", "10.0.1.1")
+    frontend.tx_ring.push("inflight")
+    clone = frontend.clone_for(child)
+    assert clone.mac == frontend.mac          # identical MAC
+    assert clone.ip == frontend.ip            # identical IP
+    assert list(clone.tx_ring.entries) == ["inflight"]  # rings copied
+    assert clone.rx_buffers.npages == frontend.rx_buffers.npages
+    assert clone.backend is None              # re-plumbed in stage 2
+
+
+def test_netfront_transmit_requires_backend(domain):
+    from repro.net.packets import Flow, Packet
+
+    frontend = NetFrontend(domain, 0, "m", "10.0.1.1")
+    packet = Packet("m", "ff", Flow("10.0.1.1", "10.0.0.1", 1, 2))
+    with pytest.raises(RuntimeError):
+        frontend.transmit(packet)
+
+
+# ----------------------------------------------------------------------
+# hostfs
+# ----------------------------------------------------------------------
+def test_hostfs_mkdir_and_create():
+    fs = HostFS()
+    fs.mkdir("/srv")
+    fs.mkdir("/srv/share")
+    fs.create("/srv/share/file")
+    assert fs.exists("/srv/share/file")
+    assert fs.is_dir("/srv/share")
+
+
+def test_hostfs_mkdir_requires_parent():
+    fs = HostFS()
+    with pytest.raises(HostFSError):
+        fs.mkdir("/a/b")
+
+
+def test_hostfs_write_append_and_truncate():
+    fs = HostFS()
+    fs.mkdir("/d")
+    fs.create("/d/f")
+    assert fs.write("/d/f", 100) == 100
+    assert fs.write("/d/f", 50) == 150
+    assert fs.write("/d/f", 10, append=False) == 10
+    assert fs.size("/d/f") == 10
+
+
+def test_hostfs_negative_write_rejected():
+    fs = HostFS()
+    fs.mkdir("/d")
+    fs.create("/d/f")
+    with pytest.raises(HostFSError):
+        fs.write("/d/f", -1)
+
+
+def test_hostfs_listdir():
+    fs = HostFS()
+    fs.mkdir("/d")
+    fs.create("/d/a")
+    fs.mkdir("/d/sub")
+    fs.create("/d/sub/b")
+    assert fs.listdir("/d") == ["a", "sub"]
+
+
+def test_hostfs_unlink():
+    fs = HostFS()
+    fs.mkdir("/d")
+    fs.create("/d/f")
+    fs.unlink("/d/f")
+    assert not fs.exists("/d/f")
+    with pytest.raises(HostFSError):
+        fs.size("/d/f")
+
+
+def test_xenbus_states_ordering():
+    assert XenbusState.INITIALISING < XenbusState.CONNECTED < XenbusState.CLOSED

@@ -1,0 +1,107 @@
+"""Unit tests: 9pfs backend (fids, QMP cloning, policies)."""
+
+import pytest
+
+from repro.devices.hostfs import HostFS
+from repro.devices.p9 import (
+    P9BackendProcess,
+    P9Error,
+)
+from repro.sim import CostModel, VirtualClock
+
+
+@pytest.fixture
+def backend(clock, costs):
+    fs = HostFS()
+    fs.mkdir("/srv")
+    fs.mkdir("/srv/share")
+    process = P9BackendProcess("/srv/share", fs, clock, costs)
+    process.attach(5)
+    return process
+
+
+def test_open_creates_fid(backend):
+    fid = backend.open(5, "/file", create=True)
+    assert backend.open_fids(5) == 1
+    assert backend.hostfs.exists("/srv/share/file")
+    assert fid >= 1
+
+
+def test_open_missing_without_create(backend):
+    with pytest.raises(P9Error):
+        backend.open(5, "/ghost")
+
+
+def test_write_advances_offset_and_size(backend):
+    fid = backend.open(5, "/f", create=True)
+    backend.write(5, fid, 1000)
+    backend.write(5, fid, 500)
+    assert backend.hostfs.size("/srv/share/f") == 1500
+
+
+def test_read_clamps_to_size(backend):
+    fid = backend.open(5, "/f", create=True)
+    backend.write(5, fid, 100)
+    rfid = backend.open(5, "/f")
+    assert backend.read(5, rfid, 1000) == 100
+    assert backend.read(5, rfid, 1000) == 0  # offset at EOF
+
+
+def test_write_readonly_fid_rejected(backend):
+    backend.open(5, "/f", create=True)
+    fid = backend.open(5, "/f", mode="r")
+    with pytest.raises(P9Error):
+        backend.write(5, fid, 10)
+
+
+def test_bad_fid(backend):
+    with pytest.raises(P9Error):
+        backend.write(5, 999, 10)
+
+
+def test_unattached_domain_rejected(backend):
+    with pytest.raises(P9Error):
+        backend.open(77, "/f", create=True)
+
+
+def test_clunk(backend):
+    fid = backend.open(5, "/f", create=True)
+    backend.clunk(5, fid)
+    assert backend.open_fids(5) == 0
+
+
+def test_qmp_clone_duplicates_fids_with_offsets(backend):
+    fid = backend.open(5, "/f", create=True)
+    backend.write(5, fid, 800)
+    cloned = backend.qmp_clone(5, 9)
+    assert cloned == 1
+    assert backend.open_fids(9) == 1
+    assert backend.fids[9][fid].offset == 800
+    # Independent offsets afterwards.
+    backend.write(9, fid, 100)
+    assert backend.fids[5][fid].offset == 800
+    assert backend.fids[9][fid].offset == 900
+
+
+def test_qmp_clone_charges_time(clock, costs):
+    fs = HostFS()
+    fs.mkdir("/x")
+    process = P9BackendProcess("/x", fs, clock, costs)
+    process.attach(1)
+    for i in range(10):
+        process.open(1, f"/f{i}", create=True)
+    before = clock.now
+    process.qmp_clone(1, 2)
+    assert clock.now - before >= costs.p9_qmp_clone_fixed
+
+
+def test_resident_bytes_grow_with_fids(backend):
+    base = backend.resident_bytes()
+    backend.open(5, "/f", create=True)
+    assert backend.resident_bytes() == base + P9BackendProcess.PER_FID_BYTES
+
+
+def test_detach_releases_table(backend):
+    backend.open(5, "/f", create=True)
+    backend.detach(5)
+    assert not backend.serves(5)

@@ -1,0 +1,45 @@
+"""Tests: ASCII plotting helpers."""
+
+from repro.experiments.plot import line_chart, sparkline
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_sparkline_flat():
+    assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+
+def test_sparkline_monotone():
+    line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+    assert len(line) == 8
+
+
+def test_sparkline_resamples_long_series():
+    assert len(sparkline(list(range(1000)), width=40)) == 40
+
+
+def test_line_chart_contains_series_and_legend():
+    chart = line_chart(
+        {"up": [(0, 0), (10, 100)], "down": [(0, 100), (10, 0)]},
+        title="test chart")
+    assert "test chart" in chart
+    assert "* up" in chart and "o down" in chart
+    assert "100" in chart
+    # Rising series: '*' appears near the top-right.
+    lines = chart.splitlines()
+    top_rows = "".join(lines[1:4])
+    assert "*" in top_rows and "o" in top_rows
+
+
+def test_line_chart_empty():
+    assert line_chart({}, title="t") == "t"
+    assert line_chart({"a": []}, title="t") == "t"
+
+
+def test_line_chart_single_point():
+    chart = line_chart({"dot": [(5.0, 5.0)]})
+    assert "*" in chart

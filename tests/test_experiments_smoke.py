@@ -1,0 +1,118 @@
+"""Smoke tests: every experiment runner works at miniature scale and
+its report formatter produces the paper's series."""
+
+from repro.experiments import (
+    fig4_instantiation,
+    fig5_density,
+    fig6_memory_cloning,
+    fig7_nginx,
+    fig8_redis,
+    fig9_fuzzing,
+    fig10_faas_memory,
+    fig11_faas_reaction,
+)
+from repro.experiments.report import format_table, series_summary
+from repro.sim.units import GIB
+
+
+def test_report_format_table():
+    table = format_table("T", ["a", "b"], [["x", 1.0], ["yy", 123.456]])
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[2] and "b" in lines[2]
+    assert "123" in table
+
+
+def test_report_series_summary_excludes_spikes():
+    stats = series_summary([10.0, 11.0, 500.0, 12.0], spike_threshold=100.0)
+    assert stats["max"] == 500.0
+    assert stats["last"] == 12.0
+    assert stats["mean"] < 20
+
+
+def test_report_series_summary_empty():
+    assert series_summary([])["n"] == 0
+
+
+def test_fig4_miniature():
+    result = fig4_instantiation.run(instances=5)
+    assert len(result.boot_ms) == 5
+    assert len(result.clone_ms) == 5
+    assert result.clone_speedup > 3
+    text = fig4_instantiation.format_result(result)
+    assert "boot" in text and "clone" in text
+
+
+def test_fig5_miniature():
+    result = fig5_density.run(sample_every=10, limit=30,
+                              total_memory_bytes=8 * GIB)
+    assert result.boot.instances == 30
+    assert result.clone.instances == 31
+    assert result.boot.per_instance_bytes > result.clone.per_instance_bytes
+    assert "density ratio" in fig5_density.format_result(result)
+
+
+def test_fig6_miniature():
+    result = fig6_memory_cloning.run(sizes_mb=(1, 16), repetitions=1)
+    assert len(result.rows) == 2
+    assert result.gap_percent(1) > 100
+    assert "2nd clone" in fig6_memory_cloning.format_result(result)
+
+
+def test_fig7_miniature():
+    result = fig7_nginx.run(worker_counts=(1, 2), repetitions=3)
+    assert result.point("clones", 2).mean_rps > \
+        result.point("clones", 1).mean_rps
+    assert "nginx clones" in fig7_nginx.format_result(result)
+
+
+def test_fig8_miniature():
+    result = fig8_redis.run(key_counts=(0, 1000))
+    assert result.row(1000).unikraft_save_ms > result.row(0).unikraft_save_ms
+    assert "Unikraft clone" in fig8_redis.format_result(result)
+
+
+def test_fig9_miniature():
+    result = fig9_fuzzing.run(duration_s=3.0)
+    assert result.mean("Unikraft+cloning baseline (KFX+AFL)") > 100
+    assert "exec/s" in fig9_fuzzing.format_result(result)
+
+
+def test_fig10_miniature():
+    result = fig10_faas_memory.run(duration_s=40.0, max_replicas=3)
+    assert result.containers.memory and result.unikernels.memory
+    assert "per extra instance" in fig10_faas_memory.format_result(result)
+
+
+def test_fig11_miniature():
+    result = fig11_faas_reaction.run(duration_s=40.0)
+    assert result.throughput_at(result.unikernels, 20) > \
+        result.throughput_at(result.unikernels, 1)
+    assert "unikernels" in fig11_faas_reaction.format_result(result)
+
+
+def test_experiments_are_deterministic():
+    """Two identical runs produce byte-identical series (seeded RNG,
+    virtual clock: no wall-clock leakage anywhere)."""
+    a = fig4_instantiation.run(instances=10)
+    b = fig4_instantiation.run(instances=10)
+    assert a.boot_ms == b.boot_ms
+    assert a.clone_ms == b.clone_ms
+    assert a.restore_ms == b.restore_ms
+
+    fa = fig9_fuzzing.run(duration_s=2.0)
+    fb = fig9_fuzzing.run(duration_s=2.0)
+    for label in fa.reports:
+        assert fa.reports[label].total_execs == fb.reports[label].total_execs
+
+
+def test_motivation_and_kvm_runners():
+    from repro.experiments import kvm_compare, motivation_idle_pool
+
+    result = motivation_idle_pool.run(burst=4)
+    assert len(result.strategies) == 3
+    assert "idle pool" in motivation_idle_pool.format_result(result)
+
+    compare = kvm_compare.run(sizes_mb=(4, 64))
+    assert compare.speedup("xen", 4) > 2
+    assert "KVM clone" in kvm_compare.format_result(compare)

@@ -1,0 +1,154 @@
+"""Unit tests: guest API, images, unikernel VM, Linux baselines."""
+
+import pytest
+
+from repro.guest.image import IMAGES, UnikernelImage
+from repro.guest.linux import LinuxProcess
+from repro.sim.units import MIB, PAGE_SIZE
+from repro.xen.errors import XenInvalidError, XenNoMemoryError
+from repro.apps.udp_server import UdpServerApp
+from tests.conftest import udp_config
+
+
+# ----------------------------------------------------------------------
+# images
+# ----------------------------------------------------------------------
+def test_catalogue_images_are_consistent():
+    for name, image in IMAGES.items():
+        assert image.name == name
+        assert image.binary_bytes > 0
+        assert image.kernel_pages >= image.readonly_pages
+
+
+def test_python_image_is_about_6mb():
+    """Paper §7.3: "a 6 MB binary image linking together Unikraft with
+    the Python 3.7.4 interpreter"."""
+    image = IMAGES["unikraft-python"]
+    assert 5 * MIB <= image.binary_bytes <= 7 * MIB
+
+
+def test_image_bss_not_in_binary():
+    image = UnikernelImage("x", text_bytes=PAGE_SIZE, rodata_bytes=0,
+                           data_bytes=0, bss_bytes=10 * PAGE_SIZE)
+    assert image.binary_bytes == PAGE_SIZE
+    assert image.kernel_pages == 11
+
+
+# ----------------------------------------------------------------------
+# guest API
+# ----------------------------------------------------------------------
+def test_alloc_carves_from_heap(platform):
+    domain = platform.xl.create(udp_config("g", memory_mb=8),
+                                app=UdpServerApp())
+    api = domain.guest.api
+    a = api.alloc(1 * MIB)
+    b = api.alloc(1 * MIB)
+    assert b.pfn_start == a.pfn_start + a.npages
+    assert domain.memory.total_pages == domain.ram_budget_pages
+
+
+def test_alloc_oom_on_heap_exhaustion(platform):
+    domain = platform.xl.create(udp_config("g", memory_mb=4),
+                                app=UdpServerApp())
+    with pytest.raises(XenNoMemoryError):
+        domain.guest.api.alloc(16 * MIB)
+
+
+def test_touch_validates_bounds(platform):
+    domain = platform.xl.create(udp_config("g", memory_mb=8),
+                                app=UdpServerApp())
+    api = domain.guest.api
+    region = api.alloc(64 * 1024, touch=False)
+    with pytest.raises(XenInvalidError):
+        api.touch(region, npages=region.npages + 1)
+
+
+def test_touch_charges_cow_costs(platform):
+    parent = platform.xl.create(udp_config("g", memory_mb=8, max_clones=4),
+                                app=UdpServerApp())
+    api = parent.guest.api
+    region = api.alloc(256 * 1024, touch=True)
+    platform.cloneop.clone(parent.domid)
+    t0 = platform.now
+    stats = api.touch(region)
+    assert stats.copied == region.npages
+    assert platform.now > t0
+
+
+def test_clone_inherits_allocator_state(platform):
+    parent = platform.xl.create(udp_config("g", memory_mb=8, max_clones=4),
+                                app=UdpServerApp())
+    api = parent.guest.api
+    api.alloc(1 * MIB)
+    child_id = platform.cloneop.clone(parent.domid)[0]
+    child = platform.hypervisor.get_domain(child_id)
+    child_api = child.guest.api
+    region = child_api.alloc(64 * 1024)
+    parent_next = api.alloc(64 * 1024)
+    # Same allocator state at clone time: both carve the same next chunk
+    # (their address spaces are now distinct, so this is correct).
+    assert region.pfn_start == parent_next.pfn_start
+
+
+def test_udp_echo_roundtrip(platform):
+    responses = []
+    platform.dom0.listen(7777, lambda pkt: responses.append(pkt.payload))
+    domain = platform.xl.create(udp_config("g"), app=UdpServerApp())
+    platform.dom0.send_to_guest("10.0.1.1", 9000, payload="ping",
+                                src_port=7777)
+    assert responses == ["ping"]
+    assert domain.guest.app.requests_served == 1
+
+
+def test_console_output(platform):
+    domain = platform.xl.create(udp_config("g"), app=UdpServerApp())
+    domain.guest.api.console("hello")
+    assert domain.frontends["console"][0].output == ["hello"]
+
+
+def test_vif_lookup_error(platform):
+    domain = platform.xl.create(udp_config("g"), app=UdpServerApp())
+    with pytest.raises(XenInvalidError):
+        domain.guest.api.vif(5)
+
+
+# ----------------------------------------------------------------------
+# Linux process baseline
+# ----------------------------------------------------------------------
+def test_first_fork_slower_than_second(clock, costs):
+    proc = LinuxProcess(clock, costs, resident_bytes=256 * MIB)
+    _, first = proc.fork()
+    _, second = proc.fork()
+    assert first > second
+
+
+def test_second_fork_4gb_matches_paper(clock, costs):
+    """Fig 6: the second fork of a 4 GiB process takes 65.2 ms."""
+    proc = LinuxProcess(clock, costs, resident_bytes=4 * 1024 * MIB)
+    proc.fork()
+    _, second = proc.fork()
+    assert 60.0 <= second <= 70.0
+
+
+def test_dirtying_between_forks_raises_cost(clock, costs):
+    proc = LinuxProcess(clock, costs, resident_bytes=1024 * MIB)
+    proc.fork()
+    _, clean = proc.fork()
+    proc.touch(512 * MIB)
+    _, dirty = proc.fork()
+    assert dirty > clean
+
+
+def test_child_starts_clean(clock, costs):
+    proc = LinuxProcess(clock, costs, resident_bytes=64 * MIB)
+    child, _ = proc.fork()
+    assert child.resident_pages == proc.resident_pages
+    assert child.dirty_pages == 0
+    assert not child.forked_before
+
+
+def test_grow_increases_resident(clock, costs):
+    proc = LinuxProcess(clock, costs, resident_bytes=1 * MIB)
+    before = proc.resident_pages
+    proc.grow(1 * MIB)
+    assert proc.resident_pages == before + 256

@@ -1,0 +1,78 @@
+"""Tests: the Alpine Linux guest VM baseline."""
+
+import pytest
+
+from repro import DomainConfig
+from repro.guest.linux import LinuxVM
+from repro.sim.units import MIB
+from repro.toolstack.config import P9Config
+
+
+@pytest.fixture
+def alpine(platform):
+    config = DomainConfig(
+        name="alpine", memory_mb=512, kernel="alpine-linux",
+        p9fs=[P9Config(tag="d", export_root="/srv/alpine", mount_point="/mnt")])
+    return platform.xl.create(config)
+
+
+def test_linux_vm_boot_is_slow(platform):
+    config = DomainConfig(name="alpine-slow", memory_mb=512,
+                          kernel="alpine-linux")
+    t0 = platform.now
+    platform.xl.create(config)
+    boot_ms = platform.now - t0
+    # A full Linux VM boots in seconds, not the unikernel's ~160 ms.
+    assert boot_ms > 3000
+
+
+def test_linux_vm_requires_linux_image(platform):
+    from repro.apps.udp_server import UdpServerApp
+    from tests.conftest import udp_config
+
+    unikernel = platform.xl.create(udp_config("uk"), app=UdpServerApp())
+    with pytest.raises(ValueError):
+        LinuxVM(unikernel.guest)
+
+
+def test_linux_vm_spawns_processes(platform, alpine):
+    vm = LinuxVM(alpine.guest)
+    redis = vm.spawn("redis", resident_bytes=8 * MIB)
+    assert redis in vm.processes
+    child, duration = redis.fork()
+    assert duration > 0
+    assert child.resident_pages == redis.resident_pages
+
+
+def test_linux_vm_p9_mount(platform, alpine):
+    vm = LinuxVM(alpine.guest)
+    mount = vm.p9_mount()
+    fid = mount.open("/data", create=True)
+    mount.write(fid, 512)
+    assert platform.dom0.hostfs.size("/srv/alpine/data") == 512
+
+
+def test_linux_vm_p9_mount_missing(platform):
+    config = DomainConfig(name="bare-alpine", memory_mb=512,
+                          kernel="alpine-linux")
+    domain = platform.xl.create(config)
+    vm = LinuxVM(domain.guest)
+    with pytest.raises(RuntimeError):
+        vm.p9_mount()
+
+
+def test_process_touch_cost_model(platform, alpine):
+    """Post-fork writes to protected pages fault (the paper's COW)."""
+    vm = LinuxVM(alpine.guest)
+    process = vm.spawn("app", resident_bytes=64 * MIB)
+    process.fork()
+    t0 = platform.now
+    dirtied = process.touch(32 * MIB)
+    assert dirtied == 8192
+    assert platform.now > t0  # faults charged
+    # The model tracks a dirty *count*, not addresses: a further touch
+    # dirties the remaining clean half, then no page is left to fault.
+    assert process.touch(64 * MIB) == 8192
+    t0 = platform.now
+    assert process.touch(64 * MIB) == 0
+    assert platform.now == t0

@@ -1,0 +1,166 @@
+"""Unit + integration tests: inter-domain communication."""
+
+import pytest
+
+from repro.idc.channel import IdcChannel
+from repro.idc.pipe import Pipe, PipeClosedError
+from repro.idc.shm import IdcSharedArea
+from repro.idc.socketpair import SocketPair
+from repro.xen.domid import DOMID_COW
+from tests.conftest import udp_config
+from repro.apps.udp_server import UdpServerApp
+
+
+@pytest.fixture
+def family(platform):
+    """(platform, parent domain, child domain) with IDC set up pre-fork."""
+    parent = platform.xl.create(udp_config("p", max_clones=8),
+                                app=UdpServerApp())
+    return platform, parent
+
+
+def test_shared_area_moves_to_dom_cow(family):
+    platform, parent = family
+    area = IdcSharedArea(platform.hypervisor, parent, npages=4)
+    assert area.segment.extent.owner == DOMID_COW
+    assert area.segment.extent.shared
+    assert not area.segment.extent.cow_protected
+
+
+def test_shared_area_inherited_by_clone(family):
+    platform, parent = family
+    area = IdcSharedArea(platform.hypervisor, parent, npages=4)
+    child_id = platform.cloneop.clone(parent.domid)[0]
+    child = platform.hypervisor.get_domain(child_id)
+    # The clone maps the same pages and may map the grants.
+    area.map_into(child)
+    # Writes from either side must not COW.
+    area.write(parent, 4096)
+    area.write(child, 4096)
+    platform.check_invariants()
+
+
+def test_shared_area_grants_refused_outside_family(family):
+    from repro.xen.errors import XenPermissionError
+
+    platform, parent = family
+    area = IdcSharedArea(platform.hypervisor, parent, npages=1)
+    stranger = platform.xl.create(udp_config("s", ip="10.0.9.9"))
+    with pytest.raises(XenPermissionError):
+        area.map_into(stranger)
+
+
+def test_idc_channel_notifies_clones(family):
+    platform, parent = family
+    channel = IdcChannel(platform.hypervisor, parent)
+    child_id = platform.cloneop.clone(parent.domid)[0]
+    child = platform.hypervisor.get_domain(child_id)
+    got = []
+    channel.set_handler(child, got.append)
+    assert channel.notify(parent) == 1
+    assert got == [channel.port]
+
+
+def test_idc_channel_child_to_parent(family):
+    platform, parent = family
+    channel = IdcChannel(platform.hypervisor, parent)
+    child_id = platform.cloneop.clone(parent.domid)[0]
+    child = platform.hypervisor.get_domain(child_id)
+    got = []
+    channel.set_handler(parent, got.append)
+    assert channel.notify(child) == 1
+    assert got == [channel.port]
+
+
+def test_pipe_parent_to_child(family):
+    platform, parent = family
+    pipe = Pipe(platform.hypervisor, parent)
+    child_id = platform.cloneop.clone(parent.domid)[0]
+    child = platform.hypervisor.get_domain(child_id)
+
+    write_end = pipe.write_end(parent)
+    read_end = pipe.read_end(child)
+    assert write_end.write(b"hello child") == 11
+    assert read_end.read() == b"hello child"
+
+
+def test_pipe_is_usable_immediately_after_clone(family):
+    """Unlike Kylinx, IPC "is already established when the call ends"."""
+    platform, parent = family
+    pipe = Pipe(platform.hypervisor, parent)
+    pipe.write_end(parent).write(b"pre-fork data")
+    child_id = platform.cloneop.clone(parent.domid)[0]
+    child = platform.hypervisor.get_domain(child_id)
+    assert pipe.read_end(child).read() == b"pre-fork data"
+
+
+def test_pipe_async_reader(family):
+    platform, parent = family
+    pipe = Pipe(platform.hypervisor, parent)
+    child_id = platform.cloneop.clone(parent.domid)[0]
+    child = platform.hypervisor.get_domain(child_id)
+    got = []
+    pipe.on_data(child, got.append)
+    pipe.write_end(parent).write(b"ping")
+    assert got == [b"ping"]
+
+
+def test_pipe_capacity_enforced(family):
+    platform, parent = family
+    pipe = Pipe(platform.hypervisor, parent, npages=1)  # 4096 bytes
+    end = pipe.write_end(parent)
+    assert end.write(b"x" * 5000) == 4096
+    assert end.write(b"y") == 0  # full
+    pipe.read_end(parent).read(100)
+    assert end.write(b"y") == 1
+
+
+def test_pipe_partial_read(family):
+    platform, parent = family
+    pipe = Pipe(platform.hypervisor, parent)
+    pipe.write_end(parent).write(b"abcdef")
+    read_end = pipe.read_end(parent)
+    assert read_end.read(4) == b"abcd"
+    assert read_end.read() == b"ef"
+
+
+def test_pipe_closed_end_rejects(family):
+    platform, parent = family
+    pipe = Pipe(platform.hypervisor, parent)
+    end = pipe.write_end(parent)
+    end.close()
+    with pytest.raises(PipeClosedError):
+        end.write(b"x")
+    read_end = pipe.read_end(parent)
+    read_end.close()
+    with pytest.raises(PipeClosedError):
+        read_end.read()
+
+
+def test_pipe_wrong_direction_rejected(family):
+    platform, parent = family
+    pipe = Pipe(platform.hypervisor, parent)
+    with pytest.raises(PipeClosedError):
+        pipe.read_end(parent).write(b"x")
+
+
+def test_socketpair_bidirectional(family):
+    platform, parent = family
+    pair = SocketPair(platform.hypervisor, parent)
+    child_id = platform.cloneop.clone(parent.domid)[0]
+    child = platform.hypervisor.get_domain(child_id)
+    parent_end = pair.end_a(parent)
+    child_end = pair.end_b(child)
+    parent_end.send(b"request")
+    assert child_end.recv() == b"request"
+    child_end.send(b"response")
+    assert parent_end.recv() == b"response"
+
+
+def test_socketpair_close(family):
+    platform, parent = family
+    pair = SocketPair(platform.hypervisor, parent)
+    end = pair.end_a(parent)
+    end.close()
+    with pytest.raises(PipeClosedError):
+        end.send(b"x")

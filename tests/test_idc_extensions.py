@@ -1,0 +1,164 @@
+"""Unit tests: IDC extension mechanisms (message queue, semaphore,
+barrier) — the paper's §5.3 extension scenario.
+
+IDC mechanisms are created *before* forking: clones bind to the
+parent's IDC channels at creation (paper §5.2.2), so each test builds
+its mechanism first and then forks via ``family.child``.
+"""
+
+import pytest
+
+from repro.apps.udp_server import UdpServerApp
+from repro.idc.mqueue import MessageQueue, MqueueError
+from repro.idc.sync import IdcBarrier, IdcSemaphore
+from tests.conftest import udp_config
+
+
+class Family:
+    """A parent with a lazily-forked child."""
+
+    def __init__(self, platform):
+        self.platform = platform
+        self.parent = platform.xl.create(udp_config("p", max_clones=8),
+                                         app=UdpServerApp())
+        self._child = None
+
+    @property
+    def child(self):
+        if self._child is None:
+            child_id = self.platform.cloneop.clone(self.parent.domid)[0]
+            self._child = self.platform.hypervisor.get_domain(child_id)
+        return self._child
+
+
+@pytest.fixture
+def family(platform):
+    return Family(platform)
+
+
+# ----------------------------------------------------------------------
+# message queue
+# ----------------------------------------------------------------------
+def test_mq_send_receive(family):
+    mq = MessageQueue(family.platform.hypervisor, family.parent)
+    mq.send(family.parent, b"job-1")
+    payload, priority = mq.receive(family.child)
+    assert payload == b"job-1"
+    assert priority == 0
+
+
+def test_mq_priority_ordering(family):
+    mq = MessageQueue(family.platform.hypervisor, family.parent)
+    mq.send(family.parent, b"low", priority=0)
+    mq.send(family.parent, b"high", priority=9)
+    mq.send(family.parent, b"mid", priority=5)
+    order = [mq.receive(family.child)[0] for _ in range(3)]
+    assert order == [b"high", b"mid", b"low"]
+
+
+def test_mq_fifo_within_priority(family):
+    mq = MessageQueue(family.platform.hypervisor, family.parent)
+    mq.send(family.parent, b"first", priority=1)
+    mq.send(family.parent, b"second", priority=1)
+    assert mq.receive(family.child)[0] == b"first"
+    assert mq.receive(family.child)[0] == b"second"
+
+
+def test_mq_capacity_limits(family):
+    mq = MessageQueue(family.platform.hypervisor, family.parent,
+                      npages=1, max_messages=2)
+    mq.send(family.parent, b"a")
+    mq.send(family.parent, b"b")
+    with pytest.raises(MqueueError):
+        mq.send(family.parent, b"c")  # message-count limit
+    mq.receive(family.child)
+    with pytest.raises(MqueueError):
+        mq.send(family.parent, b"x" * 5000)  # byte limit (1 page)
+
+
+def test_mq_empty_receive(family):
+    mq = MessageQueue(family.platform.hypervisor, family.parent)
+    with pytest.raises(MqueueError):
+        mq.receive(family.child)
+    assert mq.try_receive(family.child) is None
+
+
+def test_mq_async_delivery_to_clone(family):
+    mq = MessageQueue(family.platform.hypervisor, family.parent)
+    inbox = []
+    mq.on_message(family.child, lambda payload, prio: inbox.append(payload))
+    mq.send(family.parent, b"ping")
+    assert inbox == [b"ping"]
+    assert len(mq) == 0
+
+
+def test_mq_child_to_parent(family):
+    mq = MessageQueue(family.platform.hypervisor, family.parent)
+    mq.send(family.child, b"from-child")
+    assert mq.receive(family.parent)[0] == b"from-child"
+
+
+# ----------------------------------------------------------------------
+# semaphore
+# ----------------------------------------------------------------------
+def test_semaphore_immediate_acquire(family):
+    sem = IdcSemaphore(family.platform.hypervisor, family.parent, initial=1)
+    acquired = []
+    assert sem.wait(family.parent, lambda: acquired.append("parent"))
+    assert acquired == ["parent"]
+    assert sem.count == 0
+
+
+def test_semaphore_blocks_then_wakes_fifo(family):
+    sem = IdcSemaphore(family.platform.hypervisor, family.parent, initial=0)
+    woken = []
+    assert not sem.wait(family.parent, lambda: woken.append("parent"))
+    assert not sem.wait(family.child, lambda: woken.append("child"))
+    assert sem.waiters == 2
+    sem.post(family.child)
+    assert woken == ["parent"]
+    sem.post(family.parent)
+    assert woken == ["parent", "child"]
+    assert sem.waiters == 0
+
+
+def test_semaphore_post_without_waiters_accumulates(family):
+    sem = IdcSemaphore(family.platform.hypervisor, family.parent, initial=0)
+    sem.post(family.parent)
+    sem.post(family.parent)
+    assert sem.count == 2
+
+
+def test_semaphore_negative_initial_rejected(family):
+    with pytest.raises(ValueError):
+        IdcSemaphore(family.platform.hypervisor, family.parent, initial=-1)
+
+
+# ----------------------------------------------------------------------
+# barrier
+# ----------------------------------------------------------------------
+def test_barrier_releases_at_parties(family):
+    barrier = IdcBarrier(family.platform.hypervisor, family.parent, parties=2)
+    released = []
+    assert not barrier.arrive(family.parent,
+                              lambda: released.append("parent"))
+    assert barrier.arrive(family.child, lambda: released.append("child"))
+    assert released == ["parent", "child"]
+
+
+def test_barrier_single_use(family):
+    barrier = IdcBarrier(family.platform.hypervisor, family.parent, parties=1)
+    assert barrier.arrive(family.parent)
+    with pytest.raises(RuntimeError):
+        barrier.arrive(family.child)
+
+
+def test_barrier_whole_family(platform):
+    parent = platform.xl.create(udp_config("p", max_clones=8),
+                                app=UdpServerApp())
+    barrier = IdcBarrier(platform.hypervisor, parent, parties=4)
+    children = platform.cloneop.clone(parent.domid, count=3)
+    barrier.arrive(parent)
+    for child_id in children[:-1]:
+        assert not barrier.arrive(platform.hypervisor.get_domain(child_id))
+    assert barrier.arrive(platform.hypervisor.get_domain(children[-1]))

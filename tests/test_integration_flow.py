@@ -1,0 +1,177 @@
+"""Integration tests: the full Fig 1 two-stage flow and edge scenarios."""
+
+import pytest
+
+from repro import DomainConfig, Platform, VifConfig
+from repro.apps.udp_server import UdpServerApp
+from repro.devices.xenbus import XenbusState
+from tests.conftest import udp_config
+
+
+def test_fig1_two_stage_ordering(platform, udp_parent):
+    """Record the clone protocol events and assert the paper's Fig 1
+    ordering: first stage -> notification -> second stage (introduce,
+    Xenstore cloning, backend, udev) -> completion -> resume."""
+    events = []
+
+    # Spy on the interesting seams.
+    cloneop = platform.cloneop
+    xencloned = platform.xencloned
+    hyp = platform.hypervisor
+
+    original_push = cloneop.ring.push
+    cloneop.ring.push = lambda e: (events.append("ring_push"),
+                                   original_push(e))[1]
+    original_virq = hyp.notify_cloned
+    hyp.notify_cloned = lambda: (events.append("virq_cloned"),
+                                 original_virq())[1]
+    original_stage2 = xencloned._second_stage
+
+    def stage2(parent_id, child_id):
+        events.append("second_stage_begin")
+        original_stage2(parent_id, child_id)
+        events.append("second_stage_end")
+
+    xencloned._second_stage = stage2
+    original_completion = cloneop.clone_completion
+
+    def completion(caller, parent_id, child_id):
+        events.append("completion")
+        original_completion(caller, parent_id, child_id)
+
+    cloneop.clone_completion = completion
+    original_resume = cloneop.resume_clone
+
+    def resume(child_id):
+        events.append("resume_child")
+        original_resume(child_id)
+
+    cloneop.resume_clone = resume
+
+    platform.cloneop.clone(udp_parent.domid)
+
+    assert events == ["ring_push", "virq_cloned", "second_stage_begin",
+                      "completion", "second_stage_end", "resume_child"]
+
+
+def test_parent_paused_during_second_stage(platform, udp_parent):
+    """"The parent domain is paused until the completion of second
+    stage" (paper §5)."""
+    from repro.xen.domain import DomainState
+
+    seen_states = []
+    original_stage2 = platform.xencloned._second_stage
+
+    def spying_stage2(parent_id, child_id):
+        seen_states.append(platform.hypervisor.get_domain(parent_id).state)
+        original_stage2(parent_id, child_id)
+
+    platform.xencloned._second_stage = spying_stage2
+    platform.cloneop.clone(udp_parent.domid)
+    assert seen_states == [DomainState.PAUSED]
+    assert udp_parent.state is DomainState.RUNNING  # resumed afterwards
+
+
+def test_multiple_vifs_all_cloned(platform):
+    config = DomainConfig(
+        name="dual", memory_mb=8, kernel="minios-udp",
+        vifs=[VifConfig(ip="10.0.6.1"), VifConfig(ip="10.0.6.2")],
+        max_clones=4)
+    parent = platform.xl.create(config, app=UdpServerApp())
+    assert len(parent.frontends["vif"]) == 2
+    child_id = platform.cloneop.clone(parent.domid)[0]
+    child = platform.hypervisor.get_domain(child_id)
+    assert len(child.frontends["vif"]) == 2
+    for vif in child.frontends["vif"]:
+        assert vif.backend is not None and vif.backend.connected
+    # Both backend directories were cloned connected.
+    for index in (0, 1):
+        state = platform.xenstore.read_node(
+            f"/local/domain/0/backend/vif/{child_id}/{index}/state")
+        assert XenbusState(int(state)) is XenbusState.CONNECTED
+
+
+def test_save_restore_of_a_clone(platform, udp_parent):
+    """A clone can be saved and restored as an independent guest (its
+    memory is materialized into the image)."""
+    child_id = platform.cloneop.clone(udp_parent.domid)[0]
+    image = platform.xl.save(child_id)
+    platform.check_invariants()
+    restored = platform.xl.restore(image, name="solo")
+    assert restored.parent_id is None  # independent now
+    assert restored.memory.shared_pages() == 0
+    platform.check_invariants()
+
+
+def test_sibling_communication_through_family_pipe(platform):
+    """Two clones of the same parent share the family pipe buffer."""
+    from repro.idc.pipe import Pipe
+
+    parent = platform.xl.create(udp_config("p", max_clones=4),
+                                app=UdpServerApp())
+    pipe = Pipe(platform.hypervisor, parent)
+    a_id, b_id = platform.cloneop.clone(parent.domid, count=2)
+    a = platform.hypervisor.get_domain(a_id)
+    b = platform.hypervisor.get_domain(b_id)
+    pipe.write_end(a).write(b"sibling hello")
+    assert pipe.read_end(b).read() == b"sibling hello"
+
+
+def test_clone_of_clone_devices_work(platform, udp_parent):
+    child_id = platform.cloneop.clone(udp_parent.domid)[0]
+    grandchild_id = platform.cloneop.clone(child_id)[0]
+    grandchild = platform.hypervisor.get_domain(grandchild_id)
+    vif = grandchild.frontends["vif"][0]
+    assert vif.backend is not None and vif.backend.connected
+    # The whole family hangs off one bond.
+    bond = platform.dom0.family_bond("10.0.1.1")
+    assert len(bond.slaves) == 3
+
+
+def test_destroying_parent_keeps_clones_working(platform, udp_parent):
+    """Clones outlive their parent: shared pages stay alive through
+    dom_cow refcounting."""
+    child_id = platform.cloneop.clone(udp_parent.domid)[0]
+    child = platform.hypervisor.get_domain(child_id)
+    shared_before = child.memory.shared_pages()
+    platform.xl.destroy(udp_parent.domid)
+    assert child.memory.shared_pages() == shared_before
+    # The child can still COW its (now sole-owner) pages.
+    api = child.guest.api
+    region = api.alloc(32 * 1024, touch=False)
+    stats = api.touch(region)
+    assert stats.adopted == region.npages
+    platform.check_invariants()
+
+
+def test_negotiation_runs_on_boot_but_not_on_clone(platform):
+    """Regular boot walks the XenBus state machine; clones skip it
+    (paper §5.2.1)."""
+    writes_per_path = {}
+
+    daemon = platform.xenstore
+    original_write = daemon.write_node
+
+    def spying_write(path, value, fire=True):
+        if path.endswith("/state"):
+            writes_per_path[path] = writes_per_path.get(path, 0) + 1
+        return original_write(path, value, fire)
+
+    daemon.write_node = spying_write
+    parent = platform.xl.create(udp_config("p", max_clones=4),
+                                app=UdpServerApp())
+    boot_vif_state_writes = max(
+        (count for path, count in writes_per_path.items()
+         if f"vif/{parent.domid}/0/state" in path), default=0)
+    writes_per_path.clear()
+    child_id = platform.cloneop.clone(parent.domid)[0]
+    clone_vif_state_writes = max(
+        (count for path, count in writes_per_path.items()
+         if f"vif/{child_id}/0/state" in path), default=0)
+    # Boot negotiates (several transitions on the backend state node);
+    # the clone's state node is written exactly once, already CONNECTED.
+    assert boot_vif_state_writes >= 3
+    assert clone_vif_state_writes == 1
+    state = platform.xenstore.read_node(
+        f"/local/domain/0/backend/vif/{child_id}/0/state")
+    assert state == str(int(XenbusState.CONNECTED))

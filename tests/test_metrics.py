@@ -1,0 +1,76 @@
+"""Tests: platform snapshots."""
+
+import pytest
+
+from repro.apps.udp_server import UdpServerApp
+from repro.metrics import snapshot
+from repro.sim.units import GIB
+from tests.conftest import udp_config
+
+
+def test_empty_platform_snapshot(platform):
+    snap = snapshot(platform)
+    assert snap.domains == 0
+    assert snap.guest_pool_total == 12 * GIB
+    assert snap.guest_pool_free == 12 * GIB
+    assert snap.cow_shared_bytes == 0
+    assert snap.families == []
+    assert "guest pool" in snap.format()
+
+
+def test_snapshot_counts_domains_and_states(platform, udp_parent):
+    config = udp_config("paused-one", ip="10.0.1.9")
+    config.start_clones_paused = True
+    other = platform.xl.create(config, app=UdpServerApp())
+    platform.domctl.pause(0, other.domid)
+    snap = snapshot(platform)
+    assert snap.domains == 2
+    assert snap.running == 1
+    assert snap.paused == 1
+    assert snap.clones == 0
+
+
+def test_snapshot_family_sharing(platform, udp_parent):
+    platform.cloneop.clone(udp_parent.domid, count=3)
+    snap = snapshot(platform)
+    assert snap.clones == 3
+    assert len(snap.families) == 1
+    family = snap.families[0]
+    assert family.members == 4
+    assert family.root_name == "udp0"
+    assert family.shared_pages > 0
+    assert 0.3 <= family.sharing_ratio <= 0.9
+    assert snap.cow_shared_bytes > 0
+    assert f"family 'udp0'" in snap.format()
+
+
+def test_snapshot_tracks_registries(platform, udp_parent):
+    platform.cloneop.clone(udp_parent.domid)
+    snap = snapshot(platform)
+    assert snap.clone_operations == 1
+    assert snap.xenstore_nodes > 20
+    assert snap.xenstore_requests > 20
+
+
+def test_snapshot_grandchildren_in_one_family(platform, udp_parent):
+    child_id = platform.cloneop.clone(udp_parent.domid)[0]
+    platform.cloneop.clone(child_id)
+    snap = snapshot(platform)
+    assert len(snap.families) == 1
+    assert snap.families[0].members == 3
+
+
+def test_cli_stats_command(platform, tmp_path):
+    import io
+
+    from repro.cli import XlShell
+
+    shell = XlShell(platform, out=io.StringIO())
+    cfg = tmp_path / "g.cfg"
+    cfg.write_text("name='g'\nmemory=4\nvif=['ip=10.0.1.1']\nmax_clones=4\n")
+    shell.execute(f"create {cfg}")
+    shell.execute("clone g 2")
+    shell.execute("stats")
+    text = shell.out.getvalue()
+    assert "domains           3" in text
+    assert "family 'g'" in text

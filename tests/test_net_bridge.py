@@ -1,0 +1,61 @@
+"""Unit tests: learning bridge."""
+
+from repro.net.bridge import Bridge
+from repro.net.packets import Flow, Packet, Port
+
+
+def port(name: str, mac: str, rx: list) -> Port:
+    return Port(name, mac, rx.append)
+
+
+def packet(dst_mac: str) -> Packet:
+    return Packet("00:01", dst_mac, Flow("1.1.1.1", "2.2.2.2", 1, 2))
+
+
+def test_known_mac_unicast():
+    bridge = Bridge()
+    rx_a, rx_b = [], []
+    bridge.attach(port("a", "00:0a", rx_a))
+    bridge.attach(port("b", "00:0b", rx_b))
+    assert bridge.forward(packet("00:0b")) == 1
+    assert len(rx_b) == 1 and len(rx_a) == 0
+    assert bridge.forwarded == 1
+
+
+def test_unknown_mac_floods():
+    bridge = Bridge()
+    rx_a, rx_b = [], []
+    bridge.attach(port("a", "00:0a", rx_a))
+    bridge.attach(port("b", "00:0b", rx_b))
+    reached = bridge.forward(packet("ff:ff"))
+    assert reached == 2
+    assert bridge.flooded == 1
+
+
+def test_flood_skips_ingress():
+    bridge = Bridge()
+    rx_a, rx_b = [], []
+    a = port("a", "00:0a", rx_a)
+    bridge.attach(a)
+    bridge.attach(port("b", "00:0b", rx_b))
+    bridge.forward(packet("ff:ff"), ingress=a)
+    assert len(rx_a) == 0 and len(rx_b) == 1
+
+
+def test_unicast_back_to_ingress_floods_elsewhere():
+    bridge = Bridge()
+    rx_a, rx_b = [], []
+    a = port("a", "00:0a", rx_a)
+    bridge.attach(a)
+    bridge.attach(port("b", "00:0b", rx_b))
+    bridge.forward(packet("00:0a"), ingress=a)
+    assert len(rx_a) == 0
+
+
+def test_detach():
+    bridge = Bridge()
+    rx = []
+    p = port("a", "00:0a", rx)
+    bridge.attach(p)
+    bridge.detach(p)
+    assert bridge.forward(packet("00:0a")) == 0

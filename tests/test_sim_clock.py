@@ -1,0 +1,49 @@
+"""Unit tests: virtual clock."""
+
+import pytest
+
+from repro.sim.clock import ClockError, VirtualClock
+
+
+def test_starts_at_zero():
+    assert VirtualClock().now == 0.0
+
+
+def test_custom_start():
+    assert VirtualClock(5.0).now == 5.0
+
+
+def test_charge_advances():
+    clock = VirtualClock()
+    assert clock.charge(2.5) == 2.5
+    assert clock.charge(0.5) == 3.0
+    assert clock.now == 3.0
+
+
+def test_charge_zero_is_allowed():
+    clock = VirtualClock()
+    clock.charge(0.0)
+    assert clock.now == 0.0
+
+
+def test_negative_charge_rejected():
+    with pytest.raises(ClockError):
+        VirtualClock().charge(-1.0)
+
+
+def test_advance_to():
+    clock = VirtualClock()
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+
+
+def test_advance_backwards_rejected():
+    clock = VirtualClock(10.0)
+    with pytest.raises(ClockError):
+        clock.advance_to(9.0)
+
+
+def test_advance_to_same_time_ok():
+    clock = VirtualClock(10.0)
+    clock.advance_to(10.0)
+    assert clock.now == 10.0

@@ -1,0 +1,42 @@
+"""Unit tests: cost model."""
+
+from repro.sim.costs import CostModel
+
+
+def test_defaults_are_positive():
+    costs = CostModel()
+    for name, value in vars(costs).items():
+        if isinstance(value, (int, float)) and name != "extras":
+            assert value > 0, f"{name} must be positive"
+
+
+def test_scaled_scales_time_costs():
+    costs = CostModel()
+    doubled = CostModel().scaled(2.0)
+    assert doubled.xs_request_base == 2 * costs.xs_request_base
+    assert doubled.guest_boot_fixed == 2 * costs.guest_boot_fixed
+    assert doubled.page_copy == 2 * costs.page_copy
+
+
+def test_scaled_preserves_sizes():
+    costs = CostModel()
+    doubled = costs.scaled(2.0)
+    assert doubled.xen_min_domain_bytes == costs.xen_min_domain_bytes
+    assert doubled.hyp_per_domain_overhead_pages == \
+        costs.hyp_per_domain_overhead_pages
+    assert doubled.xs_log_rotate_bytes == costs.xs_log_rotate_bytes
+    assert doubled.xs_log_bytes_per_request == costs.xs_log_bytes_per_request
+    assert doubled.dom0_backend_bytes_per_guest == \
+        costs.dom0_backend_bytes_per_guest
+
+
+def test_scaled_does_not_mutate_original():
+    costs = CostModel()
+    original = costs.xs_request_base
+    costs.scaled(3.0)
+    assert costs.xs_request_base == original
+
+
+def test_min_domain_is_4mb():
+    """Paper §6.2: Xen imposes a 4 MB minimum on any domain."""
+    assert CostModel().xen_min_domain_bytes == 4 * 1024 * 1024

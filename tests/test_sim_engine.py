@@ -1,0 +1,120 @@
+"""Unit tests: discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+def test_schedule_and_step():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(5.0, lambda: fired.append(engine.clock.now))
+    assert engine.step()
+    assert fired == [5.0]
+    assert engine.clock.now == 5.0
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(10.0, lambda: fired.append("b"))
+    engine.schedule_at(5.0, lambda: fired.append("a"))
+    engine.schedule_at(15.0, lambda: fired.append("c"))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_in_insertion_order():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(5.0, lambda: fired.append(1))
+    engine.schedule_at(5.0, lambda: fired.append(2))
+    engine.run()
+    assert fired == [1, 2]
+
+
+def test_schedule_after():
+    engine = Engine()
+    engine.clock.advance_to(100.0)
+    fired = []
+    engine.schedule_after(5.0, lambda: fired.append(engine.clock.now))
+    engine.run()
+    assert fired == [105.0]
+
+
+def test_schedule_in_past_rejected():
+    engine = Engine()
+    engine.clock.advance_to(10.0)
+    with pytest.raises(ValueError):
+        engine.schedule_at(5.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Engine().schedule_after(-1.0, lambda: None)
+
+
+def test_cancel():
+    engine = Engine()
+    fired = []
+    event = engine.schedule_at(5.0, lambda: fired.append(1))
+    event.cancel()
+    engine.run()
+    assert fired == []
+
+
+def test_run_until_stops_before_later_events():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(5.0, lambda: fired.append("early"))
+    engine.schedule_at(50.0, lambda: fired.append("late"))
+    engine.run_until(10.0)
+    assert fired == ["early"]
+    assert engine.clock.now == 10.0
+    engine.run()
+    assert fired == ["early", "late"]
+
+
+def test_periodic_every():
+    engine = Engine()
+    fired = []
+    engine.every(10.0, lambda: fired.append(engine.clock.now))
+    engine.run_until(35.0)
+    assert fired == [10.0, 20.0, 30.0]
+
+
+def test_periodic_cancel_stops_series():
+    engine = Engine()
+    fired = []
+    series = engine.every(10.0, lambda: fired.append(engine.clock.now))
+    engine.run_until(25.0)
+    series.cancel()
+    engine.run_until(100.0)
+    assert fired == [10.0, 20.0]
+
+
+def test_every_with_first_at():
+    engine = Engine()
+    fired = []
+    engine.every(10.0, lambda: fired.append(engine.clock.now), first_at=0.0)
+    engine.run_until(21.0)
+    assert fired == [0.0, 10.0, 20.0]
+
+
+def test_every_rejects_nonpositive_interval():
+    with pytest.raises(ValueError):
+        Engine().every(0.0, lambda: None)
+
+
+def test_events_scheduled_during_run_are_processed():
+    engine = Engine()
+    fired = []
+
+    def first():
+        fired.append("first")
+        engine.schedule_after(1.0, lambda: fired.append("second"))
+
+    engine.schedule_at(5.0, first)
+    engine.run()
+    assert fired == ["first", "second"]
+    assert engine.clock.now == 6.0

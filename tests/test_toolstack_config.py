@@ -1,0 +1,95 @@
+"""Unit tests: domain configuration and xl.cfg parsing."""
+
+import pytest
+
+from repro.toolstack.config import (
+    ConfigError,
+    DomainConfig,
+    VifConfig,
+    parse_xl_config,
+)
+
+
+def test_validate_happy():
+    DomainConfig(name="a").validate()
+
+
+def test_validate_rejects_empty_name():
+    with pytest.raises(ConfigError):
+        DomainConfig(name="").validate()
+
+
+def test_validate_rejects_bad_memory():
+    with pytest.raises(ConfigError):
+        DomainConfig(name="a", memory_mb=0).validate()
+
+
+def test_validate_rejects_negative_clones():
+    with pytest.raises(ConfigError):
+        DomainConfig(name="a", max_clones=-1).validate()
+
+
+def test_memory_bytes():
+    assert DomainConfig(name="a", memory_mb=4).memory_bytes == 4 * 1024 * 1024
+
+
+def test_for_clone_inherits_resources():
+    config = DomainConfig(name="p", memory_mb=64, vcpus=2, max_clones=8,
+                          vifs=[VifConfig(ip="10.0.0.5")])
+    clone = config.for_clone("p-c1")
+    assert clone.name == "p-c1"
+    assert clone.memory_mb == 64
+    assert clone.max_clones == 8
+    assert clone.vifs[0].ip == "10.0.0.5"
+    # Deep copy: mutating the clone must not touch the parent config.
+    clone.vifs[0].ip = "changed"
+    assert config.vifs[0].ip == "10.0.0.5"
+
+
+def test_parse_minimal():
+    config = parse_xl_config("""
+        name = 'udp0'
+        memory = 4
+    """)
+    assert config.name == "udp0"
+    assert config.memory_mb == 4
+    assert config.vcpus == 1
+
+
+def test_parse_full():
+    config = parse_xl_config("""
+        # a unikernel with cloning enabled
+        name = 'redis0'
+        memory = 256
+        vcpus = 2
+        kernel = 'unikraft-redis'
+        max_clones = 16
+        start_clones_paused = 1
+        vif = ['mac=00:16:3e:01:02:03,ip=10.0.1.5,bridge=xenbr1']
+        p9 = ['tag=data,path=/srv/redis,mount=/']
+    """)
+    assert config.kernel == "unikraft-redis"
+    assert config.max_clones == 16
+    assert config.start_clones_paused
+    assert config.vifs[0].mac == "00:16:3e:01:02:03"
+    assert config.vifs[0].bridge == "xenbr1"
+    assert config.p9fs[0].export_root == "/srv/redis"
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ConfigError):
+        parse_xl_config("name 'oops'")
+
+
+def test_parse_comments_and_blanks_ignored():
+    config = parse_xl_config("""
+
+        # comment only
+        name = 'x'   # trailing comment
+    """)
+    assert config.name == "x"
+
+
+def test_parse_empty_list():
+    config = parse_xl_config("name='x'\nvif = []")
+    assert config.vifs == []

@@ -1,0 +1,148 @@
+"""Unit tests: xl create/destroy/save/restore and Dom0."""
+
+import pytest
+
+from repro import DomainConfig, Platform, VifConfig
+from repro.apps.udp_server import UdpServerApp
+from repro.toolstack.xl import ToolstackError
+from repro.xen.domain import DomainState
+from tests.conftest import udp_config
+
+
+def test_create_boots_and_connects(platform):
+    domain = platform.xl.create(udp_config("udp0"), app=UdpServerApp())
+    assert domain.state is DomainState.RUNNING
+    vif = domain.frontends["vif"][0]
+    assert vif.backend is not None and vif.backend.connected
+    assert platform.xenstore.exists(f"{domain.store_path}/name")
+    assert platform.xenstore.read_node(f"{domain.store_path}/name") == "udp0"
+
+
+def test_create_sends_ready_packet(platform):
+    ready = []
+    platform.dom0.listen(9999, lambda pkt: ready.append(pkt.payload))
+    platform.xl.create(udp_config("udp0"), app=UdpServerApp())
+    assert ready == [("ready", 1)]
+
+
+def test_create_charges_realistic_boot_time(platform):
+    t0 = platform.now
+    platform.xl.create(udp_config("udp0"), app=UdpServerApp())
+    boot_ms = platform.now - t0
+    # Fig 4: first boot is ~160 ms on the paper's testbed.
+    assert 120 <= boot_ms <= 220
+
+
+def test_name_check_rejects_duplicates():
+    platform = Platform.create(xl_check_names=True)
+    platform.xl.create(udp_config("dup"))
+    with pytest.raises(ToolstackError):
+        platform.xl.create(udp_config("dup"))
+
+
+def test_name_check_cost_grows_with_domains():
+    platform = Platform.create(xl_check_names=True)
+    costs = []
+    for i in range(20):
+        t0 = platform.now
+        platform.xl.create(udp_config(f"g{i}", ip=f"10.0.1.{i + 1}"))
+        costs.append(platform.now - t0)
+    # The LightVM superlinear effect: later boots pay the name scan.
+    assert costs[-1] > costs[0]
+
+
+def test_destroy_releases_everything(platform):
+    free0 = platform.free_hypervisor_bytes()
+    domain = platform.xl.create(udp_config("udp0"), app=UdpServerApp())
+    platform.xl.destroy(domain.domid)
+    assert platform.free_hypervisor_bytes() == free0
+    assert platform.guest_count() == 0
+    # Only shared infrastructure directories may remain, and repeated
+    # create/destroy cycles must not leak store nodes.
+    steady = platform.xenstore.node_count
+    domain = platform.xl.create(udp_config("udp0"), app=UdpServerApp())
+    platform.xl.destroy(domain.domid)
+    assert platform.xenstore.node_count == steady
+    platform.check_invariants()
+
+
+def test_destroy_removes_backends(platform):
+    domain = platform.xl.create(udp_config("udp0"), app=UdpServerApp())
+    domid = domain.domid
+    platform.xl.destroy(domid)
+    assert (domid, 0) not in platform.dom0.netback.backends
+    assert domid not in platform.dom0.console_daemon.backends
+
+
+def test_save_then_restore_roundtrip(platform):
+    ready = []
+    platform.dom0.listen(9999, lambda pkt: ready.append(pkt.payload))
+    domain = platform.xl.create(udp_config("udp0"), app=UdpServerApp())
+    image = platform.xl.save(domain.domid)
+    assert platform.guest_count() == 0
+    restored = platform.xl.restore(image)
+    assert restored.state is DomainState.RUNNING
+    assert restored.name == "udp0"
+    vif = restored.frontends["vif"][0]
+    assert vif.backend is not None and vif.backend.connected
+    platform.check_invariants()
+
+
+def test_restore_slower_than_boot(platform):
+    domain = platform.xl.create(udp_config("udp0"), app=UdpServerApp())
+    image = platform.xl.save(domain.domid)
+    t0 = platform.now
+    platform.xl.restore(image)
+    restore_ms = platform.now - t0
+    p2 = Platform.create()
+    t0 = p2.now
+    p2.xl.create(udp_config("udp0"), app=UdpServerApp())
+    boot_ms = p2.now - t0
+    # Fig 4: restore sits slightly above boot (full memory copy-back).
+    assert restore_ms > boot_ms
+
+
+def test_restore_twice_from_one_image(platform):
+    domain = platform.xl.create(udp_config("udp0"), app=UdpServerApp())
+    image = platform.xl.save(domain.domid)
+    a = platform.xl.restore(image, name="copy-a")
+    b = platform.xl.restore(image, name="copy-b")
+    assert a.name == "copy-a" and b.name == "copy-b"
+
+
+def test_list_domains(platform):
+    platform.xl.create(udp_config("a"))
+    platform.xl.create(udp_config("b", ip="10.0.1.2"))
+    listing = platform.xl.list_domains()
+    assert [name for _, name, _ in listing] == ["a", "b"]
+
+
+def test_xl_clone_from_dom0(platform):
+    parent = platform.xl.create(udp_config("p", max_clones=4),
+                                app=UdpServerApp())
+    children = platform.xl.clone(parent.domid, count=2)
+    assert len(children) == 2
+    assert platform.guest_count() == 3
+
+
+def test_dom0_memory_accounting(platform):
+    free0 = platform.free_dom0_bytes()
+    platform.xl.create(udp_config("udp0"), app=UdpServerApp())
+    assert platform.free_dom0_bytes() < free0
+
+
+def test_save_image_occupies_dom0_ramdisk(platform):
+    domain = platform.xl.create(udp_config("udp0"), app=UdpServerApp())
+    free0 = platform.dom0.hostfs.total_bytes
+    image = platform.xl.save(domain.domid)
+    assert platform.dom0.hostfs.size(image.path) == image.size_bytes
+    assert platform.dom0.hostfs.total_bytes == free0 + image.size_bytes
+    platform.xl.discard_image(image)
+    assert platform.dom0.hostfs.total_bytes == free0
+
+
+def test_discard_image_idempotent(platform):
+    domain = platform.xl.create(udp_config("udp0"), app=UdpServerApp())
+    image = platform.xl.save(domain.domid)
+    platform.xl.discard_image(image)
+    platform.xl.discard_image(image)  # no error

@@ -1,0 +1,73 @@
+"""Unit tests: domctl, including the Nephele cloning subops."""
+
+import pytest
+
+from repro.apps.udp_server import UdpServerApp
+from repro.core.cloneop import CloneOpError
+from repro.xen.domain import DomainState
+from repro.xen.errors import XenInvalidError, XenPermissionError
+from tests.conftest import udp_config
+
+
+def test_pause_unpause(platform, udp_parent):
+    platform.domctl.pause(0, udp_parent.domid)
+    assert udp_parent.state is DomainState.PAUSED
+    platform.domctl.unpause(0, udp_parent.domid)
+    assert udp_parent.state is DomainState.RUNNING
+
+
+def test_unprivileged_caller_rejected(platform, udp_parent):
+    with pytest.raises(XenPermissionError):
+        platform.domctl.pause(udp_parent.domid, udp_parent.domid)
+
+
+def test_set_vcpu_affinity(platform, udp_parent):
+    platform.domctl.set_vcpu_affinity(0, udp_parent.domid, 0, {1, 2})
+    assert udp_parent.vcpus[0].affinity == frozenset({1, 2})
+
+
+def test_set_vcpu_affinity_validates(platform, udp_parent):
+    with pytest.raises(XenInvalidError):
+        platform.domctl.set_vcpu_affinity(0, udp_parent.domid, 5, {0})
+    with pytest.raises(XenInvalidError):
+        platform.domctl.set_vcpu_affinity(
+            0, udp_parent.domid, 0, {platform.hypervisor.cpus})
+
+
+def test_getdomaininfo(platform, udp_parent):
+    child_id = platform.cloneop.clone(udp_parent.domid)[0]
+    info = platform.domctl.getdomaininfo(0, udp_parent.domid)
+    assert info.name == "udp0"
+    assert info.cloning_enabled
+    assert info.clones_created == 1
+    assert info.children == (child_id,)
+    child_info = platform.domctl.getdomaininfo(0, child_id)
+    assert child_info.parent_domid == udp_parent.domid
+
+
+def test_enable_cloning_via_domctl(platform):
+    domain = platform.xl.create(udp_config("plain"), app=UdpServerApp())
+    with pytest.raises(CloneOpError):
+        platform.cloneop.clone(domain.domid)
+    platform.domctl.enable_cloning(0, domain.domid, max_clones=2)
+    assert platform.cloneop.clone(domain.domid)
+
+
+def test_enable_cloning_needs_positive_budget(platform, udp_parent):
+    with pytest.raises(XenInvalidError):
+        platform.domctl.enable_cloning(0, udp_parent.domid, 0)
+
+
+def test_disable_cloning(platform, udp_parent):
+    platform.domctl.disable_cloning(0, udp_parent.domid)
+    with pytest.raises(CloneOpError):
+        platform.cloneop.clone(udp_parent.domid)
+
+
+def test_set_max_clones_cannot_go_below_used(platform, udp_parent):
+    platform.cloneop.clone(udp_parent.domid, count=2)
+    with pytest.raises(XenInvalidError):
+        platform.domctl.set_max_clones(0, udp_parent.domid, 1)
+    platform.domctl.set_max_clones(0, udp_parent.domid, 2)
+    with pytest.raises(CloneOpError):
+        platform.cloneop.clone(udp_parent.domid)

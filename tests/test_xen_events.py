@@ -1,0 +1,71 @@
+"""Unit tests: event channels and vIRQs."""
+
+import pytest
+
+from repro.xen.domid import DOMID_CHILD
+from repro.xen.errors import XenInvalidError, XenNoEntryError
+from repro.xen.events import ChannelState, EventChannelTable, VIRQ_CLONED
+
+
+def test_alloc_unbound():
+    table = EventChannelTable(1)
+    channel = table.alloc_unbound(remote_domid=0)
+    assert channel.state is ChannelState.UNBOUND
+    assert channel.remote_domid == 0
+    assert table.lookup(channel.port) is channel
+
+
+def test_bind_interdomain():
+    table = EventChannelTable(1)
+    channel = table.bind_interdomain(remote_domid=0, remote_port=5)
+    assert channel.state is ChannelState.INTERDOMAIN
+    assert channel.remote_port == 5
+
+
+def test_bind_virq_once():
+    table = EventChannelTable(1)
+    table.bind_virq(VIRQ_CLONED)
+    with pytest.raises(XenInvalidError):
+        table.bind_virq(VIRQ_CLONED)
+
+
+def test_close():
+    table = EventChannelTable(1)
+    channel = table.alloc_unbound(0)
+    table.close(channel.port)
+    with pytest.raises(XenNoEntryError):
+        table.lookup(channel.port)
+
+
+def test_idc_wildcard_listing():
+    table = EventChannelTable(1)
+    table.alloc_unbound(0)
+    idc = table.alloc_unbound(DOMID_CHILD)
+    wildcards = table.idc_wildcard_channels()
+    assert wildcards == [idc]
+
+
+def test_clone_preserves_ports():
+    table = EventChannelTable(1)
+    a = table.alloc_unbound(0)
+    b = table.alloc_unbound(DOMID_CHILD)
+    child = table.clone_for_child(7)
+    assert set(child.ports) == {a.port, b.port}
+    assert child.ports[b.port].remote_domid == DOMID_CHILD
+    assert child.ports[a.port].owner == 7
+
+
+def test_clone_does_not_copy_handlers():
+    table = EventChannelTable(1)
+    channel = table.alloc_unbound(0)
+    table.set_handler(channel.port, lambda port: None)
+    child = table.clone_for_child(7)
+    assert child.ports[channel.port].handler is None
+
+
+def test_clone_port_allocation_continues():
+    table = EventChannelTable(1)
+    a = table.alloc_unbound(0)
+    child = table.clone_for_child(7)
+    fresh = child.alloc_unbound(0)
+    assert fresh.port > a.port

@@ -1,0 +1,101 @@
+"""Unit tests: grant tables and the DOMID_CHILD wildcard."""
+
+import pytest
+
+from repro.xen.domid import DOMID_CHILD
+from repro.xen.errors import (
+    XenBusyError,
+    XenInvalidError,
+    XenNoEntryError,
+    XenPermissionError,
+)
+from repro.xen.grants import GrantTable
+
+
+def test_grant_and_lookup():
+    table = GrantTable(domid=1)
+    gref = table.grant_access(grantee=2, pfn=100)
+    entry = table.lookup(gref)
+    assert entry.granter == 1
+    assert entry.grantee == 2
+    assert entry.pfn == 100
+    assert not entry.readonly
+
+
+def test_grant_to_self_rejected():
+    table = GrantTable(domid=1)
+    with pytest.raises(XenInvalidError):
+        table.grant_access(grantee=1, pfn=0)
+
+
+def test_lookup_missing_raises():
+    with pytest.raises(XenNoEntryError):
+        GrantTable(1).lookup(99)
+
+
+def test_map_by_named_grantee():
+    table = GrantTable(1)
+    gref = table.grant_access(grantee=2, pfn=5)
+    entry = table.map_grant(gref, mapper=2)
+    assert 2 in entry.mapped_by
+
+
+def test_map_by_stranger_rejected():
+    table = GrantTable(1)
+    gref = table.grant_access(grantee=2, pfn=5)
+    with pytest.raises(XenPermissionError):
+        table.map_grant(gref, mapper=3)
+
+
+def test_domid_child_wildcard_allows_descendants():
+    table = GrantTable(1)
+    gref = table.grant_access(grantee=DOMID_CHILD, pfn=5)
+    table.map_grant(gref, mapper=7, family_children=frozenset({7, 8}))
+    with pytest.raises(XenPermissionError):
+        table.map_grant(gref, mapper=9, family_children=frozenset({7, 8}))
+
+
+def test_end_access_fails_while_mapped():
+    table = GrantTable(1)
+    gref = table.grant_access(grantee=2, pfn=5)
+    table.map_grant(gref, mapper=2)
+    with pytest.raises(XenBusyError):
+        table.end_access(gref)
+    table.unmap_grant(gref, mapper=2)
+    table.end_access(gref)
+    assert len(table) == 0
+
+
+def test_clone_preserves_grefs_and_rewrites_granter():
+    table = GrantTable(1)
+    g1 = table.grant_access(grantee=DOMID_CHILD, pfn=5)
+    g2 = table.grant_access(grantee=0, pfn=6, readonly=True)
+    child = table.clone_for_child(child_domid=7)
+    assert set(child.entries) == {g1, g2}
+    assert child.lookup(g1).granter == 7
+    assert child.lookup(g1).grantee == DOMID_CHILD
+    assert child.lookup(g2).readonly
+
+
+def test_clone_does_not_inherit_mappings():
+    table = GrantTable(1)
+    gref = table.grant_access(grantee=2, pfn=5)
+    table.map_grant(gref, mapper=2)
+    child = table.clone_for_child(7)
+    assert child.lookup(gref).mapped_by == set()
+
+
+def test_clone_gref_allocation_continues_above_inherited():
+    table = GrantTable(1)
+    g1 = table.grant_access(grantee=2, pfn=1)
+    child = table.clone_for_child(7)
+    g_new = child.grant_access(grantee=2, pfn=2)
+    assert g_new > g1
+
+
+def test_child_wildcard_grants_listing():
+    table = GrantTable(1)
+    table.grant_access(grantee=2, pfn=1)
+    table.grant_access(grantee=DOMID_CHILD, pfn=2)
+    table.grant_access(grantee=DOMID_CHILD, pfn=3)
+    assert len(table.child_wildcard_grants()) == 2

@@ -1,0 +1,173 @@
+"""Unit tests: hypervisor domain lifecycle, events, family tracking."""
+
+import pytest
+
+from repro.sim.units import GIB, MIB
+from repro.xen.domid import DOMID_CHILD, DOM0
+from repro.xen.errors import (
+    XenInvalidError,
+    XenNoEntryError,
+    XenPermissionError,
+)
+from repro.xen.events import VIRQ_CLONED
+from repro.xen.domain import DomainState
+from repro.xen.hypervisor import Hypervisor
+
+
+@pytest.fixture
+def hyp() -> Hypervisor:
+    return Hypervisor(guest_pool_bytes=2 * GIB, cpus=4)
+
+
+def test_create_domain_allocates_frames(hyp):
+    before = hyp.frames.free_frames
+    domain = hyp.create_domain("a", 4 * MIB, populate=True)
+    used = before - hyp.frames.free_frames
+    # RAM + specials + paging + hypervisor overhead.
+    assert used >= 1024 + 5
+    assert domain.memory.total_pages == 1024
+    assert domain.state is DomainState.CREATED
+    hyp.frames.check_invariants()
+
+
+def test_min_domain_memory_enforced(hyp):
+    with pytest.raises(XenInvalidError):
+        hyp.create_domain("tiny", 1 * MIB)
+
+
+def test_domids_are_unique_and_increasing(hyp):
+    a = hyp.create_domain("a", 4 * MIB)
+    b = hyp.create_domain("b", 4 * MIB)
+    assert b.domid > a.domid
+
+
+def test_destroy_returns_all_frames(hyp):
+    free0 = hyp.frames.free_frames
+    domain = hyp.create_domain("a", 8 * MIB, populate=True)
+    hyp.destroy_domain(domain.domid)
+    assert hyp.frames.free_frames == free0
+    with pytest.raises(XenNoEntryError):
+        hyp.get_domain(domain.domid)
+    hyp.frames.check_invariants()
+
+
+def test_destroy_unlinks_from_parent(hyp):
+    parent = hyp.create_domain("p", 4 * MIB)
+    child = hyp.create_domain("c", 4 * MIB)
+    child.parent_id = parent.domid
+    parent.children.append(child.domid)
+    hyp.destroy_domain(child.domid)
+    assert child.domid not in parent.children
+
+
+def test_pause_unpause(hyp):
+    domain = hyp.create_domain("a", 4 * MIB)
+    hyp.pause_domain(domain.domid)
+    assert domain.state is DomainState.PAUSED
+    hyp.unpause_domain(domain.domid)
+    assert domain.state is DomainState.RUNNING
+
+
+def test_refuses_to_destroy_dom0(hyp):
+    dom0 = hyp.create_domain("dom0", 512 * MIB, privileged=True)
+    assert dom0.domid == DOM0
+    with pytest.raises(XenPermissionError):
+        hyp.destroy_domain(DOM0)
+
+
+def test_descendants_and_family(hyp):
+    a = hyp.create_domain("a", 4 * MIB)
+    b = hyp.create_domain("b", 4 * MIB)
+    c = hyp.create_domain("c", 4 * MIB)
+    d = hyp.create_domain("d", 4 * MIB)  # unrelated
+    b.parent_id = a.domid
+    a.children.append(b.domid)
+    c.parent_id = b.domid
+    b.children.append(c.domid)
+    assert hyp.descendants(a.domid) == {b.domid, c.domid}
+    assert hyp.family_of(c.domid) == {a.domid, b.domid, c.domid}
+    assert d.domid not in hyp.family_of(a.domid)
+
+
+def test_virq_host_handler(hyp):
+    fired = []
+    hyp.register_virq_handler(VIRQ_CLONED, lambda virq: fired.append(virq))
+    assert hyp.raise_virq(VIRQ_CLONED) == 1
+    assert fired == [VIRQ_CLONED]
+
+
+def test_virq_guest_binding(hyp):
+    domain = hyp.create_domain("a", 4 * MIB)
+    fired = []
+    hyp.bind_virq(domain.domid, VIRQ_CLONED, handler=fired.append)
+    hyp.raise_virq(VIRQ_CLONED)
+    assert len(fired) == 1
+
+
+def test_virq_binding_pruned_after_destroy(hyp):
+    domain = hyp.create_domain("a", 4 * MIB)
+    fired = []
+    hyp.bind_virq(domain.domid, VIRQ_CLONED, handler=fired.append)
+    hyp.destroy_domain(domain.domid)
+    assert hyp.raise_virq(VIRQ_CLONED) == 0
+
+
+def test_send_event_interdomain(hyp):
+    a = hyp.create_domain("a", 4 * MIB)
+    b = hyp.create_domain("b", 4 * MIB)
+    received = []
+    listening = b.events.alloc_unbound(a.domid)
+    b.events.set_handler(listening.port, received.append)
+    sender = a.events.bind_interdomain(b.domid, listening.port)
+    assert hyp.send_event(a.domid, sender.port) == 1
+    assert received == [listening.port]
+
+
+def test_send_event_masked_channel_stays_pending(hyp):
+    a = hyp.create_domain("a", 4 * MIB)
+    b = hyp.create_domain("b", 4 * MIB)
+    received = []
+    listening = b.events.alloc_unbound(a.domid)
+    b.events.set_handler(listening.port, received.append)
+    listening.masked = True
+    sender = a.events.bind_interdomain(b.domid, listening.port)
+    hyp.send_event(a.domid, sender.port)
+    assert received == []
+    assert listening.pending
+
+
+def test_connect_idc_child_fanout(hyp):
+    parent = hyp.create_domain("p", 4 * MIB)
+    idc = parent.events.alloc_unbound(DOMID_CHILD)
+    child = hyp.create_domain("c", 4 * MIB)
+    child.events = parent.events.clone_for_child(child.domid)
+    child.parent_id = parent.domid
+    parent.children.append(child.domid)
+    assert hyp.connect_idc_child(parent, child) == 1
+
+    got_parent, got_child = [], []
+    parent.events.set_handler(idc.port, got_parent.append)
+    child.events.set_handler(idc.port, got_child.append)
+    # Parent -> child
+    assert hyp.send_event(parent.domid, idc.port) == 1
+    assert got_child == [idc.port]
+    # Child -> parent
+    assert hyp.send_event(child.domid, idc.port) == 1
+    assert got_parent == [idc.port]
+
+
+def test_map_grant_family_check(hyp):
+    parent = hyp.create_domain("p", 4 * MIB)
+    child = hyp.create_domain("c", 4 * MIB)
+    stranger = hyp.create_domain("s", 4 * MIB)
+    child.parent_id = parent.domid
+    parent.children.append(child.domid)
+    gref = parent.grants.grant_access(DOMID_CHILD, pfn=0)
+    hyp.map_grant(parent.domid, gref, child.domid)
+    with pytest.raises(XenPermissionError):
+        hyp.map_grant(parent.domid, gref, stranger.domid)
+
+
+def test_cloneop_required(hyp):
+    with pytest.raises(XenInvalidError):
+        hyp.cloneop

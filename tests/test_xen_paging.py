@@ -1,0 +1,65 @@
+"""Unit tests: page-table and p2m sizing."""
+
+import pytest
+
+from repro.xen.paging import (
+    ENTRIES_PER_PAGE,
+    build_paging,
+    p2m_pages,
+    page_table_pages,
+    release_paging,
+)
+
+
+def test_zero_pages():
+    assert page_table_pages(0) == 0
+    assert p2m_pages(0) == 0
+
+
+def test_small_guest_needs_four_levels():
+    # 1 page of leaf PTEs + one page per upper level.
+    assert page_table_pages(1) == 4
+    assert page_table_pages(ENTRIES_PER_PAGE) == 4
+
+
+def test_4mb_guest():
+    # 1024 pages -> 2 leaf pages + 1 + 1 + 1.
+    assert page_table_pages(1024) == 5
+
+
+def test_4gb_guest():
+    # 1 Mi pages -> 2048 leaf + 4 L2 + 1 L3 + 1 L4.
+    assert page_table_pages(1 << 20) == 2048 + 4 + 1 + 1
+
+
+def test_p2m_is_one_entry_per_page():
+    assert p2m_pages(1) == 1
+    assert p2m_pages(512) == 1
+    assert p2m_pages(513) == 2
+    assert p2m_pages(1 << 20) == 2048
+
+
+def test_build_and_release(frames):
+    paging = build_paging(frames, domid=1, guest_pages=1024)
+    assert paging.pt_pages == 5
+    assert paging.p2m_pages == 2
+    assert paging.total_entries == 2048
+    assert frames.pages_owned(1) == 7
+    released = release_paging(frames, paging)
+    assert released == 7
+    assert frames.pages_owned(1) == 0
+    frames.check_invariants()
+
+
+def test_total_entries_scales_with_guest():
+    small = build_paging_entries(256)
+    large = build_paging_entries(1 << 20)
+    assert large / small == (1 << 20) / 256
+
+
+def build_paging_entries(guest_pages: int) -> int:
+    from repro.xen.frames import FrameTable
+    from repro.xen.paging import build_paging
+
+    frames = FrameTable(1 << 22)
+    return build_paging(frames, 1, guest_pages).total_entries

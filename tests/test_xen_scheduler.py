@@ -1,0 +1,133 @@
+"""Unit tests: the credit scheduler."""
+
+import pytest
+
+from repro.sim.units import GIB, MIB
+from repro.xen.domain import DomainState
+from repro.xen.errors import XenInvalidError
+from repro.xen.hypervisor import Hypervisor
+from repro.xen.scheduler import DEFAULT_WEIGHT, CreditScheduler
+
+
+@pytest.fixture
+def hyp():
+    return Hypervisor(guest_pool_bytes=1 * GIB, cpus=4)
+
+
+def make_domain(hyp, name, vcpus=1):
+    domain = hyp.create_domain(name, 4 * MIB, vcpus=vcpus)
+    domain.state = DomainState.RUNNING
+    return domain
+
+
+def test_single_domain_gets_full_core(hyp):
+    scheduler = CreditScheduler(cpus=4)
+    domain = make_domain(hyp, "a")
+    scheduler.add_domain(domain)
+    assert scheduler.cpu_share(domain.domid) == 1.0
+    assert scheduler.exclusive_core(domain.domid)
+
+
+def test_spread_across_cores(hyp):
+    scheduler = CreditScheduler(cpus=4)
+    domains = [make_domain(hyp, f"d{i}") for i in range(4)]
+    for domain in domains:
+        scheduler.add_domain(domain)
+    # 4 vCPUs on 4 cores: everyone exclusive.
+    assert all(scheduler.exclusive_core(d.domid) for d in domains)
+
+
+def test_oversubscription_splits_weight_proportionally(hyp):
+    scheduler = CreditScheduler(cpus=1)
+    a = make_domain(hyp, "a")
+    b = make_domain(hyp, "b")
+    scheduler.add_domain(a, weight=DEFAULT_WEIGHT)
+    scheduler.add_domain(b, weight=3 * DEFAULT_WEIGHT)
+    assert scheduler.cpu_share(a.domid) == pytest.approx(0.25)
+    assert scheduler.cpu_share(b.domid) == pytest.approx(0.75)
+
+
+def test_affinity_respected(hyp):
+    scheduler = CreditScheduler(cpus=4)
+    a = make_domain(hyp, "a")
+    b = make_domain(hyp, "b")
+    a.vcpus[0].pin({2})
+    b.vcpus[0].pin({2})
+    scheduler.add_domain(a)
+    scheduler.add_domain(b)
+    cores = scheduler.place()
+    assert len(cores[2].entries) == 2
+    assert scheduler.cpu_share(a.domid) == pytest.approx(0.5)
+    assert not scheduler.exclusive_core(a.domid)
+
+
+def test_pinned_to_nonexistent_cpu_raises(hyp):
+    scheduler = CreditScheduler(cpus=2)
+    a = make_domain(hyp, "a")
+    a.vcpus[0].pin({7})
+    scheduler.add_domain(a)
+    with pytest.raises(XenInvalidError):
+        scheduler.place()
+
+
+def test_paused_domains_not_scheduled(hyp):
+    scheduler = CreditScheduler(cpus=1)
+    a = make_domain(hyp, "a")
+    b = make_domain(hyp, "b")
+    scheduler.add_domain(a)
+    scheduler.add_domain(b)
+    b.state = DomainState.PAUSED
+    assert scheduler.cpu_share(a.domid) == 1.0
+    assert scheduler.cpu_share(b.domid) == 0.0
+    assert scheduler.runnable_vcpus == 1
+
+
+def test_cap_limits_share(hyp):
+    scheduler = CreditScheduler(cpus=1)
+    a = make_domain(hyp, "a")
+    scheduler.add_domain(a, cap=0.4)
+    assert scheduler.cpu_share(a.domid) == pytest.approx(0.4)
+
+
+def test_multi_vcpu_domains(hyp):
+    scheduler = CreditScheduler(cpus=2)
+    a = make_domain(hyp, "a", vcpus=2)
+    scheduler.add_domain(a)
+    assert scheduler.cpu_share(a.domid, 0) == 1.0
+    assert scheduler.cpu_share(a.domid, 1) == 1.0
+
+
+def test_set_weight_and_remove(hyp):
+    scheduler = CreditScheduler(cpus=1)
+    a = make_domain(hyp, "a")
+    b = make_domain(hyp, "b")
+    scheduler.add_domain(a)
+    scheduler.add_domain(b)
+    scheduler.set_weight(a.domid, 3 * DEFAULT_WEIGHT)
+    assert scheduler.cpu_share(a.domid) == pytest.approx(0.75)
+    scheduler.remove_domain(b.domid)
+    assert scheduler.cpu_share(a.domid) == 1.0
+    with pytest.raises(XenInvalidError):
+        scheduler.set_weight(b.domid, 1)
+
+
+def test_validation(hyp):
+    scheduler = CreditScheduler(cpus=1)
+    a = make_domain(hyp, "a")
+    with pytest.raises(XenInvalidError):
+        scheduler.add_domain(a, weight=0)
+    with pytest.raises(XenInvalidError):
+        scheduler.add_domain(a, cap=1.5)
+    with pytest.raises(XenInvalidError):
+        CreditScheduler(cpus=0)
+
+
+def test_placement_is_deterministic(hyp):
+    scheduler = CreditScheduler(cpus=4)
+    for i in range(10):
+        scheduler.add_domain(make_domain(hyp, f"d{i}"))
+    first = {c: [(e.domain.domid, e.vcpu_index) for e in a.entries]
+             for c, a in scheduler.place().items()}
+    second = {c: [(e.domain.domid, e.vcpu_index) for e in a.entries]
+              for c, a in scheduler.place().items()}
+    assert first == second

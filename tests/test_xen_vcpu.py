@@ -1,0 +1,44 @@
+"""Unit tests: vCPU cloning semantics."""
+
+from repro.xen.vcpu import USER_REGISTERS, VCPU
+
+
+def test_registers_initialised():
+    vcpu = VCPU(0)
+    assert set(USER_REGISTERS) <= set(vcpu.registers)
+
+
+def test_clone_copies_registers_except_rax():
+    vcpu = VCPU(0)
+    vcpu.registers["rip"] = 0xDEAD
+    vcpu.registers["rax"] = 0xFFFF
+    child = vcpu.clone_for_child(child_index=0)
+    assert child.registers["rip"] == 0xDEAD
+    # Paper §5.2: rax is "zero for the parent and one for any child".
+    assert child.registers["rax"] == 1
+
+
+def test_clone_index_distinguishes_children():
+    vcpu = VCPU(0)
+    assert vcpu.clone_for_child(0).registers["rax"] == 1
+    assert vcpu.clone_for_child(3).registers["rax"] == 4
+
+
+def test_clone_copies_affinity():
+    vcpu = VCPU(0)
+    vcpu.pin({2})
+    child = vcpu.clone_for_child(0)
+    assert child.affinity == frozenset({2})
+
+
+def test_clone_registers_are_independent():
+    vcpu = VCPU(0)
+    child = vcpu.clone_for_child(0)
+    child.registers["rbx"] = 7
+    assert vcpu.registers["rbx"] == 0
+
+
+def test_pin():
+    vcpu = VCPU(0)
+    vcpu.pin({1, 2})
+    assert vcpu.affinity == frozenset({1, 2})

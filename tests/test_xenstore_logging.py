@@ -1,0 +1,50 @@
+"""Unit tests: access log rotation (the Fig 4 spikes)."""
+
+from repro.sim import CostModel, VirtualClock
+from repro.xenstore.logging import AccessLog
+from repro.xenstore.store import XenstoreDaemon
+
+
+def test_no_rotation_below_threshold(clock, costs):
+    log = AccessLog(clock, costs)
+    requests = costs.xs_log_rotate_bytes // costs.xs_log_bytes_per_request - 1
+    for _ in range(requests):
+        assert not log.record_request()
+    assert log.rotations == 0
+
+
+def test_rotation_at_threshold_charges_spike(clock, costs):
+    log = AccessLog(clock, costs)
+    requests = costs.xs_log_rotate_bytes // costs.xs_log_bytes_per_request
+    before = clock.now
+    rotated = False
+    for _ in range(requests + 1):
+        rotated = log.record_request() or rotated
+    assert rotated
+    assert log.rotations == 1
+    assert clock.now - before >= costs.xs_log_rotate_cost
+    assert log.rotation_times
+
+
+def test_rotation_resets_current_size(clock, costs):
+    log = AccessLog(clock, costs)
+    requests = costs.xs_log_rotate_bytes // costs.xs_log_bytes_per_request
+    for _ in range(requests + 1):
+        log.record_request()
+    assert log.current_bytes < costs.xs_log_rotate_bytes
+    assert log.bytes_written > costs.xs_log_rotate_bytes
+
+
+def test_disabled_log_never_rotates(clock, costs):
+    log = AccessLog(clock, costs, enabled=False)
+    for _ in range(100_000):
+        log.record_request()
+    assert log.rotations == 0
+    assert log.bytes_written == 0
+
+
+def test_daemon_disabled_logging(clock, costs):
+    daemon = XenstoreDaemon(clock, costs, log_enabled=False)
+    for _ in range(100_000):
+        daemon.charge_request()
+    assert daemon.access_log.rotations == 0

@@ -1,0 +1,140 @@
+"""Unit tests: Xenstore transactions (the xs_transaction_t of Fig 2)."""
+
+import pytest
+
+from repro.xenstore.client import XsHandle
+from repro.xenstore.clone import XsCloneOp
+from repro.xenstore.store import XenstoreDaemon, XenstoreError
+from repro.xenstore.transactions import TransactionConflict
+
+
+@pytest.fixture
+def daemon(clock, costs):
+    return XenstoreDaemon(clock, costs)
+
+
+@pytest.fixture
+def handle(daemon):
+    return XsHandle(daemon)
+
+
+def test_commit_applies_writes(handle, daemon):
+    tid = handle.transaction_start()
+    handle.t_write(tid, "/a/b", "1")
+    handle.t_write(tid, "/a/c", "2")
+    assert not daemon.exists("/a/b")  # buffered, not applied
+    handle.transaction_end(tid)
+    assert daemon.read_node("/a/b") == "1"
+    assert daemon.read_node("/a/c") == "2"
+
+
+def test_abort_discards_writes(handle, daemon):
+    tid = handle.transaction_start()
+    handle.t_write(tid, "/a/b", "1")
+    handle.transaction_end(tid, commit=False)
+    assert not daemon.exists("/a/b")
+    assert daemon.transactions.stats["aborts"] == 1
+
+
+def test_read_your_writes(handle):
+    tid = handle.transaction_start()
+    handle.t_write(tid, "/a/b", "draft")
+    assert handle.t_read(tid, "/a/b") == "draft"
+
+
+def test_read_sees_committed_state(handle, daemon):
+    daemon.write_node("/a/b", "old")
+    tid = handle.transaction_start()
+    assert handle.t_read(tid, "/a/b") == "old"
+
+
+def test_remove_inside_transaction(handle, daemon):
+    daemon.write_node("/a/b", "x")
+    tid = handle.transaction_start()
+    handle.t_rm(tid, "/a/b")
+    with pytest.raises(XenstoreError):
+        handle.t_read(tid, "/a/b")
+    assert daemon.exists("/a/b")  # still there until commit
+    handle.transaction_end(tid)
+    assert not daemon.exists("/a/b")
+
+
+def test_conflicting_write_aborts_with_eagain(handle, daemon):
+    daemon.write_node("/a/b", "old")
+    tid = handle.transaction_start()
+    handle.t_read(tid, "/a/b")
+    daemon.write_node("/a/b", "concurrent")  # racing mutation
+    with pytest.raises(TransactionConflict):
+        handle.transaction_end(tid)
+    assert daemon.read_node("/a/b") == "concurrent"
+    assert daemon.transactions.stats["conflicts"] == 1
+
+
+def test_disjoint_transactions_do_not_conflict(handle, daemon):
+    t1 = handle.transaction_start()
+    t2 = handle.transaction_start()
+    handle.t_write(t1, "/a/one", "1")
+    handle.t_write(t2, "/b/two", "2")
+    handle.transaction_end(t1)
+    handle.transaction_end(t2)
+    assert daemon.read_node("/a/one") == "1"
+    assert daemon.read_node("/b/two") == "2"
+
+
+def test_overlapping_transactions_conflict(handle, daemon):
+    t1 = handle.transaction_start()
+    t2 = handle.transaction_start()
+    handle.t_write(t1, "/shared", "from-t1")
+    handle.t_write(t2, "/shared", "from-t2")
+    handle.transaction_end(t1)
+    with pytest.raises(TransactionConflict):
+        handle.transaction_end(t2)
+    assert daemon.read_node("/shared") == "from-t1"
+
+
+def test_closed_transaction_rejected(handle):
+    tid = handle.transaction_start()
+    handle.transaction_end(tid)
+    with pytest.raises(XenstoreError):
+        handle.t_write(tid, "/x", "1")
+    with pytest.raises(XenstoreError):
+        handle.transaction_end(tid)
+
+
+def test_retry_after_conflict_succeeds(handle, daemon):
+    daemon.write_node("/counter", "0")
+    tid = handle.transaction_start()
+    value = int(handle.t_read(tid, "/counter"))
+    daemon.write_node("/counter", "5")  # race
+    handle.t_write(tid, "/counter", str(value + 1))
+    with pytest.raises(TransactionConflict):
+        handle.transaction_end(tid)
+    # Client retry loop, as with real oxenstored.
+    tid = handle.transaction_start()
+    value = int(handle.t_read(tid, "/counter"))
+    handle.t_write(tid, "/counter", str(value + 1))
+    handle.transaction_end(tid)
+    assert daemon.read_node("/counter") == "6"
+
+
+def test_transactional_xs_clone(handle, daemon):
+    base = "/local/domain/0/backend/vif/5/0"
+    daemon.write_node(f"{base}/frontend-id", "5")
+    daemon.write_node(f"{base}/state", "4")
+    tid = handle.transaction_start()
+    created = handle.clone(5, 9, XsCloneOp.DEV_VIF,
+                           "/local/domain/0/backend/vif/5",
+                           "/local/domain/0/backend/vif/9", tid=tid)
+    assert created >= 3
+    assert not daemon.exists("/local/domain/0/backend/vif/9")
+    handle.transaction_end(tid)
+    cloned = "/local/domain/0/backend/vif/9/0"
+    assert daemon.read_node(f"{cloned}/frontend-id") == "9"
+    assert daemon.read_node(f"{cloned}/state") == "4"
+
+
+def test_open_count(daemon, handle):
+    t1 = handle.transaction_start()
+    assert daemon.transactions.open_count == 1
+    handle.transaction_end(t1)
+    assert daemon.transactions.open_count == 0
