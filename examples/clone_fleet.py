@@ -2,12 +2,13 @@
 """Clone fleets + IDC: the §9 SMP mitigation with work distribution.
 
 A single-vCPU unikernel cannot use multiple cores; a *clone fleet* can.
-This example builds a fleet (one family member pinned per physical CPU),
-distributes work over an IDC message queue, and synchronizes the members
-with an IDC barrier.
+This example builds a fleet (one family member pinned per physical CPU)
+through a :class:`~repro.NepheleSession`, distributes work over an IDC
+message queue, synchronizes the members with an IDC barrier, and
+exports the traced clone path as JSON.
 """
 
-from repro import DomainConfig, GuestApp, Platform, VifConfig
+from repro import GuestApp, NepheleSession
 from repro.core.smp import build_fleet
 from repro.idc.mqueue import MessageQueue
 from repro.idc.sync import IdcBarrier
@@ -21,46 +22,51 @@ class WorkerApp(GuestApp):
 
 
 def main() -> None:
-    platform = Platform.create(cpus=4)
-    config = DomainConfig(name="worker", memory_mb=8, kernel="minios-udp",
-                          vifs=[VifConfig(ip="10.0.4.1")], max_clones=8)
-    parent = platform.xl.create(config, app=WorkerApp())
+    with NepheleSession(cpus=4) as session:
+        parent = session.boot("worker", memory_mb=8, kernel="minios-udp",
+                              ip="10.0.4.1", max_clones=8, app=WorkerApp())
 
-    # IDC mechanisms are created before forking, like POSIX pipes.
-    queue = MessageQueue(platform.hypervisor, parent)
-    barrier = IdcBarrier(platform.hypervisor, parent, parties=4)
+        # IDC mechanisms are created before forking, like POSIX pipes.
+        queue = MessageQueue(session.hypervisor, parent)
+        barrier = IdcBarrier(session.hypervisor, parent, parties=4)
 
-    fleet = build_fleet(platform, parent.domid)
-    print(f"fleet of {fleet.size} over {platform.hypervisor.cpus} CPUs:")
-    for member in fleet.members:
-        domain = platform.hypervisor.get_domain(member.domid)
-        role = "parent" if member.is_parent else "clone"
-        print(f"  CPU {member.cpu}: domid {member.domid} ({role}), "
-              f"affinity {set(domain.vcpus[0].affinity)}")
+        fleet = build_fleet(session.platform, parent.domid)
+        print(f"fleet of {fleet.size} over {session.hypervisor.cpus} CPUs:")
+        for member in fleet.members:
+            domain = session.domain(member.domid)
+            role = "parent" if member.is_parent else "clone"
+            print(f"  CPU {member.cpu}: domid {member.domid} ({role}), "
+                  f"affinity {set(domain.vcpus[0].affinity)}")
 
-    # The parent enqueues jobs; each member drains its share.
-    for job in range(8):
-        queue.send(parent, f"job-{job}".encode(), priority=job % 3)
+        # The parent enqueues jobs; each member drains its share.
+        for job in range(8):
+            queue.send(parent, f"job-{job}".encode(), priority=job % 3)
 
-    print("\ndistributing 8 jobs over the fleet (priority order):")
-    members = fleet.domains()
-    taken = {m.domid: [] for m in members}
-    index = 0
-    while len(queue):
-        domain = members[index % len(members)]
-        payload, priority = queue.receive(domain)
-        taken[domain.domid].append(payload.decode())
-        index += 1
-    for domid, jobs in taken.items():
-        print(f"  domid {domid}: {jobs}")
+        print("\ndistributing 8 jobs over the fleet (priority order):")
+        members = fleet.domains()
+        taken = {m.domid: [] for m in members}
+        index = 0
+        while len(queue):
+            domain = members[index % len(members)]
+            payload, priority = queue.receive(domain)
+            taken[domain.domid].append(payload.decode())
+            index += 1
+        for domid, jobs in taken.items():
+            print(f"  domid {domid}: {jobs}")
 
-    print("\nbarrier: everyone reports in")
-    for i, domain in enumerate(members):
-        released = barrier.arrive(domain)
-        print(f"  domid {domain.domid} arrived "
-              f"({'released!' if released else f'waiting {i + 1}/4'})")
+        print("\nbarrier: everyone reports in")
+        for i, domain in enumerate(members):
+            released = barrier.arrive(domain)
+            print(f"  domid {domain.domid} arrived "
+                  f"({'released!' if released else f'waiting {i + 1}/4'})")
 
-    platform.check_invariants()
+        print("\nwhere the virtual time went:")
+        print(session.trace_report())
+        report = session.trace_export("clone_fleet_trace.json",
+                                      example="clone_fleet")
+        kinds = {span["kind"] for span in report["spans"]}
+        print(f"\nwrote clone_fleet_trace.json "
+              f"({len(report['spans'])} spans, {len(kinds)} kinds)")
 
 
 if __name__ == "__main__":

@@ -6,17 +6,17 @@ ab-style closed loop and prints throughput/memory timelines, showing
 why clones track the request load so much more closely.
 """
 
-from repro import Platform
+from repro import NepheleSession
 from repro.apps.faas import FaasBackendType, OpenFaasGateway
 from repro.sim.units import GIB
 
 
 def run_backend(backend: FaasBackendType):
-    platform = Platform.create(total_memory_bytes=32 * GIB,
-                               dom0_memory_bytes=8 * GIB, cpus=10)
-    gateway = OpenFaasGateway(platform, backend)
-    timeline = gateway.run(duration_s=90)
-    return timeline
+    with NepheleSession(total_memory_bytes=32 * GIB,
+                        dom0_memory_bytes=8 * GIB, cpus=10,
+                        trace=False) as session:
+        gateway = OpenFaasGateway(session.platform, backend)
+        return gateway.run(duration_s=90)
 
 
 def main() -> None:

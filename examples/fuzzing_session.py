@@ -7,44 +7,43 @@ clone_reset between iterations — and compares throughput against
 booting a fresh VM per input.
 """
 
-from repro import Platform
+from repro import NepheleSession
 from repro.apps.fuzzing import FuzzMode, FuzzSession, SyscallAdapterApp
-from repro.toolstack.config import DomainConfig
 
 
 def manual_kfx_walkthrough() -> None:
     """The individual CLONEOP subcommands, spelled out."""
-    platform = Platform.create()
-    config = DomainConfig(name="target", memory_mb=16,
-                          kernel="unikraft-fuzz", max_clones=16,
-                          start_clones_paused=True)
-    target = platform.xl.create(config, app=SyscallAdapterApp())
+    with NepheleSession() as session:
+        target = session.boot("target", memory_mb=16,
+                              kernel="unikraft-fuzz", max_clones=16,
+                              start_clones_paused=True,
+                              app=SyscallAdapterApp())
 
-    # KFX clones the target from Dom0 and instruments the *clone*.
-    clone_id = platform.xl.clone(target.domid)[0]
-    platform.cloneop.resume_clone(clone_id)
-    clone = platform.hypervisor.get_domain(clone_id)
-    print(f"target domid {target.domid}, fuzzing clone domid {clone_id}")
+        # KFX clones the target from Dom0 and instruments the *clone*.
+        clone_id = session.clone(target)[0]
+        session.cloneop.resume_clone(clone_id)
+        clone = session.domain(clone_id)
+        print(f"target domid {target.domid}, fuzzing clone domid {clone_id}")
 
-    # Breakpoints: explicitly COW the text pages about to be patched.
-    text = clone.memory.segments[0]
-    stats = platform.cloneop.clone_cow(0, clone_id, text.pfn_start, 12)
-    print(f"clone_cow privatized {stats.copied} text pages for breakpoints")
+        # Breakpoints: explicitly COW the text pages about to be patched.
+        text = clone.memory.segments[0]
+        stats = session.cloneop.clone_cow(0, clone_id, text.pfn_start, 12)
+        print(f"clone_cow privatized {stats.copied} text pages "
+              "for breakpoints")
 
-    platform.cloneop.snapshot(clone_id)
+        session.cloneop.snapshot(clone_id)
 
-    for iteration in range(3):
-        # "Run" an input: the guest dirties a few pages.
-        clone.memory.write_range(text.pfn_start, 3)
-        t0 = platform.now
-        rolled_back = platform.cloneop.clone_reset(0, clone_id)
-        reset_us = (platform.now - t0) * 1000
-        print(f"iteration {iteration}: clone_reset rolled back "
-              f"{rolled_back} dirty pages in {reset_us:.0f} us")
+        for iteration in range(3):
+            # "Run" an input: the guest dirties a few pages.
+            clone.memory.write_range(text.pfn_start, 3)
+            t0 = session.now
+            rolled_back = session.cloneop.clone_reset(0, clone_id)
+            reset_us = (session.now - t0) * 1000
+            print(f"iteration {iteration}: clone_reset rolled back "
+                  f"{rolled_back} dirty pages in {reset_us:.0f} us")
 
-    platform.xl.destroy(clone_id)
-    platform.xl.destroy(target.domid)
-    platform.check_invariants()
+        session.destroy(clone_id)
+        session.destroy(target)
 
 
 def throughput_comparison() -> None:
@@ -55,8 +54,9 @@ def throughput_comparison() -> None:
         (FuzzMode.LINUX_PROCESS, "native Linux process (plain AFL)"),
         (FuzzMode.LINUX_MODULE, "Linux kernel module (KFX)"),
     ):
-        platform = Platform.create()
-        report = FuzzSession(platform, mode, baseline=True).run(duration_s=30)
+        with NepheleSession(trace=False) as session:
+            report = FuzzSession(session.platform, mode,
+                                 baseline=True).run(duration_s=30)
         extra = ""
         if report.avg_reset_us is not None:
             extra = (f"  (reset {report.avg_reset_us:.0f} us, "

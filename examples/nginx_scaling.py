@@ -7,38 +7,37 @@ Unikraft master whose workers are Nephele clones behind a Linux bond —
 and prints the throughput scaling from 1 to 4 workers.
 """
 
-from repro import Platform
+from repro import NepheleSession
 from repro.apps.nginx import NginxCloneCluster, NginxProcessCluster
 from repro.sim.units import GIB
 
 
 def main() -> None:
-    platform = Platform.create(total_memory_bytes=32 * GIB,
-                               dom0_memory_bytes=4 * GIB)
-    rng = platform.rng.fork("nginx-example")
+    with NepheleSession(total_memory_bytes=32 * GIB,
+                        dom0_memory_bytes=4 * GIB) as session:
+        rng = session.rng.fork("nginx-example")
 
-    print(f"{'workers':>8} {'processes (req/s)':>20} {'clones (req/s)':>18}")
-    for workers in (1, 2, 3, 4):
-        cluster = NginxCloneCluster(platform, workers,
-                                    ip=f"10.0.2.{workers}")
-        clone_result = cluster.run_wrk(rng)
+        print(f"{'workers':>8} {'processes (req/s)':>20} "
+              f"{'clones (req/s)':>18}")
+        for workers in (1, 2, 3, 4):
+            cluster = NginxCloneCluster(session.platform, workers,
+                                        ip=f"10.0.2.{workers}")
+            clone_result = cluster.run_wrk(rng)
 
-        processes = NginxProcessCluster(platform.clock, platform.costs,
-                                        workers)
-        process_result = processes.run_wrk(rng)
+            processes = NginxProcessCluster(session.clock, session.costs,
+                                            workers)
+            process_result = processes.run_wrk(rng)
 
-        print(f"{workers:>8} {process_result.throughput_rps:>20,.0f} "
-              f"{clone_result.throughput_rps:>18,.0f}")
+            print(f"{workers:>8} {process_result.throughput_rps:>20,.0f} "
+                  f"{clone_result.throughput_rps:>18,.0f}")
 
-        if workers == 4:
-            bond = platform.dom0.family_bond(cluster.ip)
-            shares = clone_result.per_worker_connections
-            print(f"\nbond {bond.name!r} balanced wrk's "
-                  f"{sum(shares)} connections as {shares} "
-                  "(layer3+4 hash over ephemeral ports)")
-        cluster.destroy()
-
-    platform.check_invariants()
+            if workers == 4:
+                bond = session.dom0.family_bond(cluster.ip)
+                shares = clone_result.per_worker_connections
+                print(f"\nbond {bond.name!r} balanced wrk's "
+                      f"{sum(shares)} connections as {shares} "
+                      "(layer3+4 hash over ephemeral ports)")
+            cluster.destroy()
 
 
 if __name__ == "__main__":

@@ -3,15 +3,17 @@
 
 Demonstrates the core Nephele flow on the simulated platform:
 
-1. build a host (16 GB, Xen + Dom0 + xencloned);
-2. boot a unikernel guest with `xl create`;
+1. open a :class:`~repro.NepheleSession` (16 GB host: Xen + Dom0 +
+   xencloned, tracing on);
+2. boot a unikernel guest;
 3. create an IDC pipe (the POSIX-pipe equivalent for clone families);
 4. fork() the guest via the CLONEOP hypercall;
 5. exchange data between parent and clone;
-6. compare boot time vs clone time and inspect memory sharing.
+6. compare boot time vs clone time, inspect memory sharing, and print
+   the traced per-stage breakdown.
 """
 
-from repro import DomainConfig, GuestApp, Platform, VifConfig
+from repro import GuestApp, NepheleSession
 
 
 class PingPongApp(GuestApp):
@@ -37,47 +39,42 @@ class PingPongApp(GuestApp):
 
 
 def main() -> None:
-    platform = Platform.create()
+    with NepheleSession() as session:
+        t0 = session.now
+        parent = session.boot(
+            "quickstart", kernel="minios-udp", ip="10.0.1.1", max_clones=8,
+            start_clones_paused=True,  # so we can write into the pipe first
+            app=PingPongApp())
+        boot_ms = session.now - t0
+        print(f"booted {parent.name!r} (domid {parent.domid}) in "
+              f"{boot_ms:.1f} ms of simulated time")
 
-    config = DomainConfig(
-        name="quickstart",
-        memory_mb=4,
-        kernel="minios-udp",
-        vifs=[VifConfig(ip="10.0.1.1")],
-        max_clones=8,
-        start_clones_paused=True,  # so we can write into the pipe first
-    )
+        app = parent.guest.app
+        app.pipe.write_end(parent).write(b"hello from the parent")
 
-    t0 = platform.now
-    parent = platform.xl.create(config, app=PingPongApp())
-    boot_ms = platform.now - t0
-    print(f"booted {parent.name!r} (domid {parent.domid}) in {boot_ms:.1f} ms "
-          "of simulated time")
+        t0 = session.now
+        children = session.clone(parent, from_guest=True)
+        clone_ms = session.now - t0
+        child_id = children[0]
+        print(f"fork() created domid {child_id} in {clone_ms:.1f} ms "
+              f"({boot_ms / clone_ms:.1f}x faster than booting)")
 
-    app = parent.guest.app
-    app.pipe.write_end(parent).write(b"hello from the parent")
+        session.cloneop.resume_clone(child_id)
+        child = session.domain(child_id)
+        print("clone console:", child.frontends["console"][0].output)
 
-    t0 = platform.now
-    children = platform.cloneop.clone(parent.domid)
-    clone_ms = platform.now - t0
-    child_id = children[0]
-    print(f"fork() created domid {child_id} in {clone_ms:.1f} ms "
-          f"({boot_ms / clone_ms:.1f}x faster than booting)")
+        answer = app.reply_pipe.read_end(parent).read()
+        print("parent received:", answer.decode())
 
-    platform.cloneop.resume_clone(child_id)
-    child = platform.hypervisor.get_domain(child_id)
-    print("clone console:", child.frontends["console"][0].output)
+        shared = child.memory.shared_pages()
+        private = child.memory.private_pages()
+        print(f"clone memory: {shared} pages COW-shared with the parent, "
+              f"{private} pages private (rings, buffers, dirtied data)")
 
-    answer = app.reply_pipe.read_end(parent).read()
-    print("parent received:", answer.decode())
-
-    shared = child.memory.shared_pages()
-    private = child.memory.private_pages()
-    print(f"clone memory: {shared} pages COW-shared with the parent, "
-          f"{private} pages private (rings, buffers, dirtied data)")
-
-    print("domains:", platform.xl.list_domains())
-    platform.check_invariants()
+        print("domains:", session.xl.list_domains())
+        print("\nwhere the virtual time went:")
+        print(session.trace_report())
+    # Leaving the `with` block verified the frame-accounting invariants.
     print("frame-accounting invariants hold")
 
 

@@ -7,7 +7,7 @@ The same workload runs as a process in an Alpine Linux VM for
 comparison.
 """
 
-from repro import DomainConfig, Platform
+from repro import NepheleSession
 from repro.apps.redis import (
     RedisApp,
     RedisProcessBaseline,
@@ -19,43 +19,41 @@ from repro.toolstack.config import P9Config
 
 
 def main() -> None:
-    platform = Platform.create(total_memory_bytes=16 * GIB,
-                               dom0_memory_bytes=4 * GIB)
+    with NepheleSession(total_memory_bytes=16 * GIB,
+                        dom0_memory_bytes=4 * GIB) as session:
+        # --- Redis on Unikraft, snapshotting via clone ---
+        redis = session.boot(redis_unikernel_config("redis-uk"),
+                             app=RedisApp())
+        app: RedisApp = redis.guest.app
+        bgsave_unikernel(session.platform, redis)  # first save marks all COW
 
-    # --- Redis on Unikraft, snapshotting via clone ---
-    redis = platform.xl.create(redis_unikernel_config("redis-uk"),
-                               app=RedisApp())
-    app: RedisApp = redis.guest.app
-    bgsave_unikernel(platform, redis)  # first save marks everything COW
+        print("Unikraft Redis (BGSAVE = VM clone):")
+        print(f"{'keys':>10} {'clone (ms)':>12} {'save (ms)':>12} "
+              f"{'rdb bytes':>12}")
+        for keys in (1_000, 100_000, 1_000_000):
+            app.mass_insert(redis.guest.api, keys - app.keys)
+            timing = bgsave_unikernel(session.platform, redis)
+            rdb = session.dom0.hostfs.size("/srv/redis/dump.rdb")
+            print(f"{timing.keys:>10,} {timing.fork_ms:>12.2f} "
+                  f"{timing.save_ms:>12.2f} {rdb:>12,}")
 
-    print("Unikraft Redis (BGSAVE = VM clone):")
-    print(f"{'keys':>10} {'clone (ms)':>12} {'save (ms)':>12} {'rdb bytes':>12}")
-    for keys in (1_000, 100_000, 1_000_000):
-        app.mass_insert(redis.guest.api, keys - app.keys)
-        timing = bgsave_unikernel(platform, redis)
-        rdb = platform.dom0.hostfs.size("/srv/redis/dump.rdb")
-        print(f"{timing.keys:>10,} {timing.fork_ms:>12.2f} "
-              f"{timing.save_ms:>12.2f} {rdb:>12,}")
+        # --- Baseline: Redis process inside an Alpine VM ---
+        vm = session.boot("redis-vm", memory_mb=512, kernel="alpine-linux",
+                          p9fs=[P9Config(tag="d", export_root="/srv/redis-vm",
+                                         mount_point="/mnt")])
+        baseline = RedisProcessBaseline(session.platform, vm)
+        baseline.bgsave()
 
-    # --- Baseline: Redis process inside an Alpine VM ---
-    vm = platform.xl.create(DomainConfig(
-        name="redis-vm", memory_mb=512, kernel="alpine-linux",
-        p9fs=[P9Config(tag="d", export_root="/srv/redis-vm",
-                       mount_point="/mnt")]))
-    baseline = RedisProcessBaseline(platform, vm)
-    baseline.bgsave()
+        print("\nRedis process in an Alpine VM (BGSAVE = fork):")
+        print(f"{'keys':>10} {'fork (ms)':>12} {'save (ms)':>12}")
+        for keys in (1_000, 100_000, 1_000_000):
+            baseline.mass_insert(keys - baseline.keys)
+            timing = baseline.bgsave()
+            print(f"{timing.keys:>10,} {timing.fork_ms:>12.2f} "
+                  f"{timing.save_ms:>12.2f}")
 
-    print("\nRedis process in an Alpine VM (BGSAVE = fork):")
-    print(f"{'keys':>10} {'fork (ms)':>12} {'save (ms)':>12}")
-    for keys in (1_000, 100_000, 1_000_000):
-        baseline.mass_insert(keys - baseline.keys)
-        timing = baseline.bgsave()
-        print(f"{timing.keys:>10,} {timing.fork_ms:>12.2f} "
-              f"{timing.save_ms:>12.2f}")
-
-    print("\nNote how the clone's constant I/O-cloning cost is amortized "
-          "once serialization dominates.")
-    platform.check_invariants()
+        print("\nNote how the clone's constant I/O-cloning cost is amortized "
+              "once serialization dominates.")
 
 
 if __name__ == "__main__":

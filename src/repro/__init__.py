@@ -6,6 +6,8 @@ discrete-event simulation. See DESIGN.md for the system inventory and
 EXPERIMENTS.md for paper-vs-measured results.
 """
 
+from repro.api import NepheleSession, SessionError
+from repro.errors import ReproError
 from repro.guest.app import GuestApp
 from repro.platform import Platform, PlatformConfig
 from repro.sim import CostModel
@@ -14,6 +16,7 @@ from repro.toolstack.config import DomainConfig, P9Config, VifConfig
 __version__ = "1.0.0"
 
 __all__ = [
+    "NepheleSession",
     "Platform",
     "PlatformConfig",
     "CostModel",
@@ -21,5 +24,7 @@ __all__ = [
     "VifConfig",
     "P9Config",
     "GuestApp",
+    "ReproError",
+    "SessionError",
     "__version__",
 ]

@@ -16,7 +16,7 @@ dynamics rather than random noise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim import DeterministicRNG
 

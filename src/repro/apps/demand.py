@@ -8,7 +8,7 @@ studied under ramps, bursts and diurnal patterns as well.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class DemandProfile:

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.guest.api import GuestAPI, Region
 from repro.guest.app import GuestApp
-from repro.guest.linux import LinuxProcess, LinuxVM
+from repro.guest.linux import LinuxVM
 from repro.sim.units import MIB
 from repro.toolstack.config import DomainConfig, P9Config
 

@@ -15,6 +15,10 @@ additions:
     pause/unpause <name|domid> domctl pause control
     vcpu-pin <dom> <v> <cpus>  pin a vCPU to physical CPUs
     stats                      full platform snapshot (memory, families)
+    trace [summary]            per-stage virtual-time breakdown table
+    trace spans [kind]         recorded spans (optionally one kind)
+    trace export <file.json>   write the machine-readable run report
+    trace reset                drop recorded spans and metrics
     mem                        free memory (hypervisor + Dom0)
     clock                      current virtual time
     help / quit
@@ -29,13 +33,14 @@ import shlex
 import sys
 from typing import Callable, TextIO
 
+from repro.errors import ReproError
 from repro.platform import Platform
 from repro.sim.units import MIB
 from repro.toolstack.config import parse_xl_config
 from repro.toolstack.xl import SavedImage
 
 
-class CliError(Exception):
+class CliError(ReproError):
     """Command rejected (bad syntax or unknown domain/image)."""
 
 
@@ -44,7 +49,10 @@ class XlShell:
 
     def __init__(self, platform: Platform | None = None,
                  out: TextIO | None = None) -> None:
-        self.platform = platform if platform is not None else Platform.create()
+        # The shell's own platform is traced so `trace` has data; an
+        # injected platform keeps whatever the caller configured.
+        self.platform = (platform if platform is not None
+                         else Platform.create(trace=True))
         self.out = out if out is not None else sys.stdout
         self.images: dict[str, SavedImage] = {}
         self._commands: dict[str, Callable[[list[str]], None]] = {
@@ -62,6 +70,7 @@ class XlShell:
             "unpause": self.cmd_unpause,
             "vcpu-pin": self.cmd_vcpu_pin,
             "stats": self.cmd_stats,
+            "trace": self.cmd_trace,
             "help": self.cmd_help,
         }
 
@@ -262,6 +271,46 @@ class XlShell:
         from repro.metrics import snapshot
 
         self._print(snapshot(self.platform).format())
+
+    def cmd_trace(self, args: list[str]) -> None:
+        """trace [summary | spans [kind] | export <file> | reset]"""
+        tracer = self.platform.tracer
+        if not tracer.enabled:
+            self._print("tracing disabled "
+                        "(create the platform with trace=True)")
+            return
+        sub = args[0] if args else "summary"
+        if sub == "summary":
+            self._print(tracer.format_summary())
+        elif sub == "spans":
+            kind = args[1] if len(args) >= 2 else None
+            spans = tracer.spans(kind)
+            if not spans:
+                self._print("(no spans recorded)")
+                return
+            for span in spans:
+                indent = "  " * span.depth
+                self._print(f"{span.start_ms:>12.4f}  {indent}{span.kind}  "
+                            f"{span.duration_ms:.4f} ms")
+        elif sub == "export":
+            if len(args) != 2:
+                raise CliError("usage: trace export <file.json>")
+            import json
+
+            report = tracer.export()
+            try:
+                with open(args[1], "w", encoding="utf-8") as handle:
+                    json.dump(report, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+            except OSError as error:
+                raise CliError(f"cannot write {args[1]!r}: {error}") from error
+            self._print(f"wrote {len(report['spans'])} spans to {args[1]!r}")
+        elif sub == "reset":
+            tracer.reset()
+            self._print("trace cleared")
+        else:
+            raise CliError(
+                "usage: trace [summary | spans [kind] | export <file> | reset]")
 
     def cmd_help(self, args: list[str]) -> None:
         """help: the command reference."""

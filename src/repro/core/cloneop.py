@@ -14,6 +14,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.errors import ReproError
 from repro.core import first_stage
 from repro.core.notify_ring import CloneNotificationRing, RingFullError
 from repro.xen.domain import Domain, DomainState
@@ -34,7 +35,7 @@ class CloneSubOp(enum.Enum):
     SET_GLOBAL_ENABLE = "set_global_enable"
 
 
-class CloneOpError(Exception):
+class CloneOpError(ReproError):
     """CLONEOP subcommand failure (policy or protocol violation)."""
 
 
@@ -91,72 +92,93 @@ class CloneOp:
         passed explicitly (paper §5.1).
         """
         hyp = self.hypervisor
-        hyp.clock.charge(hyp.costs.hypercall_base)
-        if count < 1:
-            raise CloneOpError(f"non-positive clone count: {count}")
-        if not self.globally_enabled:
-            raise CloneOpError("cloning is disabled globally "
-                               "(xencloned not running?)")
-        if target_domid is None or target_domid == caller_domid:
-            parent = hyp.get_domain(caller_domid)
-        else:
-            if not self._is_privileged(caller_domid):
-                raise XenPermissionError(
-                    f"domain {caller_domid} may not clone domain {target_domid}")
-            parent = hyp.get_domain(target_domid)
-        if not parent.may_clone(count):
-            raise CloneOpError(
-                f"domain {parent.domid} may not create {count} more clones "
-                f"(max {parent.max_clones}, created {parent.clones_created})")
+        tracer = hyp.tracer
+        # The spans below partition the whole operation: every clock
+        # charge between clone.op's start and end falls inside exactly
+        # one of prepare / first_stage / handoff / resume, so the stage
+        # durations sum to the clone's virtual elapsed time.
+        with tracer.span("clone.op", caller=caller_domid, count=count):
+            with tracer.span("clone.prepare"):
+                hyp.clock.charge(hyp.costs.hypercall_base)
+                if count < 1:
+                    raise CloneOpError(f"non-positive clone count: {count}")
+                if not self.globally_enabled:
+                    raise CloneOpError("cloning is disabled globally "
+                                       "(xencloned not running?)")
+                if target_domid is None or target_domid == caller_domid:
+                    parent = hyp.get_domain(caller_domid)
+                else:
+                    if not self._is_privileged(caller_domid):
+                        raise XenPermissionError(
+                            f"domain {caller_domid} may not clone "
+                            f"domain {target_domid}")
+                    parent = hyp.get_domain(target_domid)
+                if not parent.may_clone(count):
+                    raise CloneOpError(
+                        f"domain {parent.domid} may not create {count} more "
+                        f"clones (max {parent.max_clones}, created "
+                        f"{parent.clones_created})")
 
-        # The parent is paused until the completion of the second stage,
-        # "to keep its state consistent for all its clones" (paper §5).
-        previous_state = parent.state
-        hyp.pause_domain(parent.domid)
+                # The parent is paused until the completion of the second
+                # stage, "to keep its state consistent for all its clones"
+                # (paper §5).
+                previous_state = parent.state
+                hyp.pause_domain(parent.domid)
 
-        children: list[Domain] = []
-        for i in range(count):
-            child_index = parent.clones_created
-            known = set(hyp.domains)
-            try:
-                child = first_stage.clone_domain(hyp, parent, child_index)
-            except Exception:
-                # Unwind the partial child (ENOMEM mid-stage, ...): the
-                # parent must come back runnable and nothing may leak.
-                self._abort_partial_clone(parent, known, previous_state)
-                raise
-            parent.clones_created += 1
-            self._pending[child.domid] = parent.domid
-            try:
-                self._notify(parent, child)
-            except Exception:
-                # Second stage failed (backend error, Dom0 trouble):
-                # drop the half-plumbed child and resume the parent.
-                self._pending.pop(child.domid, None)
-                parent.clones_created -= 1
-                self._abort_partial_clone(parent, known, previous_state)
-                raise
-            children.append(child)
-            hyp.clock.charge(hyp.costs.clone_coordination)
-            self.stats["clones"] += 1
+            children: list[Domain] = []
+            for i in range(count):
+                child_index = parent.clones_created
+                known = set(hyp.domains)
+                try:
+                    with tracer.span("clone.first_stage",
+                                     parent=parent.domid) as span:
+                        child = first_stage.clone_domain(hyp, parent,
+                                                         child_index)
+                        span.set(child=child.domid)
+                except Exception:
+                    # Unwind the partial child (ENOMEM mid-stage, ...): the
+                    # parent must come back runnable and nothing may leak.
+                    self._abort_partial_clone(parent, known, previous_state)
+                    raise
+                parent.clones_created += 1
+                self._pending[child.domid] = parent.domid
+                try:
+                    with tracer.span("clone.handoff", parent=parent.domid,
+                                     child=child.domid):
+                        self._notify(parent, child)
+                        hyp.clock.charge(hyp.costs.clone_coordination)
+                except Exception:
+                    # Second stage failed (backend error, Dom0 trouble):
+                    # drop the half-plumbed child and resume the parent.
+                    self._pending.pop(child.domid, None)
+                    parent.clones_created -= 1
+                    self._abort_partial_clone(parent, known, previous_state)
+                    raise
+                children.append(child)
+                self.stats["clones"] += 1
 
-        # The synchronous second stage has signalled completion for each
-        # child by now; anything left pending means xencloned is absent.
-        still_pending = [c.domid for c in children if c.domid in self._pending]
-        if still_pending:
-            raise CloneOpError(
-                f"second stage never completed for {still_pending} "
-                "(is xencloned attached?)")
+            # The synchronous second stage has signalled completion for
+            # each child by now; anything left pending means xencloned is
+            # absent.
+            still_pending = [c.domid for c in children
+                             if c.domid in self._pending]
+            if still_pending:
+                raise CloneOpError(
+                    f"second stage never completed for {still_pending} "
+                    "(is xencloned attached?)")
 
-        # rax fixups: 0 in the parent (paper §5.2).
-        for vcpu in parent.vcpus:
-            vcpu.registers["rax"] = 0
-        if previous_state is DomainState.RUNNING or previous_state is DomainState.CREATED:
-            hyp.unpause_domain(parent.domid)
-        else:
-            parent.state = previous_state
-
-        self._resume_children(parent, children)
+            with tracer.span("clone.resume"):
+                # rax fixups: 0 in the parent (paper §5.2).
+                for vcpu in parent.vcpus:
+                    vcpu.registers["rax"] = 0
+                if (previous_state is DomainState.RUNNING
+                        or previous_state is DomainState.CREATED):
+                    hyp.unpause_domain(parent.domid)
+                else:
+                    parent.state = previous_state
+                self._resume_children(parent, children)
+        tracer.count("clone.ops")
+        tracer.count("clone.children", count)
         return [child.domid for child in children]
 
     def _abort_partial_clone(self, parent: Domain, known: set[int],

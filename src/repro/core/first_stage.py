@@ -24,56 +24,63 @@ def clone_domain(hypervisor: Hypervisor, parent: Domain,
     """
     costs = hypervisor.costs
     clock = hypervisor.clock
+    tracer = hypervisor.tracer
 
-    clock.charge(costs.clone_first_stage_fixed)
+    with tracer.span("first_stage.domain_copy"):
+        clock.charge(costs.clone_first_stage_fixed)
 
-    # struct domain copy + special pages + paging frames. Copying the
-    # parent's structures is cheaper than creating them from scratch,
-    # so the creation fixed cost is not charged here.
-    child = hypervisor.create_domain(
-        name="",  # xencloned generates and sets the clone's name
-        memory_bytes=parent.memory_bytes,
-        vcpus=len(parent.vcpus),
-        populate=False,
-        overhead_pages=costs.hyp_per_clone_overhead_pages,
-        charge_create=False,
-    )
-    child.config = (parent.config.for_clone(f"{parent.name}-unnamed")
-                    if parent.config is not None else None)
+        # struct domain copy + special pages + paging frames. Copying the
+        # parent's structures is cheaper than creating them from scratch,
+        # so the creation fixed cost is not charged here.
+        child = hypervisor.create_domain(
+            name="",  # xencloned generates and sets the clone's name
+            memory_bytes=parent.memory_bytes,
+            vcpus=len(parent.vcpus),
+            populate=False,
+            overhead_pages=costs.hyp_per_clone_overhead_pages,
+            charge_create=False,
+        )
+        child.config = (parent.config.for_clone(f"{parent.name}-unnamed")
+                        if parent.config is not None else None)
 
-    # vCPUs: affinity and user registers, rax fixed up (paper §5.2).
-    child.vcpus = [vcpu.clone_for_child(child_index) for vcpu in parent.vcpus]
+        # vCPUs: affinity and user registers, rax fixed up (paper §5.2).
+        child.vcpus = [vcpu.clone_for_child(child_index)
+                       for vcpu in parent.vcpus]
 
-    # Private Xen pages were freshly allocated by create_domain; their
-    # contents are rewritten from the parent's (domid references etc.).
-    clock.charge(costs.page_copy * len(child.special))
+        # Private Xen pages were freshly allocated by create_domain; their
+        # contents are rewritten from the parent's (domid references etc.).
+        clock.charge(costs.page_copy * len(child.special))
 
     # Memory: share every shareable parent segment with the child.
-    shared_pages = 0
-    newly_shared = 0
-    for segment in parent.memory.shareable_segments():
-        extent = segment.extent
-        if not extent.shared:
-            hypervisor.frames.share_to_cow(extent)
-            newly_shared += segment.npages
-        hypervisor.frames.add_sharer(extent)
-        child.memory.adopt_segment(segment.pfn_start, extent,
-                                   segment.extent_offset, segment.npages,
-                                   label=segment.label)
-        shared_pages += segment.npages
-    clock.charge(costs.share_page * newly_shared)
+    with tracer.span("first_stage.memory_share") as span:
+        shared_pages = 0
+        newly_shared = 0
+        for segment in parent.memory.shareable_segments():
+            extent = segment.extent
+            if not extent.shared:
+                hypervisor.frames.share_to_cow(extent)
+                newly_shared += segment.npages
+            hypervisor.frames.add_sharer(extent)
+            child.memory.adopt_segment(segment.pfn_start, extent,
+                                       segment.extent_offset, segment.npages,
+                                       label=segment.label)
+            shared_pages += segment.npages
+        clock.charge(costs.share_page * newly_shared)
+        span.set(shared_pages=shared_pages, newly_shared=newly_shared)
 
     # Page table and p2m cloning: the per-entry work that dominates for
     # large guests (paper §4.1 and Fig 6).
-    clock.charge((costs.pt_entry_clone + costs.p2m_entry_clone)
-                 * shared_pages)
+    with tracer.span("first_stage.pt_clone", pages=shared_pages):
+        clock.charge((costs.pt_entry_clone + costs.p2m_entry_clone)
+                     * shared_pages)
 
     # Grant table and event channels.
-    child.grants = parent.grants.clone_for_child(child.domid)
-    clock.charge(costs.grant_entry_clone * len(parent.grants))
-    child.events = parent.events.clone_for_child(child.domid)
-    clock.charge(costs.evtchn_op * len(parent.events))
-    hypervisor.connect_idc_child(parent, child)
+    with tracer.span("first_stage.grants_events"):
+        child.grants = parent.grants.clone_for_child(child.domid)
+        clock.charge(costs.grant_entry_clone * len(parent.grants))
+        child.events = parent.events.clone_for_child(child.domid)
+        clock.charge(costs.evtchn_op * len(parent.events))
+        hypervisor.connect_idc_child(parent, child)
 
     # Family bookkeeping.
     child.parent_id = parent.domid
@@ -82,10 +89,15 @@ def clone_domain(hypervisor: Hypervisor, parent: Domain,
 
     # Guest-level state: device frontends (rings and RX buffers are
     # copied - the clone's dominant private memory) and the application.
+    copied_pages = 0
     if parent.guest is not None:
-        copied_pages = parent.guest.clone_for_child(child, child_index)
-        clock.charge(costs.page_copy * copied_pages)
+        with tracer.span("first_stage.guest_copy") as span:
+            copied_pages = parent.guest.clone_for_child(child, child_index)
+            clock.charge(costs.page_copy * copied_pages)
+            span.set(copied_pages=copied_pages)
 
+    tracer.count("clone.pages_shared", shared_pages)
+    tracer.count("clone.pages_copied", copied_pages)
     child.state = DomainState.PAUSED
     return child
 

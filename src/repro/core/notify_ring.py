@@ -9,6 +9,8 @@ process when the notification ring is full").
 
 from __future__ import annotations
 
+from repro.errors import ReproError
+
 from collections import deque
 from dataclasses import dataclass
 
@@ -24,7 +26,7 @@ class CloneNotification:
     child_start_info_mfn: int
 
 
-class RingFullError(Exception):
+class RingFullError(ReproError):
     """The ring is full: backpressure on the first stage."""
 
 

@@ -18,7 +18,6 @@ from repro.core.cloneop import CloneOp
 from repro.devices.console import console_backend_path, console_frontend_path
 from repro.devices.p9 import p9_backend_path, p9_frontend_path
 from repro.devices.udev import UdevEvent
-from repro.devices.vif import vif_backend_path, vif_frontend_path
 from repro.net.bridge import Bridge
 from repro.toolstack.dom0 import Dom0
 from repro.xen.domid import DOM0
@@ -74,46 +73,60 @@ class Xencloned:
     def _second_stage(self, parent_domid: int, child_domid: int) -> None:
         parent = self.hypervisor.get_domain(parent_domid)
         child = self.hypervisor.get_domain(child_domid)
+        tracer = self.hypervisor.tracer
 
-        # 1. Introduce the child to xenstored, with the parent ID.
-        self.handle.introduce_domain(child_domid, parent_domid)
+        with tracer.span("clone.second_stage", parent=parent_domid,
+                         child=child_domid):
+            with tracer.span("clone.second_stage.introduce"):
+                # 1. Introduce the child to xenstored, with the parent ID.
+                self.handle.introduce_domain(child_domid, parent_domid)
 
-        # 2. Parent-info cache: the first clone of a parent reads the
-        # parent's Xenstore info (one extra request); later clones skip it.
-        if parent_domid not in self._parent_cache:
-            self.handle.read_maybe(f"/local/domain/{parent_domid}/name")
-            self._parent_cache.add(parent_domid)
+                # 2. Parent-info cache: the first clone of a parent reads
+                # the parent's Xenstore info (one extra request); later
+                # clones skip it.
+                if parent_domid not in self._parent_cache:
+                    self.handle.read_maybe(
+                        f"/local/domain/{parent_domid}/name")
+                    self._parent_cache.add(parent_domid)
 
-        # 3. Generate + set the clone's name. xencloned guarantees
-        # uniqueness (domid-suffixed), so no name scan is needed.
-        child.name = f"{parent.name}-c{child_domid}"
-        self.handle.write(f"{child.store_path}/name", child.name)
+            with tracer.span("clone.second_stage.name"):
+                # 3. Generate + set the clone's name. xencloned guarantees
+                # uniqueness (domid-suffixed), so no name scan is needed.
+                child.name = f"{parent.name}-c{child_domid}"
+                self.handle.write(f"{child.store_path}/name", child.name)
 
-        # Grant reference and event port for the child's own Xenstore
-        # connection (paper §4: "...grant reference and event port for
-        # communication with the Xenstore daemon, etc.").
-        self.handle.write(f"{child.store_path}/store/ring-ref",
-                          str(child.special["xenstore"].extent_id))
-        self.handle.write(f"{child.store_path}/store/port", "1")
+                # Grant reference and event port for the child's own
+                # Xenstore connection (paper §4: "...grant reference and
+                # event port for communication with the Xenstore daemon,
+                # etc.").
+                self.handle.write(f"{child.store_path}/store/ring-ref",
+                                  str(child.special["xenstore"].extent_id))
+                self.handle.write(f"{child.store_path}/store/port", "1")
 
-        # 4. Device cloning (skippable per config: the Fig 6 probe keeps
-        # only the mandatory operations of the second stage).
-        clone_io = (parent.config is None
-                    or parent.config.clone_io_devices)
-        if clone_io:
-            if self.use_xs_clone:
-                self._clone_devices_xs(parent, child)
-            else:
-                self._clone_devices_deep(parent, child)
+            # 4. Device cloning (skippable per config: the Fig 6 probe
+            # keeps only the mandatory operations of the second stage).
+            clone_io = (parent.config is None
+                        or parent.config.clone_io_devices)
+            if clone_io:
+                with tracer.span("clone.second_stage.xenstore",
+                                 xs_clone=self.use_xs_clone):
+                    if self.use_xs_clone:
+                        self._clone_devices_xs(parent, child)
+                    else:
+                        self._clone_devices_deep(parent, child)
 
-        # 5. 9pfs backends clone over QMP.
-        if clone_io and parent.frontends.get("9pfs"):
-            self.dom0.p9.clone(parent_domid, child_domid)
-            self.dom0.p9.connect_clone_frontend(child)
+            # 5. 9pfs backends clone over QMP.
+            if clone_io and parent.frontends.get("9pfs"):
+                with tracer.span("clone.second_stage.p9"):
+                    self.dom0.p9.clone(parent_domid, child_domid)
+                    self.dom0.p9.connect_clone_frontend(child)
 
-        # 6. Completion: unblocks the parent.
-        self.cloneop.clone_completion(DOM0, parent_domid, child_domid)
+            with tracer.span("clone.second_stage.completion"):
+                # 6. Completion: unblocks the parent.
+                self.cloneop.clone_completion(DOM0, parent_domid,
+                                              child_domid)
         self.clones_completed += 1
+        tracer.count("clone.second_stages")
 
     # ------------------------------------------------------------------
     # device directory cloning
@@ -165,13 +178,14 @@ class Xencloned:
             return
         if not event.properties.get("cloned"):
             return
-        self.hypervisor.clock.charge(self.hypervisor.costs.udev_dispatch)
-        domid = event.properties["domid"]
-        index = event.properties["index"]
-        backend = self.dom0.netback.backends.get((domid, index))
-        if backend is None:
-            return
-        self._aggregate_family_vif(backend)
+        with self.hypervisor.tracer.span("xencloned.vif_aggregate"):
+            self.hypervisor.clock.charge(self.hypervisor.costs.udev_dispatch)
+            domid = event.properties["domid"]
+            index = event.properties["index"]
+            backend = self.dom0.netback.backends.get((domid, index))
+            if backend is None:
+                return
+            self._aggregate_family_vif(backend)
 
     def _aggregate_family_vif(self, backend) -> None:
         """Enslave a clone vif (and, the first time, the parent's vif)

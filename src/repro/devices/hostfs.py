@@ -6,10 +6,12 @@ live with the applications.
 
 from __future__ import annotations
 
+from repro.errors import ReproError
+
 import posixpath
 
 
-class HostFSError(Exception):
+class HostFSError(ReproError):
     """Filesystem operation failure (missing path, bad arguments)."""
 
 

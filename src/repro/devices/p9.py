@@ -19,8 +19,10 @@ import enum
 import itertools
 from dataclasses import dataclass
 
+from repro.errors import ReproError
 from repro.devices.hostfs import HostFS
-from repro.devices.xenbus import XenbusState, negotiate
+from repro.devices.xenbus import negotiate
+from repro.obs.tracer import NULL_TRACER
 from repro.sim import CostModel, VirtualClock
 from repro.xen.domain import Domain
 from repro.xenstore.client import XsHandle
@@ -33,7 +35,7 @@ class P9BackendPolicy(enum.Enum):
     PROCESS_PER_CLONE = "process-per-clone"
 
 
-class P9Error(Exception):
+class P9Error(ReproError):
     """9p protocol error (bad fid, unattached guest, ENOENT)."""
 
 
@@ -225,10 +227,12 @@ class P9Service:
 
     def __init__(self, handle: XsHandle, clock: VirtualClock, costs: CostModel,
                  hostfs: HostFS,
-                 policy: P9BackendPolicy = P9BackendPolicy.SHARED_PROCESS) -> None:
+                 policy: P9BackendPolicy = P9BackendPolicy.SHARED_PROCESS,
+                 tracer=None) -> None:
         self.handle = handle
         self.clock = clock
         self.costs = costs
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.hostfs = hostfs
         self.policy = policy
         #: domid -> backend process serving it.
@@ -247,47 +251,52 @@ class P9Service:
         guest and the device negotiates (paper §4: "on booting, xl
         launches the 9pfs filesystem backend as a process for each new
         guest")."""
-        self.clock.charge(self.costs.p9_process_launch)
-        if not self.hostfs.is_dir(export_root):
-            self.hostfs.mkdir(export_root)
-        process = P9BackendProcess(export_root, self.hostfs, self.clock,
-                                   self.costs)
-        process.attach(domain.domid)
-        self.processes[domain.domid] = process
-        frontend = P9Frontend(domain, tag, mount_point)
-        frontend.backend_process = process
-        front = p9_frontend_path(domain.domid)
-        back = p9_backend_path(domain.domid)
-        self.handle.write(f"{front}/tag", tag)
-        self.handle.write(f"{front}/backend", back)
-        self.handle.write(f"{back}/frontend", front)
-        self.handle.write(f"{back}/path", export_root)
-        self.handle.write(f"{back}/security_model", "none")
-        negotiate(self.handle, self.clock, self.costs, front, back)
-        return frontend
+        with self.tracer.span("p9.boot_setup", domid=domain.domid, tag=tag):
+            self.clock.charge(self.costs.p9_process_launch)
+            if not self.hostfs.is_dir(export_root):
+                self.hostfs.mkdir(export_root)
+            process = P9BackendProcess(export_root, self.hostfs, self.clock,
+                                       self.costs)
+            process.attach(domain.domid)
+            self.processes[domain.domid] = process
+            frontend = P9Frontend(domain, tag, mount_point)
+            frontend.backend_process = process
+            front = p9_frontend_path(domain.domid)
+            back = p9_backend_path(domain.domid)
+            self.handle.write(f"{front}/tag", tag)
+            self.handle.write(f"{front}/backend", back)
+            self.handle.write(f"{back}/frontend", front)
+            self.handle.write(f"{back}/path", export_root)
+            self.handle.write(f"{back}/security_model", "none")
+            negotiate(self.handle, self.clock, self.costs, front, back)
+            return frontend
 
     def clone(self, parent_domid: int, child_domid: int) -> int:
         """Second-stage 9pfs cloning via the QMP extension. Returns the
         number of fids cloned."""
-        parent_process = self.process_for(parent_domid)
-        if self.policy is P9BackendPolicy.SHARED_PROCESS:
-            cloned = parent_process.qmp_clone(parent_domid, child_domid)
-            self.processes[child_domid] = parent_process
-        else:
-            self.clock.charge(self.costs.p9_process_launch)
-            process = P9BackendProcess(parent_process.export_root, self.hostfs,
-                                       self.clock, self.costs)
-            process.attach(child_domid)
-            # Propagate the parent's fid table into the new process.
-            parent_table = parent_process.fids.get(parent_domid, {})
-            for fid, entry in parent_table.items():
-                process.fids[child_domid][fid] = Fid(
-                    fid=entry.fid, path=entry.path, mode=entry.mode,
-                    offset=entry.offset)
-            self.clock.charge(self.costs.p9_qmp_clone_fixed
-                              + self.costs.p9_clone_per_fid * len(parent_table))
-            self.processes[child_domid] = process
-            cloned = len(parent_table)
+        with self.tracer.span("p9.qmp_clone", parent=parent_domid,
+                              child=child_domid) as span:
+            parent_process = self.process_for(parent_domid)
+            if self.policy is P9BackendPolicy.SHARED_PROCESS:
+                cloned = parent_process.qmp_clone(parent_domid, child_domid)
+                self.processes[child_domid] = parent_process
+            else:
+                self.clock.charge(self.costs.p9_process_launch)
+                process = P9BackendProcess(parent_process.export_root,
+                                           self.hostfs, self.clock, self.costs)
+                process.attach(child_domid)
+                # Propagate the parent's fid table into the new process.
+                parent_table = parent_process.fids.get(parent_domid, {})
+                for fid, entry in parent_table.items():
+                    process.fids[child_domid][fid] = Fid(
+                        fid=entry.fid, path=entry.path, mode=entry.mode,
+                        offset=entry.offset)
+                self.clock.charge(
+                    self.costs.p9_qmp_clone_fixed
+                    + self.costs.p9_clone_per_fid * len(parent_table))
+                self.processes[child_domid] = process
+                cloned = len(parent_table)
+            span.set(fids=cloned)
         return cloned
 
     def connect_clone_frontend(self, child: Domain) -> None:

@@ -20,6 +20,7 @@ from repro.devices.rings import SharedRing
 from repro.devices.udev import UdevBus, UdevEvent
 from repro.devices.xenbus import XenbusState, negotiate
 from repro.net.packets import Packet, Port
+from repro.obs.tracer import NULL_TRACER
 from repro.sim import CostModel, VirtualClock
 from repro.xen.domain import Domain
 from repro.xen.frames import PageType
@@ -152,10 +153,12 @@ class NetBackendDriver:
 
     def __init__(self, handle: XsHandle, clock: VirtualClock, costs: CostModel,
                  udev: UdevBus,
-                 domain_resolver: Callable[[int], Domain]) -> None:
+                 domain_resolver: Callable[[int], Domain],
+                 tracer=None) -> None:
         self.handle = handle
         self.clock = clock
         self.costs = costs
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.udev = udev
         self.resolver = domain_resolver
         self.backends: dict[tuple[int, int], NetBackend] = {}
@@ -205,18 +208,21 @@ class NetBackendDriver:
             self._boot_connect(backend)
 
     def _boot_connect(self, backend: NetBackend) -> None:
-        self.clock.charge(self.costs.vif_backend_create)
-        negotiate(self.handle, self.clock, self.costs,
-                  vif_frontend_path(backend.domid, backend.index),
-                  vif_backend_path(backend.domid, backend.index))
-        self._finish_connect(backend, cloned=False)
+        with self.tracer.span("vif.boot_connect", vif=backend.name):
+            self.clock.charge(self.costs.vif_backend_create)
+            negotiate(self.handle, self.clock, self.costs,
+                      vif_frontend_path(backend.domid, backend.index),
+                      vif_backend_path(backend.domid, backend.index))
+            self._finish_connect(backend, cloned=False)
 
     def _clone_shortcut(self, backend: NetBackend) -> None:
         """The 14-LoC Nephele path: connect without negotiation."""
-        self.clock.charge(self.costs.vif_backend_clone)
-        self._finish_connect(backend, cloned=True)
+        with self.tracer.span("vif.clone_shortcut", vif=backend.name):
+            self.clock.charge(self.costs.vif_backend_clone)
+            self._finish_connect(backend, cloned=True)
 
     def _finish_connect(self, backend: NetBackend, cloned: bool) -> None:
+        self.tracer.count("vif.cloned" if cloned else "vif.booted")
         backend.connected = True
         domain = self.resolver(backend.domid)
         for frontend in domain.frontends.get("vif", []):

@@ -19,10 +19,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api import NepheleSession
 from repro.apps.udp_server import UdpServerApp
 from repro.experiments.plot import line_chart
 from repro.experiments.report import format_table, series_summary
-from repro.platform import Platform
 from repro.toolstack.config import DomainConfig, VifConfig
 
 #: Values above this are log-rotation spikes (for summary statistics).
@@ -68,48 +68,51 @@ class Fig4Result:
 
 def run_boot_series(instances: int) -> tuple[list[float], int]:
     """Boot ``instances`` fresh UDP servers; per-instance durations."""
-    platform = Platform.create()
+    session = NepheleSession(trace=False)
     ready: list[object] = []
-    platform.dom0.listen(9999, lambda pkt: ready.append(pkt.payload))
+    session.dom0.listen(9999, lambda pkt: ready.append(pkt.payload))
     times: list[float] = []
     for i in range(instances):
-        t0 = platform.now
-        platform.xl.create(_udp_config(f"udp{i}", _guest_ip(i)),
-                           app=UdpServerApp())
-        times.append(platform.now - t0)
+        t0 = session.now
+        session.boot(_udp_config(f"udp{i}", _guest_ip(i)),
+                     app=UdpServerApp())
+        times.append(session.now - t0)
     assert len(ready) == instances, "every guest must signal readiness"
-    return times, platform.xenstore.access_log.rotations
+    session.close(check=False)
+    return times, session.xenstore.access_log.rotations
 
 
 def run_restore_series(iterations: int) -> tuple[list[float], int]:
     """Create + save + restore per iteration; restore durations."""
-    platform = Platform.create()
+    session = NepheleSession(trace=False)
     times: list[float] = []
     for i in range(iterations):
-        domain = platform.xl.create(_udp_config(f"udp{i}", _guest_ip(i)),
-                                    app=UdpServerApp())
-        image = platform.xl.save(domain.domid)
-        t0 = platform.now
-        restored = platform.xl.restore(image)
-        times.append(platform.now - t0)
+        domain = session.boot(_udp_config(f"udp{i}", _guest_ip(i)),
+                              app=UdpServerApp())
+        image = session.save(domain)
+        t0 = session.now
+        restored = session.restore(image)
+        times.append(session.now - t0)
         # Leave the restored instance running, like the boot series.
         del restored
-    return times, platform.xenstore.access_log.rotations
+    session.close(check=False)
+    return times, session.xenstore.access_log.rotations
 
 
 def run_clone_series(clones: int, use_xs_clone: bool) -> tuple[list[float], int]:
     """One parent forks itself ``clones`` times; fork() durations."""
-    platform = Platform.create(use_xs_clone=use_xs_clone)
-    parent = platform.xl.create(
-        _udp_config("udp0", "10.0.1.1", max_clones=clones + 1),
-        app=UdpServerApp())
-    times: list[float] = []
-    for _ in range(clones):
-        t0 = platform.now
-        platform.cloneop.clone(parent.domid)
-        times.append(platform.now - t0)
-    platform.check_invariants()
-    return times, platform.xenstore.access_log.rotations
+    with NepheleSession(trace=False, use_xs_clone=use_xs_clone) as session:
+        parent = session.boot(
+            _udp_config("udp0", "10.0.1.1", max_clones=clones + 1),
+            app=UdpServerApp())
+        times: list[float] = []
+        for _ in range(clones):
+            t0 = session.now
+            session.clone(parent, from_guest=True)
+            times.append(session.now - t0)
+        rotations = session.xenstore.access_log.rotations
+    # Leaving the session verified the frame-accounting invariants.
+    return times, rotations
 
 
 def run(instances: int = 1000, include_restore: bool = True) -> Fig4Result:

@@ -14,10 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api import NepheleSession
 from repro.apps.memhog import MemhogApp
 from repro.experiments.report import format_table
 from repro.guest.linux import LinuxProcess
-from repro.platform import Platform
 from repro.sim.units import GIB, KIB, MIB
 from repro.toolstack.config import DomainConfig
 
@@ -55,11 +55,11 @@ class Fig6Result:
             / row.process_fork2_ms
 
 
-def _measure_process(platform: Platform, alloc_mb: int,
+def _measure_process(session: NepheleSession, alloc_mb: int,
                      reps: int) -> tuple[float, float]:
     fork1 = fork2 = 0.0
     for _ in range(reps):
-        process = LinuxProcess(platform.clock, platform.costs, "memhog",
+        process = LinuxProcess(session.clock, session.costs, "memhog",
                                resident_bytes=alloc_mb * MIB + 256 * KIB)
         _, d1 = process.fork()
         _, d2 = process.fork()
@@ -68,7 +68,7 @@ def _measure_process(platform: Platform, alloc_mb: int,
     return fork1 / reps, fork2 / reps
 
 
-def _measure_clone(platform: Platform, alloc_mb: int, index: int,
+def _measure_clone(session: NepheleSession, alloc_mb: int, index: int,
                    reps: int) -> tuple[float, float, float, float]:
     clone1 = clone2 = user1 = user2 = 0.0
     for rep in range(reps):
@@ -77,34 +77,34 @@ def _measure_clone(platform: Platform, alloc_mb: int, index: int,
             memory_mb=max(4, alloc_mb + 8),
             kernel="unikraft-memhog", max_clones=4,
             clone_io_devices=False)
-        domain = platform.xl.create(config, app=MemhogApp(alloc_mb * MIB))
+        domain = session.boot(config, app=MemhogApp(alloc_mb * MIB))
         app: MemhogApp = domain.guest.app
-        handle = platform.xencloned.handle
+        handle = session.xencloned.handle
 
         r0 = handle.requests_issued
-        t0 = platform.now
+        t0 = session.now
         first_kids = app.trigger_clone(domain.guest.api)
-        clone1 += platform.now - t0
-        user1 += _userspace_ms(platform, handle.requests_issued - r0)
+        clone1 += session.now - t0
+        user1 += _userspace_ms(session, handle.requests_issued - r0)
 
         r0 = handle.requests_issued
-        t0 = platform.now
+        t0 = session.now
         second_kids = app.trigger_clone(domain.guest.api)
-        clone2 += platform.now - t0
-        user2 += _userspace_ms(platform, handle.requests_issued - r0)
+        clone2 += session.now - t0
+        user2 += _userspace_ms(session, handle.requests_issued - r0)
 
         for domid in first_kids + second_kids:
-            platform.xl.destroy(domid)
-        platform.xl.destroy(domain.domid)
+            session.destroy(domid)
+        session.destroy(domain)
     return clone1 / reps, clone2 / reps, user1 / reps, user2 / reps
 
 
-def _userspace_ms(platform: Platform, requests: int) -> float:
+def _userspace_ms(session: NepheleSession, requests: int) -> float:
     """Approximate Dom0 userspace time of the last clone: its Xenstore
     requests at the current store size."""
-    costs = platform.costs
+    costs = session.costs
     per_request = (costs.xs_request_base
-                   + costs.xs_request_per_node * platform.xenstore.node_count)
+                   + costs.xs_request_per_node * session.xenstore.node_count)
     return requests * per_request
 
 
@@ -114,15 +114,15 @@ def run(sizes_mb=DEFAULT_SIZES_MB, repetitions: int = 3) -> Fig6Result:
     result = Fig6Result(repetitions=repetitions)
     # Host must hold the largest guest (+ a clone's paging overhead).
     pool = max(24 * GIB, 3 * max(sizes_mb) * MIB)
-    platform = Platform.create(total_memory_bytes=pool + 4 * GIB,
-                               dom0_memory_bytes=4 * GIB)
-    for index, alloc_mb in enumerate(sizes_mb):
-        fork1, fork2 = _measure_process(platform, alloc_mb, repetitions)
-        clone1, clone2, user1, user2 = _measure_clone(
-            platform, alloc_mb, index, repetitions)
-        result.rows.append(Fig6Row(alloc_mb, fork1, fork2, clone1, clone2,
-                                   user1, user2))
-    platform.check_invariants()
+    with NepheleSession(trace=False, total_memory_bytes=pool + 4 * GIB,
+                        dom0_memory_bytes=4 * GIB) as session:
+        for index, alloc_mb in enumerate(sizes_mb):
+            fork1, fork2 = _measure_process(session, alloc_mb, repetitions)
+            clone1, clone2, user1, user2 = _measure_clone(
+                session, alloc_mb, index, repetitions)
+            result.rows.append(Fig6Row(alloc_mb, fork1, fork2, clone1,
+                                       clone2, user1, user2))
+    # Leaving the session verified the frame-accounting invariants.
     return result
 
 

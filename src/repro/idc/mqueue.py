@@ -12,8 +12,9 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Callable
 
+from repro.errors import ReproError
 from repro.idc.channel import IdcChannel
 from repro.idc.shm import IdcSharedArea
 from repro.sim.units import PAGE_SIZE
@@ -26,7 +27,7 @@ MQ_PAGES = 16
 MessageHandler = Callable[[bytes, int], None]  # (payload, priority)
 
 
-class MqueueError(Exception):
+class MqueueError(ReproError):
     """Queue misuse: full, oversized message, or empty receive."""
 
 

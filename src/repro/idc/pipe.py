@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+from repro.errors import ReproError
 from repro.idc.channel import IdcChannel
 from repro.idc.shm import IdcSharedArea
 from repro.sim.units import PAGE_SIZE
@@ -25,7 +26,7 @@ PIPE_PAGES = 16
 DataHandler = Callable[[bytes], None]
 
 
-class PipeClosedError(Exception):
+class PipeClosedError(ReproError):
     """Operation on a closed or wrong-direction pipe end."""
 
 

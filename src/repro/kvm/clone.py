@@ -14,14 +14,13 @@ needs nothing: fork duplicated the fid table's file descriptors.
 
 from __future__ import annotations
 
+from repro.errors import ReproError
 from repro.kvm.host import KvmHost
 from repro.kvm.vm import KvmVm, VmState
-from repro.xen.errors import XenInvalidError
 from repro.xen.paging import build_paging
-from repro.xen.vcpu import VCPU
 
 
-class KvmCloneError(Exception):
+class KvmCloneError(ReproError):
     """KVM_CLONE_VM failure (policy violation)."""
 
 

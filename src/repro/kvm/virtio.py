@@ -9,12 +9,11 @@ need QMP surgery comes for free here.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.devices.hostfs import HostFS
 from repro.net.packets import Packet, Port
-from repro.sim.units import pages_of
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kvm.vm import KvmVm

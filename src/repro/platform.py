@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.core.cloneop import CloneOp
 from repro.core.xencloned import CloneSwitchMode, Xencloned
 from repro.devices.p9 import P9BackendPolicy
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim import CostModel, DeterministicRNG, Engine, VirtualClock
 from repro.sim.units import GIB
 from repro.toolstack.dom0 import Dom0
@@ -45,6 +46,11 @@ class PlatformConfig:
     xenstore_log: bool = True
     #: xl name-uniqueness check (the LightVM superlinear effect).
     xl_check_names: bool = False
+    #: Clone-path tracing (repro.obs). Off by default: benchmarks run
+    #: untraced; sessions and the CLI shell enable it.
+    trace: bool = False
+    #: Span ring capacity when tracing is enabled.
+    trace_capacity: int = 16384
 
     @property
     def guest_pool_bytes(self) -> int:
@@ -59,14 +65,18 @@ class Platform:
         self.config = config if config is not None else PlatformConfig()
         self.costs = costs if costs is not None else CostModel()
         self.clock = VirtualClock()
+        self.tracer = (Tracer(self.clock, capacity=self.config.trace_capacity)
+                       if self.config.trace else NULL_TRACER)
         self.engine = Engine(self.clock)
+        self.engine.tracer = self.tracer
         self.rng = DeterministicRNG(self.config.seed)
 
         self.hypervisor = Hypervisor(
             self.config.guest_pool_bytes, cpus=self.config.cpus,
-            clock=self.clock, costs=self.costs)
+            clock=self.clock, costs=self.costs, tracer=self.tracer)
         self.xenstore = XenstoreDaemon(
-            self.clock, self.costs, log_enabled=self.config.xenstore_log)
+            self.clock, self.costs, log_enabled=self.config.xenstore_log,
+            tracer=self.tracer)
         self.dom0 = Dom0(self.hypervisor, self.xenstore,
                          self.config.dom0_memory_bytes,
                          p9_policy=self.config.p9_policy)

@@ -7,8 +7,10 @@ when an event engine jumps to the next scheduled event.
 
 from __future__ import annotations
 
+from repro.errors import ReproError
 
-class ClockError(Exception):
+
+class ClockError(ReproError):
     """Raised on attempts to move the clock backwards."""
 
 

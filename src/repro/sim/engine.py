@@ -12,6 +12,7 @@ import heapq
 import itertools
 from typing import Callable
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.clock import VirtualClock
 
 EventCallback = Callable[[], None]
@@ -39,6 +40,9 @@ class Engine:
         self.clock = clock if clock is not None else VirtualClock()
         self._queue: list[tuple[float, int, ScheduledEvent]] = []
         self._seq = itertools.count()
+        #: Set by the platform when tracing is on; each dispatched event
+        #: then records a ``sim.event`` span.
+        self.tracer = NULL_TRACER
 
     def schedule_at(self, t_ms: float, callback: EventCallback) -> ScheduledEvent:
         """Schedule ``callback`` at absolute virtual time ``t_ms``."""
@@ -90,7 +94,8 @@ class Engine:
             if event.cancelled:
                 continue
             self.clock.advance_to(max(t_ms, self.clock.now))
-            event.callback()
+            with self.tracer.span("sim.event"):
+                event.callback()
             return True
         return False
 

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ReproError
 from repro.sim.units import MIB
 
 
-class ConfigError(Exception):
+class ConfigError(ReproError):
     """Malformed domain configuration."""
 
 

@@ -66,12 +66,13 @@ class Dom0:
 
         # Backend drivers.
         self.netback = NetBackendDriver(
-            self.handle, clock, costs, self.udev, hypervisor.get_domain)
+            self.handle, clock, costs, self.udev, hypervisor.get_domain,
+            tracer=hypervisor.tracer)
         self.console_daemon = ConsoleBackendDaemon(
             self.handle, clock, costs, hostfs=self.hostfs,
             domain_resolver=hypervisor.get_domain)
         self.p9 = P9Service(self.handle, clock, costs, self.hostfs,
-                            policy=p9_policy)
+                            policy=p9_policy, tracer=hypervisor.tracer)
 
         # Default hotplug: booted (non-clone) vifs join their bridge.
         self.udev.subscribe(self._hotplug)

@@ -14,6 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.errors import ReproError
 from repro.devices.console import write_console_entries
 from repro.devices.vif import write_vif_entries
 from repro.devices.xenbus import XenbusState
@@ -24,7 +25,7 @@ from repro.xen.domain import Domain, DomainState
 from repro.xenstore.client import XsHandle
 
 
-class ToolstackError(Exception):
+class ToolstackError(ReproError):
     """xl/libxl failure (bad config, duplicate name, ...)."""
 
 
@@ -98,33 +99,42 @@ class XL:
     # ------------------------------------------------------------------
     def create(self, config: DomainConfig, app: GuestApp | None = None) -> Domain:
         """Boot a new guest; returns the running domain."""
-        config.validate()
-        self._clock.charge(self._costs.xl_create_fixed)
-        self._check_name(config.name)
+        tracer = self.hypervisor.tracer
+        with tracer.span("boot.xl_create", name=config.name):
+            config.validate()
+            self._clock.charge(self._costs.xl_create_fixed)
+            with tracer.span("boot.name_check"):
+                self._check_name(config.name)
 
-        domain = self.hypervisor.create_domain(
-            config.name, config.memory_bytes, vcpus=config.vcpus)
-        domain.config = config
+            with tracer.span("boot.domain_create"):
+                domain = self.hypervisor.create_domain(
+                    config.name, config.memory_bytes, vcpus=config.vcpus)
+                domain.config = config
 
-        try:
-            self.handle.introduce_domain(domain.domid)
-            self._write_base_entries(domain, config)
+            try:
+                with tracer.span("boot.xenstore_entries"):
+                    self.handle.introduce_domain(domain.domid)
+                    self._write_base_entries(domain, config)
 
-            guest = UnikernelVM.from_config(self.platform, domain, app)
-            guest.load()
+                with tracer.span("boot.guest_load"):
+                    guest = UnikernelVM.from_config(self.platform, domain, app)
+                    guest.load()
 
-            self._setup_devices(domain, config)
-            if config.max_clones:
-                # Nephele domctl: enable cloning for this domain (§5.1).
-                self.platform.domctl.enable_cloning(0, domain.domid,
-                                                    config.max_clones)
+                with tracer.span("boot.devices"):
+                    self._setup_devices(domain, config)
+                if config.max_clones:
+                    # Nephele domctl: enable cloning for this domain (§5.1).
+                    self.platform.domctl.enable_cloning(0, domain.domid,
+                                                        config.max_clones)
 
-            guest.start()
-        except Exception:
-            # Roll the half-created guest back (e.g. ENOMEM while
-            # populating RAM): registry entries, backends, frames.
-            self.destroy(domain.domid)
-            raise
+                with tracer.span("boot.guest_start"):
+                    guest.start()
+            except Exception:
+                # Roll the half-created guest back (e.g. ENOMEM while
+                # populating RAM): registry entries, backends, frames.
+                self.destroy(domain.domid)
+                raise
+        tracer.count("boot.creates")
         return domain
 
     def _check_name(self, name: str) -> None:
@@ -167,22 +177,23 @@ class XL:
     # ------------------------------------------------------------------
     def destroy(self, domid: int) -> None:
         """``xl destroy``: registry entries, backends, then the domain."""
-        domain = self.hypervisor.get_domain(domid)
-        cloneop = getattr(self.platform, "cloneop", None)
-        if cloneop is not None:
-            cloneop.release_baseline(domid)
-        # Remove registry entries and backend state.
-        for path in (domain.store_path,
-                     f"/local/domain/0/backend/vif/{domid}",
-                     f"/local/domain/0/backend/console/{domid}",
-                     f"/local/domain/0/backend/9pfs/{domid}"):
-            if self.handle.daemon.exists(path):
-                self.handle.rm(path)
-        self.dom0.netback.remove(domid)
-        self.dom0.console_daemon.remove(domid)
-        self.dom0.p9.remove(domid)
-        self.handle.release_domain(domid)
-        self.hypervisor.destroy_domain(domid)
+        with self.hypervisor.tracer.span("xl.destroy", domid=domid):
+            domain = self.hypervisor.get_domain(domid)
+            cloneop = getattr(self.platform, "cloneop", None)
+            if cloneop is not None:
+                cloneop.release_baseline(domid)
+            # Remove registry entries and backend state.
+            for path in (domain.store_path,
+                         f"/local/domain/0/backend/vif/{domid}",
+                         f"/local/domain/0/backend/console/{domid}",
+                         f"/local/domain/0/backend/9pfs/{domid}"):
+                if self.handle.daemon.exists(path):
+                    self.handle.rm(path)
+            self.dom0.netback.remove(domid)
+            self.dom0.console_daemon.remove(domid)
+            self.dom0.p9.remove(domid)
+            self.handle.release_domain(domid)
+            self.hypervisor.destroy_domain(domid)
 
     # ------------------------------------------------------------------
     # save / restore
@@ -190,23 +201,24 @@ class XL:
     def save(self, domid: int, destroy: bool = True) -> SavedImage:
         """xl save: dump the full memory image, then (by default) tear
         the domain down."""
-        domain = self.hypervisor.get_domain(domid)
-        n_pages = domain.ram_budget_pages
-        self._clock.charge(self._costs.save_per_page * n_pages)
-        app = domain.guest.app if domain.guest is not None else None
-        config = domain.config
-        if config is None:
-            raise ToolstackError(f"domain {domid} has no config to save")
-        if destroy:
-            self.destroy(domid)
-        image = SavedImage(config=config, n_pages=n_pages, app=app)
-        # The image occupies space on the Dom0 ramdisk.
-        hostfs = self.dom0.hostfs
-        if not hostfs.is_dir("/srv/images"):
-            hostfs.mkdir("/srv/images")
-        image.path = f"/srv/images/{config.name}-{image.image_id}.img"
-        hostfs.write(image.path, image.size_bytes, append=False)
-        return image
+        with self.hypervisor.tracer.span("xl.save", domid=domid):
+            domain = self.hypervisor.get_domain(domid)
+            n_pages = domain.ram_budget_pages
+            self._clock.charge(self._costs.save_per_page * n_pages)
+            app = domain.guest.app if domain.guest is not None else None
+            config = domain.config
+            if config is None:
+                raise ToolstackError(f"domain {domid} has no config to save")
+            if destroy:
+                self.destroy(domid)
+            image = SavedImage(config=config, n_pages=n_pages, app=app)
+            # The image occupies space on the Dom0 ramdisk.
+            hostfs = self.dom0.hostfs
+            if not hostfs.is_dir("/srv/images"):
+                hostfs.mkdir("/srv/images")
+            image.path = f"/srv/images/{config.name}-{image.image_id}.img"
+            hostfs.write(image.path, image.size_bytes, append=False)
+            return image
 
     def discard_image(self, image: SavedImage) -> None:
         """Delete a save image from the Dom0 ramdisk."""
@@ -216,36 +228,38 @@ class XL:
     def restore(self, image: SavedImage, name: str | None = None) -> Domain:
         """xl restore: rebuild the domain and copy every allocated page
         back from the image, then resume."""
-        config = image.config if name is None else image.config.for_clone(name)
-        config.validate()
-        self._clock.charge(self._costs.xl_create_fixed)
-        self._check_name(config.name)
+        with self.hypervisor.tracer.span("xl.restore"):
+            config = (image.config if name is None
+                      else image.config.for_clone(name))
+            config.validate()
+            self._clock.charge(self._costs.xl_create_fixed)
+            self._check_name(config.name)
 
-        domain = self.hypervisor.create_domain(
-            config.name, config.memory_bytes, vcpus=config.vcpus)
-        domain.config = config
-        self.handle.introduce_domain(domain.domid)
-        self._write_base_entries(domain, config)
+            domain = self.hypervisor.create_domain(
+                config.name, config.memory_bytes, vcpus=config.vcpus)
+            domain.config = config
+            self.handle.introduce_domain(domain.domid)
+            self._write_base_entries(domain, config)
 
-        import copy
+            import copy
 
-        app = copy.copy(image.app) if image.app is not None else None
-        guest = UnikernelVM.from_config(self.platform, domain, app)
-        guest.load(restored=True)
-        # "The entire allocated VM memory is copied back from the image
-        # ... regardless of the amount of memory that is actually used".
-        self._clock.charge(self._costs.restore_fixed
-                           + self._costs.restore_per_page * image.n_pages)
+            app = copy.copy(image.app) if image.app is not None else None
+            guest = UnikernelVM.from_config(self.platform, domain, app)
+            guest.load(restored=True)
+            # "The entire allocated VM memory is copied back from the image
+            # ... regardless of the amount of memory that is actually used".
+            self._clock.charge(self._costs.restore_fixed
+                               + self._costs.restore_per_page * image.n_pages)
 
-        self._setup_devices(domain, config)
-        if config.max_clones:
-            self.platform.domctl.enable_cloning(0, domain.domid,
-                                                config.max_clones)
+            self._setup_devices(domain, config)
+            if config.max_clones:
+                self.platform.domctl.enable_cloning(0, domain.domid,
+                                                    config.max_clones)
 
-        self._clock.charge(self._costs.restore_resume_fixed)
-        domain.state = DomainState.RUNNING
-        guest.on_resumed_after_restore()
-        return domain
+            self._clock.charge(self._costs.restore_resume_fixed)
+            domain.state = DomainState.RUNNING
+            guest.on_resumed_after_restore()
+            return domain
 
     # ------------------------------------------------------------------
     # misc commands

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.xen.domain import DomainState
 from repro.xen.domid import DOM0
 from repro.xen.errors import XenInvalidError, XenPermissionError
 from repro.xen.hypervisor import Hypervisor

@@ -1,7 +1,9 @@
 """Hypervisor error hierarchy, mirroring Xen's errno-style returns."""
 
+from repro.errors import ReproError
 
-class XenError(Exception):
+
+class XenError(ReproError):
     """Base class for hypervisor-level failures."""
 
     errno_name = "EIO"

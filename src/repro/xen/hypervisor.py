@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim import CostModel, VirtualClock, pages_of
 from repro.xen.domain import SPECIAL_PAGES, Domain, DomainState
 from repro.xen.domid import DOM0, DOMID_CHILD, XEN_OWNER
@@ -30,11 +31,15 @@ class Hypervisor:
 
     def __init__(self, guest_pool_bytes: int, cpus: int = 4,
                  clock: VirtualClock | None = None,
-                 costs: CostModel | None = None) -> None:
+                 costs: CostModel | None = None,
+                 tracer: Any = None) -> None:
         if cpus < 1:
             raise XenInvalidError(f"need at least one CPU: {cpus}")
         self.clock = clock if clock is not None else VirtualClock()
         self.costs = costs if costs is not None else CostModel()
+        #: The platform tracer (repro.obs); components hanging off the
+        #: hypervisor (CLONEOP, xencloned, xl) read it from here.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cpus = cpus
         self.frames = FrameTable(pages_of(guest_pool_bytes))
         from repro.xen.scheduler import CreditScheduler

@@ -131,15 +131,17 @@ class XsHandle:
 
         ``tid`` is the transaction (0 = XBT_NULL, immediate apply).
         """
-        self._request(extra=self.daemon.costs.xs_clone_base)
-        if tid:
-            from repro.xenstore.clone import xs_clone_txn
+        with self.daemon.tracer.span("xenstore.xs_clone", op=op.value):
+            self._request(extra=self.daemon.costs.xs_clone_base)
+            if tid:
+                from repro.xenstore.clone import xs_clone_txn
 
-            manager = self.daemon.transactions
-            return xs_clone_txn(self.daemon, manager.get(tid), parent_domid,
-                                child_domid, op, parent_path, child_path)
-        return xs_clone(self.daemon, parent_domid, child_domid, op,
-                        parent_path, child_path)
+                manager = self.daemon.transactions
+                return xs_clone_txn(self.daemon, manager.get(tid),
+                                    parent_domid, child_domid, op,
+                                    parent_path, child_path)
+            return xs_clone(self.daemon, parent_domid, child_domid, op,
+                            parent_path, child_path)
 
     def deep_copy(self, parent_domid: int, child_domid: int,
                   parent_path: str, child_path: str,
@@ -147,22 +149,25 @@ class XsHandle:
         """Clone a directory the pre-Nephele way: one read of the parent
         subtree, then one write request per node (paper §6.1, the
         "clone + XS deep copy" series). Returns nodes written."""
-        self._request()  # the read of the parent subtree
-        entries = self.daemon.walk(parent_path)
-        # xencloned-side rewriting work, per node.
-        self.daemon.clock.charge(
-            self.daemon.costs.xencloned_deep_copy_per_node * len(entries))
-        from repro.xenstore.clone import _rewrite_value
+        with self.daemon.tracer.span("xenstore.deep_copy") as span:
+            self._request()  # the read of the parent subtree
+            entries = self.daemon.walk(parent_path)
+            # xencloned-side rewriting work, per node.
+            self.daemon.clock.charge(
+                self.daemon.costs.xencloned_deep_copy_per_node * len(entries))
+            from repro.xenstore.clone import _rewrite_value
 
-        written = 0
-        for path, value in entries:
-            suffix = path[len(parent_path):]
-            if rewrite and value:
-                key = path.rstrip("/").rsplit("/", 1)[-1]
-                value = _rewrite_value(key, value, parent_domid, child_domid)
-            self._request()
-            self.daemon.write_node(child_path + suffix, value,
-                                   fire=(written == 0))
-            written += 1
-        self.daemon.fire_watches(child_path)
+            written = 0
+            for path, value in entries:
+                suffix = path[len(parent_path):]
+                if rewrite and value:
+                    key = path.rstrip("/").rsplit("/", 1)[-1]
+                    value = _rewrite_value(key, value, parent_domid,
+                                           child_domid)
+                self._request()
+                self.daemon.write_node(child_path + suffix, value,
+                                       fire=(written == 0))
+                written += 1
+            self.daemon.fire_watches(child_path)
+            span.set(nodes=written)
         return written

@@ -8,6 +8,7 @@ these rotations show up as latency spikes in instantiation experiments
 
 from __future__ import annotations
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim import CostModel, VirtualClock
 
 
@@ -15,9 +16,10 @@ class AccessLog:
     """Size-triggered rotating access log."""
 
     def __init__(self, clock: VirtualClock, costs: CostModel,
-                 enabled: bool = True) -> None:
+                 enabled: bool = True, tracer=None) -> None:
         self.clock = clock
         self.costs = costs
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.enabled = enabled
         self.bytes_written = 0
         self.current_bytes = 0
@@ -38,7 +40,10 @@ class AccessLog:
         return False
 
     def _rotate(self) -> None:
-        self.clock.charge(self.costs.xs_log_rotate_cost)
+        with self.tracer.span("xenstore.log_rotation",
+                              rotation=self.rotations + 1):
+            self.clock.charge(self.costs.xs_log_rotate_cost)
         self.rotations += 1
         self.rotation_times.append(self.clock.now)
         self.current_bytes = 0
+        self.tracer.count("xenstore.log_rotations")

@@ -12,13 +12,15 @@ from __future__ import annotations
 import itertools
 from typing import Callable
 
+from repro.errors import ReproError
+from repro.obs.tracer import NULL_TRACER
 from repro.sim import CostModel, VirtualClock
 from repro.xenstore.logging import AccessLog
 
 WatchCallback = Callable[[str, str], None]  # (fired path, token)
 
 
-class XenstoreError(Exception):
+class XenstoreError(ReproError):
     """Xenstore request failure (ENOENT and friends)."""
 
 
@@ -53,12 +55,14 @@ class XenstoreDaemon:
     """oxenstored: the store, its watches and its access log."""
 
     def __init__(self, clock: VirtualClock, costs: CostModel,
-                 log_enabled: bool = True) -> None:
+                 log_enabled: bool = True, tracer=None) -> None:
         self.clock = clock
         self.costs = costs
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.root = Node()
         self.node_count = 0
-        self.access_log = AccessLog(clock, costs, enabled=log_enabled)
+        self.access_log = AccessLog(clock, costs, enabled=log_enabled,
+                                    tracer=self.tracer)
         self._watches: dict[int, Watch] = {}
         self._watch_ids = itertools.count(1)
         from repro.xenstore.transactions import TransactionManager
@@ -74,6 +78,7 @@ class XenstoreDaemon:
     def charge_request(self, extra: float = 0.0) -> None:
         """Account one client request (cost + access log)."""
         self.stats["requests"] += 1
+        self.tracer.count("xenstore.requests")
         self.clock.charge(
             self.costs.xs_request_base
             + self.costs.xs_request_per_node * self.node_count

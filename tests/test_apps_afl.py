@@ -1,7 +1,5 @@
 """Unit tests: the coverage-guided AFL core."""
 
-import pytest
-
 from repro.apps.afl import (
     GETPPID,
     SYSCALL_TABLE,

@@ -170,3 +170,70 @@ def test_vcpu_pin_bad_args(shell, cfg_file):
         shell.execute("vcpu-pin cli-guest zero 1")
     with pytest.raises(CliError):
         shell.execute("vcpu-pin cli-guest")
+
+
+# ----------------------------------------------------------------------
+# the trace command
+# ----------------------------------------------------------------------
+@pytest.fixture
+def traced_shell():
+    """A shell on its own default (traced) platform."""
+    return XlShell(out=io.StringIO())
+
+
+def test_default_shell_platform_is_traced(traced_shell):
+    assert traced_shell.platform.tracer.enabled
+
+
+def test_trace_summary(traced_shell, cfg_file):
+    traced_shell.execute(f"create {cfg_file}")
+    traced_shell.execute("trace")
+    text = output_of(traced_shell)
+    assert "stage" in text
+    assert "boot.xl_create" in text
+
+
+def test_trace_spans_lists_and_filters(traced_shell, cfg_file):
+    traced_shell.execute(f"create {cfg_file}")
+    traced_shell.execute("clone cli-guest")
+    traced_shell.execute("trace spans clone.op")
+    text = output_of(traced_shell)
+    assert "clone.op" in text
+    assert "boot.xl_create" not in text.rsplit("cloned 1x", 1)[1]
+
+
+def test_trace_export_writes_json(traced_shell, cfg_file, tmp_path):
+    import json
+
+    traced_shell.execute(f"create {cfg_file}")
+    traced_shell.execute("clone cli-guest")
+    path = tmp_path / "run.json"
+    traced_shell.execute(f"trace export {path}")
+    report = json.loads(path.read_text())
+    kinds = {span["kind"] for span in report["spans"]}
+    assert len(kinds) >= 5
+    assert "wrote" in output_of(traced_shell)
+
+
+def test_trace_reset(traced_shell, cfg_file):
+    traced_shell.execute(f"create {cfg_file}")
+    traced_shell.execute("trace reset")
+    traced_shell.execute("trace spans")
+    assert "(no spans recorded)" in output_of(traced_shell)
+
+
+def test_trace_on_untraced_platform(shell):
+    shell.execute("trace")
+    assert "tracing disabled" in output_of(shell)
+
+
+def test_trace_bad_subcommand(traced_shell):
+    with pytest.raises(CliError):
+        traced_shell.execute("trace bogus")
+    with pytest.raises(CliError):
+        traced_shell.execute("trace export")
+
+
+def test_trace_in_help(traced_shell):
+    traced_shell.execute("help")
+    assert "trace export" in output_of(traced_shell)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import DomainConfig, Platform
+from repro import Platform
 from repro.apps.udp_server import UdpServerApp
 from repro.core.cloneop import CloneOpError
 from repro.xen.domain import DomainState

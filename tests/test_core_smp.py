@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import Platform
 from repro.apps.udp_server import UdpServerApp
 from repro.core.cloneop import CloneOpError
 from repro.core.smp import build_fleet

@@ -7,7 +7,6 @@ from repro.devices.p9 import (
     P9BackendProcess,
     P9Error,
 )
-from repro.sim import CostModel, VirtualClock
 
 
 @pytest.fixture

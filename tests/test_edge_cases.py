@@ -7,7 +7,7 @@ from repro.apps.udp_server import UdpServerApp
 from repro.devices.xenbus import shortcut_connect
 from repro.sim.units import GIB, MIB
 from repro.xen.errors import XenInvalidError
-from repro.xen.frames import FrameTable, PageType
+from repro.xen.frames import PageType
 from repro.xen.memory import GuestMemory
 from tests.conftest import udp_config
 

@@ -1,8 +1,6 @@
 """Integration tests: the full Fig 1 two-stage flow and edge scenarios."""
 
-import pytest
-
-from repro import DomainConfig, Platform, VifConfig
+from repro import DomainConfig, VifConfig
 from repro.apps.udp_server import UdpServerApp
 from repro.devices.xenbus import XenbusState
 from tests.conftest import udp_config

@@ -1,7 +1,5 @@
 """Tests: platform snapshots."""
 
-import pytest
-
 from repro.apps.udp_server import UdpServerApp
 from repro.metrics import snapshot
 from repro.sim.units import GIB

@@ -4,11 +4,9 @@ One test per claim from the abstract/conclusions, so a regression that
 breaks a headline number fails with the claim's name.
 """
 
-import pytest
-
 from repro import Platform
 from repro.apps.udp_server import UdpServerApp
-from repro.sim.units import GIB, MIB
+from repro.sim.units import GIB
 from tests.conftest import udp_config
 
 

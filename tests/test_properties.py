@@ -10,7 +10,7 @@ from repro.net.bond import BondInterface, layer34_hash
 from repro.net.packets import Flow, Port
 from repro.sim.intervals import IntervalSet
 from repro.xen.errors import XenError
-from repro.xen.frames import FrameTable, PageType
+from repro.xen.frames import FrameTable
 from repro.xen.memory import GuestMemory
 from repro.xenstore.clone import XsCloneOp, xs_clone
 from repro.xenstore.store import XenstoreDaemon

@@ -1,7 +1,5 @@
 """Tests: Dom0 userspace — hotplug, host networking, memory accounting."""
 
-import pytest
-
 from repro import DomainConfig, Platform, VifConfig
 from repro.apps.udp_server import UdpServerApp
 from repro.net.bridge import Bridge

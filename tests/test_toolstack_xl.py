@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import DomainConfig, Platform, VifConfig
+from repro import Platform
 from repro.apps.udp_server import UdpServerApp
 from repro.toolstack.xl import ToolstackError
 from repro.xen.domain import DomainState

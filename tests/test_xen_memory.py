@@ -3,7 +3,7 @@
 import pytest
 
 from repro.xen.errors import XenInvalidError, XenNoEntryError
-from repro.xen.frames import FrameTable, PageType
+from repro.xen.frames import PageType
 from repro.xen.memory import GuestMemory
 
 

@@ -1,7 +1,5 @@
 """Unit tests: page-table and p2m sizing."""
 
-import pytest
-
 from repro.xen.paging import (
     ENTRIES_PER_PAGE,
     build_paging,

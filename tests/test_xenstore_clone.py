@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim import CostModel, VirtualClock
 from repro.xenstore.client import XsHandle
 from repro.xenstore.clone import XsCloneOp, xs_clone
 from repro.xenstore.store import XenstoreDaemon, XenstoreError

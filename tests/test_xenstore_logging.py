@@ -1,6 +1,5 @@
 """Unit tests: access log rotation (the Fig 4 spikes)."""
 
-from repro.sim import CostModel, VirtualClock
 from repro.xenstore.logging import AccessLog
 from repro.xenstore.store import XenstoreDaemon
 

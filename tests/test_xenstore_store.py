@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import CostModel, VirtualClock
+from repro.sim import VirtualClock
 from repro.xenstore.store import XenstoreDaemon, XenstoreError
 
 
