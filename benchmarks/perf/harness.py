@@ -1,0 +1,232 @@
+"""Wall-clock benchmark harness for the clone-fleet hot paths.
+
+Times the full-scale Fig 4/5 drivers (the two experiments whose cost is
+dominated by the datapath and clone-notify paths) plus a clone-fleet
+session, and writes ``BENCH_wallclock.json`` at the repo root. Virtual
+results are untouched by definition — the golden determinism guard
+(:mod:`benchmarks.perf.golden`) pins every figure series — so this
+harness only measures how long the host takes to get there.
+
+Methodology: one process, fixed scenario order, GC disabled around each
+timed section (a full collect runs between scenarios instead), and the
+minimum over ``--repeat`` runs is reported. Wall seconds are
+host-dependent and noisy; the harness therefore also records
+``function_calls`` — the cProfile call total of one profiled run, which
+is bit-stable for a fixed seed — as the noise-free measure of host-side
+work. The ``baseline_*`` values embedded per scenario were produced by
+running this same harness on the pre-optimization tree.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.harness            # full scale
+    PYTHONPATH=src python -m benchmarks.perf.harness --quick    # CI smoke
+    PYTHONPATH=src python -m benchmarks.perf.harness --check-determinism
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import gc
+import json
+import platform as host_platform
+import pstats
+import time
+from pathlib import Path
+
+OUTPUT_PATH = Path(__file__).resolve().parents[2] / "BENCH_wallclock.json"
+
+#: Same-harness measurements of the tree at the parent commit (see
+#: module docstring): scenario -> {scale -> (seconds, function calls)}.
+BASELINES: dict[str, dict[str, tuple[float, int]]] = {
+    "fig5_density": {"full": (8.949, 48_720_177),
+                     "quick": (0.390, 1_839_358)},
+    "fig4_instantiation_1000": {"full": (3.380, 16_058_933),
+                                "quick": (0.207, 889_137)},
+    "clone_fleet": {"full": (0.838, 4_252_727),
+                    "quick": (0.104, 531_597)},
+}
+
+
+def _fig5(quick: bool):
+    from repro.experiments import fig5_density
+    from repro.sim.units import GIB
+
+    if quick:
+        return lambda: fig5_density.run(sample_every=50, limit=400,
+                                        total_memory_bytes=16 * GIB)
+    return lambda: fig5_density.run()
+
+
+def _fig4(quick: bool):
+    from repro.experiments import fig4_instantiation
+
+    instances = 100 if quick else 1000
+    return lambda: fig4_instantiation.run(instances=instances)
+
+
+def _clone_fleet(quick: bool):
+    """The examples/clone_fleet.py workload: session, fleet, IDC jobs.
+
+    One pass is small (a 32-CPU fleet builds in ~25 ms), so the
+    scenario repeats whole sessions to get a stable measurement.
+    """
+    sessions = 5 if quick else 40
+
+    def scenario():
+        from repro import GuestApp, NepheleSession
+        from repro.core.smp import build_fleet
+        from repro.idc.mqueue import MessageQueue
+
+        for _ in range(sessions):
+            with NepheleSession(cpus=32) as session:
+                parent = session.boot("bench-fleet", memory_mb=8,
+                                      kernel="minios-udp", ip="10.0.9.1",
+                                      max_clones=64, app=GuestApp())
+                queue = MessageQueue(session.hypervisor, parent)
+                fleet = build_fleet(session.platform, parent.domid)
+                members = fleet.domains()
+                for round_ in range(8):
+                    for job in range(32):
+                        queue.send(parent, f"job-{round_}-{job}".encode(),
+                                   priority=job % 3)
+                    index = 0
+                    while len(queue):
+                        queue.receive(members[index % len(members)])
+                        index += 1
+
+    return scenario
+
+
+SCENARIOS = {
+    "fig5_density": _fig5,
+    "fig4_instantiation_1000": _fig4,
+    "clone_fleet": _clone_fleet,
+}
+
+
+def time_scenario(runner, repeat: int = 1) -> float:
+    """Best-of-``repeat`` wall-clock seconds for one scenario.
+
+    GC stays disabled inside the timed region; whatever garbage the run
+    produced is collected after, outside the measurement.
+    """
+    best = float("inf")
+    for _ in range(repeat):
+        gc.collect()
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            runner()
+            elapsed = time.perf_counter() - start
+        finally:
+            if was_enabled:
+                gc.enable()
+        best = min(best, elapsed)
+    return best
+
+
+def count_calls(runner) -> int:
+    """Total function calls of one profiled run (deterministic for a
+    fixed seed, unlike wall seconds)."""
+    gc.collect()
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        runner()
+    finally:
+        profile.disable()
+    return pstats.Stats(profile).total_calls
+
+
+def run_harness(quick: bool = False, repeat: int = 1,
+                check_determinism: bool = False,
+                count: bool = True) -> dict:
+    """Run every scenario; return the BENCH_wallclock.json payload."""
+    scale = "quick" if quick else "full"
+    results: dict[str, dict] = {}
+    for name, factory in SCENARIOS.items():
+        seconds = time_scenario(factory(quick), repeat=repeat)
+        calls = count_calls(factory(quick)) if count else None
+        base_seconds, base_calls = BASELINES.get(name, {}).get(
+            scale, (0.0, 0))
+        entry = {
+            "seconds": round(seconds, 3),
+            "function_calls": calls,
+            "baseline_seconds": base_seconds or None,
+            "baseline_function_calls": base_calls or None,
+            "speedup": (round(base_seconds / seconds, 2)
+                        if base_seconds else None),
+            "work_reduction": (round(base_calls / calls, 2)
+                               if base_calls and calls else None),
+        }
+        results[name] = entry
+    payload = {
+        "scale": scale,
+        "repeat": repeat,
+        "python": host_platform.python_version(),
+        "scenarios": results,
+    }
+    if check_determinism:
+        from benchmarks.perf import golden
+
+        prints = golden.compute_fingerprints()
+        reference = golden.load_golden()
+        payload["determinism"] = {
+            name: ("ok" if reference.get(name) == value else "drift")
+            for name, value in sorted(prints.items())
+        }
+    return payload
+
+
+def format_wallclock(payload: dict) -> str:
+    """Human-readable summary of a harness payload."""
+    lines = [f"wall-clock benchmark ({payload['scale']} scale, "
+             f"best of {payload['repeat']})"]
+    width = max(len(name) for name in payload["scenarios"])
+    for name, entry in payload["scenarios"].items():
+        line = f"  {name:<{width}}  {entry['seconds']:>8.3f}s"
+        if entry.get("baseline_seconds"):
+            line += (f"  (baseline {entry['baseline_seconds']:.3f}s, "
+                     f"{entry['speedup']:.2f}x)")
+        if entry.get("function_calls"):
+            line += f"  {entry['function_calls'] / 1e6:.2f}M calls"
+            if entry.get("work_reduction"):
+                line += f" ({entry['work_reduction']:.2f}x fewer)"
+        lines.append(line)
+    determinism = payload.get("determinism")
+    if determinism:
+        drifted = sorted(k for k, v in determinism.items() if v != "ok")
+        lines.append("  determinism: " + (
+            f"DRIFT in {', '.join(drifted)}" if drifted
+            else f"all {len(determinism)} figure series ok"))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the clone-fleet hot paths and write "
+                    "BENCH_wallclock.json at the repo root.")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced-scale run (CI smoke)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="report the best of N runs per scenario")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="also verify the golden figure fingerprints")
+    parser.add_argument("--output", default=str(OUTPUT_PATH),
+                        help="where to write the JSON payload")
+    args = parser.parse_args(argv)
+
+    payload = run_harness(quick=args.quick, repeat=args.repeat,
+                          check_determinism=args.check_determinism)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(format_wallclock(payload))
+    print(f"wrote {args.output}")
+    drifted = [k for k, v in payload.get("determinism", {}).items()
+               if v != "ok"]
+    return 1 if drifted else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

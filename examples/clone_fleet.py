@@ -68,6 +68,28 @@ def main() -> None:
         print(f"\nwrote clone_fleet_trace.json "
               f"({len(report['spans'])} spans, {len(kinds)} kinds)")
 
+    wallclock_summary()
+
+
+def wallclock_summary() -> None:
+    """Host-side cost of fleet cloning, via the perf harness's
+    clone-fleet scenario (see benchmarks/perf/harness.py)."""
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+    try:
+        from benchmarks.perf import harness
+    except ImportError:
+        print("\n(benchmarks/ not importable; skipping wall-clock summary)")
+        return
+    scenario = harness.SCENARIOS["clone_fleet"](True)  # quick scale
+    seconds = harness.time_scenario(scenario, repeat=2)
+    baseline, _calls = harness.BASELINES["clone_fleet"]["quick"]
+    print(f"\nwall-clock: {seconds:.3f}s for 5 fleet sessions "
+          f"(32 CPUs, 8 job rounds each; "
+          f"pre-optimization baseline {baseline:.3f}s)")
+
 
 if __name__ == "__main__":
     main()

@@ -282,6 +282,12 @@ class XlShell:
         sub = args[0] if args else "summary"
         if sub == "summary":
             self._print(tracer.format_summary())
+            counters = tracer.registry.to_dict()["counters"]
+            if counters:
+                from repro.obs.report import format_counters
+
+                self._print("")
+                self._print(format_counters(counters))
         elif sub == "spans":
             kind = args[1] if len(args) >= 2 else None
             spans = tracer.spans(kind)

@@ -39,6 +39,11 @@ class CloneOpError(ReproError):
     """CLONEOP subcommand failure (policy or protocol violation)."""
 
 
+#: Bounded backpressure: how many stall + wake-up cycles :meth:`CloneOp._notify`
+#: attempts on a full notification ring before declaring xencloned stuck.
+BACKPRESSURE_STALL_LIMIT = 8
+
+
 @dataclass
 class SegmentSnapshot:
     """Baseline record of one memory segment (for clone_reset)."""
@@ -146,7 +151,6 @@ class CloneOp:
                     with tracer.span("clone.handoff", parent=parent.domid,
                                      child=child.domid):
                         self._notify(parent, child)
-                        hyp.clock.charge(hyp.costs.clone_coordination)
                 except Exception:
                     # Second stage failed (backend error, Dom0 trouble):
                     # drop the half-plumbed child and resume the parent.
@@ -156,6 +160,23 @@ class CloneOp:
                     raise
                 children.append(child)
                 self.stats["clones"] += 1
+
+            # Coalesced wake-up: the per-child notifications above were
+            # deferred (their event-channel sends are already charged),
+            # so the whole batch wakes xencloned exactly once here.
+            try:
+                with tracer.span("clone.wakeup", count=len(children)):
+                    hyp.flush_cloned()
+                    # Per-child coordination cost, charged after the
+                    # dispatch exactly as the per-child protocol did.
+                    for _ in children:
+                        hyp.clock.charge(hyp.costs.clone_coordination)
+            except Exception:
+                # A second stage failed mid-batch: drop every child whose
+                # second stage did not complete and resume the parent.
+                self._abort_unplumbed_children(parent, children,
+                                               previous_state)
+                raise
 
             # The synchronous second stage has signalled completion for
             # each child by now; anything left pending means xencloned is
@@ -196,14 +217,61 @@ class CloneOp:
             parent.state = previous_state
 
     def _notify(self, parent: Domain, child: Domain) -> None:
+        """Queue a child's second-stage notification.
+
+        The ring push is backed by a *bounded* stall loop: on a full
+        ring the first stage wakes xencloned synchronously (one extra
+        event-channel send, exactly what the pre-coalescing protocol
+        charged on a full ring) and retries, up to
+        :data:`BACKPRESSURE_STALL_LIMIT` times. The per-child wake-up
+        itself is deferred; the batch is flushed once by :meth:`clone`.
+        """
         entry = first_stage.make_notification(parent, child)
-        try:
-            self.ring.push(entry)
-        except RingFullError:
-            # Backpressure: stall the first stage until xencloned drains.
-            self.hypervisor.notify_cloned()
-            self.ring.push(entry)
-        self.hypervisor.notify_cloned()
+        hyp = self.hypervisor
+        for _ in range(BACKPRESSURE_STALL_LIMIT):
+            try:
+                self.ring.push(entry)
+                break
+            except RingFullError:
+                # Backpressure: stall the first stage until xencloned
+                # drains. A wake-up that frees no slot is retried — a
+                # daemon draining slowly makes progress eventually; one
+                # that never drains hits the bound below.
+                hyp.notify_cloned()
+        else:
+            raise CloneOpError(
+                f"clone notification ring still full after "
+                f"{BACKPRESSURE_STALL_LIMIT} wake-ups "
+                "(is xencloned draining?)")
+        hyp.notify_cloned(defer=True)
+
+    def _abort_unplumbed_children(self, parent: Domain,
+                                  children: list[Domain],
+                                  previous_state: DomainState) -> None:
+        """Unwind children whose second stage never completed (their
+        domids are still pending) after a failed batch wake-up; children
+        already plumbed by xencloned stay alive, like in the per-child
+        notification protocol."""
+        hyp = self.hypervisor
+        aborted: set[int] = set()
+        for child in children:
+            if self._pending.pop(child.domid, None) is None:
+                continue
+            aborted.add(child.domid)
+            parent.clones_created -= 1
+            self.stats["clones"] -= 1
+            child.parent_id = None
+            if child.domid in parent.children:
+                parent.children.remove(child.domid)
+            hyp.destroy_domain(child.domid)
+        # Purge their queued notifications: xencloned must never see an
+        # entry for a domain that no longer exists.
+        if aborted:
+            self.ring.discard(lambda entry: entry.child_domid in aborted)
+        if previous_state in (DomainState.RUNNING, DomainState.CREATED):
+            hyp.unpause_domain(parent.domid)
+        else:
+            parent.state = previous_state
 
     def _resume_children(self, parent: Domain, children: list[Domain]) -> None:
         start_paused = (parent.config is not None

@@ -70,3 +70,13 @@ class CloneNotificationRing:
         entries = list(self._entries)
         self._entries.clear()
         return entries
+
+    def discard(self, predicate) -> int:
+        """Drop queued entries matching ``predicate`` (used when a batch
+        unwinds children whose notifications were never consumed);
+        returns the number of entries removed."""
+        kept = [entry for entry in self._entries if not predicate(entry)]
+        removed = len(self._entries) - len(kept)
+        if removed:
+            self._entries = deque(kept)
+        return removed

@@ -63,6 +63,11 @@ class NetFrontend:
         self.tx_buffers = domain.populate_ram(
             TX_BUFFER_PAGES, PageType.IO_RING, label=f"vif{index}-txbuf")
         self.rx_handler: PacketHandler | None = None
+        #: Optional cheap RX-interest predicate installed by the guest
+        #: kernel; switches flooding a packet consult it (through the
+        #: backend port's ``accepts``) before delivering, so no RX-ring
+        #: state is built for packets the guest would drop anyway.
+        self.rx_filter: Callable[[Packet], bool] | None = None
         self.backend: "NetBackend | None" = None
         self.tx_count = 0
         self.rx_count = 0
@@ -84,11 +89,22 @@ class NetFrontend:
         self.backend.from_guest(self.tx_ring.pop())
 
     def receive(self, packet: Packet) -> None:
-        """Backend RX delivery into the guest."""
-        self.rx_ring.push(packet)
+        """Backend RX delivery into the guest.
+
+        With a handler attached and no preallocated entries in flight,
+        the packet is handed over directly - the ring round-trip is
+        elided (same FIFO semantics, no per-packet deque churn).
+        """
         self.rx_count += 1
-        if self.rx_handler is not None:
-            self.rx_handler(self.rx_ring.pop())
+        handler = self.rx_handler
+        if handler is None:
+            self.rx_ring.push(packet)
+            return
+        if self.rx_ring.entries:
+            self.rx_ring.push(packet)
+            handler(self.rx_ring.pop())
+        else:
+            handler(packet)
 
     def clone_for(self, child: Domain) -> "NetFrontend":
         """Child-side device state: rings and buffers copied (paper §4.2)."""
@@ -106,6 +122,7 @@ class NetFrontend:
             self.tx_buffers.npages, PageType.IO_RING,
             label=f"vif{self.index}-txbuf")
         clone.rx_handler = None
+        clone.rx_filter = None
         clone.backend = None
         clone.tx_count = 0
         clone.rx_count = 0
@@ -127,7 +144,8 @@ class NetBackend:
         #: The switch (bridge/bond/OVS) this vif hangs off, set by the
         #: hotplug/udev stage; must expose ``forward(packet, ingress)``.
         self.switch = None
-        self.port = Port(self.name, mac, self._to_guest)
+        self.port = Port(self.name, mac, self._to_guest,
+                         accepts=self._accepts)
 
     def attach_switch(self, switch) -> None:
         """Set the Dom0 switch used for outbound traffic."""
@@ -142,6 +160,16 @@ class NetBackend:
     def _to_guest(self, packet: Packet) -> None:
         if self.frontend is not None:
             self.frontend.receive(packet)
+
+    def _accepts(self, packet: Packet) -> bool:
+        """Flood pre-filter: would delivering this packet have any
+        effect? False exactly when :meth:`_to_guest` would build RX
+        state only for the guest to drop the packet."""
+        frontend = self.frontend
+        if frontend is None:
+            return False
+        rx_filter = frontend.rx_filter
+        return rx_filter is None or rx_filter(packet)
 
 
 class NetBackendDriver:
@@ -229,6 +257,9 @@ class NetBackendDriver:
             if frontend.index == backend.index:
                 frontend.backend = backend
                 backend.frontend = frontend
+                # The port's acceptance just changed (no frontend ->
+                # guest filter): drop any cached switch decisions.
+                backend.port.touch()
                 break
         self.udev.emit(UdevEvent(
             action="add", subsystem="net", name=backend.name,

@@ -134,10 +134,12 @@ class GuestAPI:
     def udp_bind(self, port: int, handler: PacketHandler) -> None:
         """Listen for UDP datagrams on ``port``."""
         self._vm.udp_handlers[port] = handler
+        self._vm.filters_changed()
 
     def udp_unbind(self, port: int) -> None:
         """Stop listening on ``port``."""
         self._vm.udp_handlers.pop(port, None)
+        self._vm.filters_changed()
 
     def udp_send(self, dst_ip: str, dst_port: int, payload: Any = None,
                  src_port: int = 9000, size: int = 64, index: int = 0) -> None:

@@ -80,6 +80,7 @@ class UnikernelVM:
                 mac = vif_config.mac or default_mac(self.domain.domid, index)
                 frontend = NetFrontend(self.domain, index, mac, vif_config.ip)
                 frontend.rx_handler = self._dispatch_packet
+                frontend.rx_filter = self._wants_packet
         # 9pfs frontends are created by the toolstack's P9 service.
         # The rest of the RAM budget becomes the tinyalloc heap: a PV
         # guest owns its whole allocation from boot.
@@ -109,6 +110,19 @@ class UnikernelVM:
         if handler is not None:
             handler(packet)
 
+    def _wants_packet(self, packet: Packet) -> bool:
+        """RX interest pre-filter: mirrors :meth:`_dispatch_packet`'s
+        drop condition so switches can skip pointless flood deliveries."""
+        return packet.flow.dst_port in self.udp_handlers
+
+    def filters_changed(self) -> None:
+        """A UDP socket was bound/unbound: invalidate switch-side
+        cached acceptance decisions for this guest's vifs."""
+        for vif in self.domain.frontends.get("vif", []):
+            backend = vif.backend
+            if backend is not None:
+                backend.port.touch()
+
     # ------------------------------------------------------------------
     # cloning hooks (called by the Nephele first stage)
     # ------------------------------------------------------------------
@@ -128,6 +142,7 @@ class UnikernelVM:
         for vif in self.domain.frontends.get("vif", []):
             vif_clone = vif.clone_for(child)
             vif_clone.rx_handler = child_vm._dispatch_packet
+            vif_clone.rx_filter = child_vm._wants_packet
             copied_pages += vif.private_pages
         for mount in self.domain.frontends.get("9pfs", []):
             mount.clone_for(child)

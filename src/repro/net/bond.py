@@ -33,30 +33,48 @@ class BondInterface:
 
     def __init__(self, name: str = "bond0") -> None:
         self.name = name
-        self.slaves: list[Port] = []
+        #: Insertion-ordered membership (dict keyed by the Port object):
+        #: O(1) enslave/release, stable hash order for selection.
+        self._slaves: dict[Port, None] = {}
+        #: Indexable snapshot for hash selection, rebuilt lazily after
+        #: membership changes (so a teardown of N slaves is O(N), not
+        #: O(N^2) of repeated ``list.remove``).
+        self._selection: tuple[Port, ...] | None = None
         self.tx_per_slave: dict[str, int] = {}
+
+    @property
+    def slaves(self) -> list[Port]:
+        """The enslaved ports, in enslave order."""
+        return list(self._slaves)
 
     def enslave(self, port: Port) -> None:
         """Add a slave interface (identical MAC/IP to its siblings)."""
-        self.slaves.append(port)
+        self._slaves[port] = None
+        self._selection = None
         self.tx_per_slave.setdefault(port.name, 0)
 
     def release(self, port: Port) -> None:
         """Remove a slave."""
-        if port in self.slaves:
-            self.slaves.remove(port)
+        if port in self._slaves:
+            del self._slaves[port]
+            self._selection = None
 
     def select_slave(self, flow: Flow) -> Port:
         """balance-xor: pick the slave by the layer3+4 hash."""
-        if not self.slaves:
+        selection = self._selection
+        if selection is None:
+            selection = self._selection = tuple(self._slaves)
+        if not selection:
             raise RuntimeError(f"bond {self.name} has no slaves")
-        index = layer34_hash(flow) % len(self.slaves)
-        return self.slaves[index]
+        return selection[layer34_hash(flow) % len(selection)]
 
     def forward(self, packet: Packet, ingress: Port | None = None) -> int:
         """Deliver towards the guests: pick a slave by flow hash."""
         slave = self.select_slave(packet.flow)
         self.tx_per_slave[slave.name] = self.tx_per_slave.get(slave.name, 0) + 1
+        accepts = slave.accepts
+        if accepts is not None and not accepts(packet):
+            return 0
         slave.deliver(packet)
         return 1
 

@@ -35,12 +35,34 @@ class Packet:
 
 
 class Port:
-    """A switch port: anything with a ``deliver(packet)`` method and a MAC."""
+    """A switch port: anything with a ``deliver(packet)`` method and a MAC.
 
-    def __init__(self, name: str, mac: str, deliver) -> None:
+    ``accepts`` is an optional cheap pre-filter: switches flooding a
+    packet may skip ``deliver`` entirely when ``accepts(packet)`` is
+    false, so endpoints never build RX state for traffic they would
+    drop anyway. ``None`` means "deliver everything" (the default).
+
+    Contract: ``accepts`` must be a pure function of the packet's flow
+    *destination* (``dst_ip``, ``dst_port``, ``proto``) and of endpoint
+    state whose changes are signalled through :meth:`touch`. Switches
+    rely on this to cache flood-acceptance decisions per destination.
+    """
+
+    def __init__(self, name: str, mac: str, deliver, accepts=None) -> None:
         self.name = name
         self.mac = mac
         self.deliver = deliver
+        self.accepts = accepts
+        #: Switches this port is attached to that cache acceptance
+        #: decisions (maintained by their attach/detach).
+        self.switches: list = []
+
+    def touch(self) -> None:
+        """Signal that this port's ``accepts`` inputs changed (a socket
+        was bound/unbound, a listener added, ...): attached switches
+        drop their cached flood-acceptance decisions."""
+        for switch in self.switches:
+            switch.filters_changed(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Port({self.name} mac={self.mac})"

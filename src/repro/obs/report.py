@@ -37,6 +37,30 @@ def format_summary(summary: dict[str, dict[str, float]]) -> str:
     return "\n".join(lines)
 
 
+def format_counters(counters: dict[str, int]) -> str:
+    """Render registry counters as an aligned table.
+
+    Datapath health shows up here: ``net.bridge.flooded`` over
+    ``net.bridge.forwarded`` (the flood ratio) tells how much traffic
+    missed the MAC table, and ``net.bridge.flood_filtered`` counts the
+    deliveries the per-port pre-filters short-circuited.
+    """
+    if not counters:
+        return "(no counters recorded)"
+    rows: list[tuple[str, str]] = [
+        (name, str(value)) for name, value in sorted(counters.items())]
+    forwarded = counters.get("net.bridge.forwarded", 0)
+    if forwarded:
+        ratio = counters.get("net.bridge.flooded", 0) / forwarded
+        rows.append(("net.bridge.flood_ratio", f"{ratio:.4f}"))
+    width = max(len("counter"), *(len(name) for name, _ in rows))
+    header = f"{'counter':<{width}}  {'value':>12}"
+    lines = [header, "-" * len(header)]
+    for name, value in rows:
+        lines.append(f"{name:<{width}}  {value:>12}")
+    return "\n".join(lines)
+
+
 def run_report(tracer: Any, **meta: Any) -> dict[str, Any]:
     """Build the full JSON-serializable report for one tracer.
 

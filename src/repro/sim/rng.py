@@ -7,6 +7,7 @@ throughput variance, fuzzing input generation) draws from a seeded
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Sequence, TypeVar
 
@@ -24,9 +25,13 @@ class DeterministicRNG:
         """Derive an independent child stream named by ``label``.
 
         Child streams decorrelate subsystems: drawing more samples in one
-        component does not shift another component's sequence.
+        component does not shift another component's sequence. The child
+        seed comes from a *stable* hash — builtin ``hash`` of a string is
+        randomized per process, which would make every forked stream (and
+        so every figure series) unreproducible across runs.
         """
-        child_seed = hash((self.seed, label)) & 0x7FFFFFFF
+        digest = hashlib.sha256(f"{self.seed}:{label}".encode()).digest()
+        child_seed = int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
         return DeterministicRNG(child_seed)
 
     def uniform(self, lo: float, hi: float) -> float:

@@ -53,7 +53,8 @@ class Dom0:
         self.hostfs.mkdir("/srv")
 
         # Switching fabric.
-        self.bridges: dict[str, Bridge] = {"xenbr0": Bridge("xenbr0")}
+        self.bridges: dict[str, Bridge] = {
+            "xenbr0": Bridge("xenbr0", tracer=hypervisor.tracer)}
         self.bonds: dict[str, BondInterface] = {}
         self.ovs_groups: dict[int, OvsGroup] = {}
         #: Guest IP -> aggregation switch for clone families.
@@ -61,7 +62,8 @@ class Dom0:
 
         # Host network endpoint (the "uplink" the experiments talk to).
         self._listeners: dict[int, HostListener] = {}
-        self.host_port = Port("eth0", HOST_MAC, self._host_deliver)
+        self.host_port = Port("eth0", HOST_MAC, self._host_deliver,
+                              accepts=self._host_accepts)
         self.bridges["xenbr0"].attach(self.host_port)
 
         # Backend drivers.
@@ -90,7 +92,10 @@ class Dom0:
         if backend is None:
             return
         bridge_name = self._vif_bridge(*key)
-        bridge = self.bridges.setdefault(bridge_name, Bridge(bridge_name))
+        bridge = self.bridges.get(bridge_name)
+        if bridge is None:
+            bridge = self.bridges[bridge_name] = Bridge(
+                bridge_name, tracer=self.hypervisor.tracer)
         bridge.attach(backend.port)
         backend.attach_switch(bridge)
         self.clock.charge(self.costs.switch_attach)
@@ -131,10 +136,12 @@ class Dom0:
     def listen(self, port: int, handler: HostListener) -> None:
         """Bind a host-side UDP/TCP listener."""
         self._listeners[port] = handler
+        self.host_port.touch()
 
     def unlisten(self, port: int) -> None:
         """Unbind a host-side listener."""
         self._listeners.pop(port, None)
+        self.host_port.touch()
 
     def _host_deliver(self, packet: Packet) -> None:
         if packet.flow.dst_ip != HOST_IP:
@@ -142,6 +149,11 @@ class Dom0:
         handler = self._listeners.get(packet.flow.dst_port)
         if handler is not None:
             handler(packet)
+
+    def _host_accepts(self, packet: Packet) -> bool:
+        """Flood pre-filter: mirrors :meth:`_host_deliver`'s drop path."""
+        return (packet.flow.dst_ip == HOST_IP
+                and packet.flow.dst_port in self._listeners)
 
     def send_to_guest(self, dst_ip: str, dst_port: int, payload,
                       src_port: int = 40000, proto: str = "udp",
@@ -166,8 +178,7 @@ class Dom0:
     # ------------------------------------------------------------------
     @property
     def guest_count(self) -> int:
-        return sum(1 for d in self.hypervisor.domains.values()
-                   if not d.privileged)
+        return self.hypervisor.guest_count
 
     def used_bytes(self) -> int:
         """Dom0 resident memory (services + oxenstored + backends)."""

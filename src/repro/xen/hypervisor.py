@@ -46,6 +46,9 @@ class Hypervisor:
 
         self.scheduler = CreditScheduler(cpus)
         self.domains: dict[int, Domain] = {}
+        #: Live unprivileged domains, maintained on create/destroy so
+        #: per-sample accounting never scans the domain table.
+        self.guest_count = 0
         self._next_domid = 1
         #: Host-side vIRQ subscribers (e.g. xencloned on VIRQ_CLONED),
         #: keyed by virq number. Delivery also goes through guest
@@ -55,6 +58,8 @@ class Hypervisor:
         self._virq_bindings: dict[int, list[tuple[int, int]]] = {}
         #: The CLONEOP hypercall implementation (repro.core.cloneop).
         self._cloneop: Any = None
+        #: Deferred VIRQ_CLONED sends awaiting a coalesced flush.
+        self._cloned_pending = 0
         #: Guest exits awaiting toolstack handling: (domid, crashed).
         self.pending_exits: list[tuple[int, bool]] = []
 
@@ -116,6 +121,8 @@ class Hypervisor:
             raise
 
         self.domains[domid] = domain
+        if not privileged:
+            self.guest_count += 1
         self.scheduler.add_domain(domain)
         domain.state = DomainState.CREATED
         return domain
@@ -167,6 +174,7 @@ class Hypervisor:
         domain.state = DomainState.DEAD
         self.scheduler.remove_domain(domid)
         del self.domains[domid]
+        self.guest_count -= 1
 
     def pause_domain(self, domid: int) -> None:
         """Stop scheduling the domain's vCPUs."""
@@ -247,6 +255,11 @@ class Hypervisor:
     def raise_virq(self, virq: int) -> int:
         """Raise a vIRQ; returns the number of handlers notified."""
         self.clock.charge(self.costs.evtchn_send)
+        return self._dispatch_virq(virq)
+
+    def _dispatch_virq(self, virq: int) -> int:
+        """Deliver a vIRQ to host handlers and guest bindings (the send
+        cost must have been charged by the caller)."""
         handlers = list(self._virq_handlers.get(virq, ()))
         for handler in handlers:
             handler(virq)
@@ -341,9 +354,30 @@ class Hypervisor:
             )
         return self._cloneop
 
-    def notify_cloned(self) -> int:
-        """Raise VIRQ_CLONED towards the host (wakes xencloned)."""
+    def notify_cloned(self, defer: bool = False) -> int:
+        """Raise VIRQ_CLONED towards the host (wakes xencloned).
+
+        ``defer=True`` charges the event-channel send now (cost parity
+        with an immediate notification) but coalesces the actual wake-up
+        into the next :meth:`flush_cloned` — a batch of clones then
+        produces one xencloned dispatch instead of one per child.
+        """
+        if defer:
+            self.clock.charge(self.costs.evtchn_send)
+            self._cloned_pending += 1
+            return 0
+        self._cloned_pending = 0
         return self.raise_virq(VIRQ_CLONED)
+
+    def flush_cloned(self) -> int:
+        """Dispatch the coalesced VIRQ_CLONED wake-up, if any sends were
+        deferred. The sends were already charged at defer time, so the
+        flush itself is charge-free (virtual totals match the per-child
+        notification protocol exactly)."""
+        if not self._cloned_pending:
+            return 0
+        self._cloned_pending = 0
+        return self._dispatch_virq(VIRQ_CLONED)
 
     # ------------------------------------------------------------------
     # guest exits

@@ -9,6 +9,7 @@ request, which is what makes boot times in Fig 4 grow from 160 ms to
 
 from __future__ import annotations
 
+import functools
 import itertools
 from typing import Callable
 
@@ -25,19 +26,27 @@ class XenstoreError(ReproError):
 
 
 class Node:
-    """One node of the store tree."""
+    """One node of the store tree.
 
-    __slots__ = ("value", "children")
+    ``count`` caches the size of the subtree rooted here (this node
+    included). It is maintained incrementally by every tree mutation,
+    so ``subtree_nodes`` and the per-request store-size costing never
+    re-count trees.
+    """
+
+    __slots__ = ("value", "children", "count")
 
     def __init__(self, value: str = "") -> None:
         self.value = value
         self.children: dict[str, Node] = {}
+        self.count = 1
 
 
-def _split(path: str) -> list[str]:
+@functools.lru_cache(maxsize=None)
+def _split(path: str) -> tuple[str, ...]:
     if not path.startswith("/"):
         raise XenstoreError(f"path must be absolute: {path!r}")
-    return [part for part in path.split("/") if part]
+    return tuple(filter(None, path.split("/")))
 
 
 class Watch:
@@ -64,6 +73,12 @@ class XenstoreDaemon:
         self.access_log = AccessLog(clock, costs, enabled=log_enabled,
                                     tracer=self.tracer)
         self._watches: dict[int, Watch] = {}
+        #: Watch path -> {watch id -> watch}: firing a path consults its
+        #: O(depth) prefixes instead of scanning every watch.
+        self._watch_index: dict[str, dict[int, Watch]] = {}
+        #: Lazily rebuilt [(path, "path/", bucket)] scan list used when
+        #: the index is small enough that scanning beats prefix walking.
+        self._watch_scan: list[tuple[str, str, dict[int, Watch]]] | None = None
         self._watch_ids = itertools.count(1)
         from repro.xenstore.transactions import TransactionManager
 
@@ -94,15 +109,36 @@ class XenstoreDaemon:
     # tree primitives (no request accounting; used server-side)
     # ------------------------------------------------------------------
     def _lookup(self, path: str, create: bool = False) -> Node:
+        if create:
+            return self._lookup_create(path)
         node = self.root
         for part in _split(path):
             child = node.children.get(part)
             if child is None:
-                if not create:
-                    raise XenstoreError(f"ENOENT: {path!r}")
-                child = Node()
-                node.children[part] = child
-                self.node_count += 1
+                raise XenstoreError(f"ENOENT: {path!r}")
+            node = child
+        return node
+
+    def _lookup_create(self, path: str) -> Node:
+        parts = _split(path)
+        node = self.root
+        trail = [node]
+        for i, part in enumerate(parts):
+            child = node.children.get(part)
+            if child is None:
+                # Everything from here on is new: create the chain and
+                # bump the existing ancestors' subtree counts once.
+                created = len(parts) - i
+                for ancestor in trail:
+                    ancestor.count += created
+                for j in range(i, len(parts)):
+                    child = Node()
+                    child.count = len(parts) - j
+                    node.children[parts[j]] = child
+                    node = child
+                self.node_count += created
+                return node
+            trail.append(child)
             node = child
         return node
 
@@ -138,16 +174,20 @@ class XenstoreDaemon:
         if not parts:
             raise XenstoreError("cannot remove the root")
         parent = self.root
+        trail = [parent]
         for part in parts[:-1]:
             child = parent.children.get(part)
             if child is None:
                 raise XenstoreError(f"ENOENT: {path!r}")
+            trail.append(child)
             parent = child
         target = parent.children.get(parts[-1])
         if target is None:
             raise XenstoreError(f"ENOENT: {path!r}")
-        removed = self._count_subtree(target)
+        removed = target.count
         del parent.children[parts[-1]]
+        for ancestor in trail:
+            ancestor.count -= removed
         self.node_count -= removed
         self.transactions.record_external_write(path)
         if fire:
@@ -155,14 +195,44 @@ class XenstoreDaemon:
         return removed
 
     def _count_subtree(self, node: Node) -> int:
+        """From-scratch recount (consistency checks; the live path uses
+        the incrementally maintained ``Node.count``)."""
         total = 1
         for child in node.children.values():
             total += self._count_subtree(child)
         return total
 
     def subtree_nodes(self, path: str) -> int:
-        """Node count of the subtree rooted at ``path``."""
-        return self._count_subtree(self._lookup(path))
+        """Node count of the subtree rooted at ``path`` (O(depth))."""
+        return self._lookup(path).count
+
+    def graft(self, path: str, subtree: Node) -> int:
+        """Attach a prebuilt subtree at ``path`` (server-side bulk
+        create, the fast half of ``xs_clone``); returns the number of
+        nodes added from ``subtree``. EEXIST if ``path`` is taken."""
+        parts = _split(path)
+        if not parts:
+            raise XenstoreError("cannot graft at the root")
+        node = self.root
+        trail = [node]
+        for part in parts[:-1]:
+            child = node.children.get(part)
+            if child is None:
+                child = Node()
+                node.children[part] = child
+                self.node_count += 1
+                for ancestor in trail:
+                    ancestor.count += 1
+            trail.append(child)
+            node = child
+        if parts[-1] in node.children:
+            raise XenstoreError(f"EEXIST: {path!r}")
+        node.children[parts[-1]] = subtree
+        added = subtree.count
+        for ancestor in trail:
+            ancestor.count += added
+        self.node_count += added
+        return added
 
     def walk(self, path: str) -> list[tuple[str, str]]:
         """All (path, value) pairs under ``path``, including it."""
@@ -182,22 +252,70 @@ class XenstoreDaemon:
     def add_watch(self, path: str, token: str, callback: WatchCallback) -> int:
         """Register a watch; fires for writes at/under ``path``."""
         watch_id = next(self._watch_ids)
-        self._watches[watch_id] = Watch(path, token, callback)
+        watch = Watch(path, token, callback)
+        self._watches[watch_id] = watch
+        self._watch_index.setdefault(watch.path, {})[watch_id] = watch
+        self._watch_scan = None
         return watch_id
 
     def remove_watch(self, watch_id: int) -> None:
         """Unregister a watch."""
-        self._watches.pop(watch_id, None)
+        watch = self._watches.pop(watch_id, None)
+        if watch is None:
+            return
+        bucket = self._watch_index.get(watch.path)
+        if bucket is not None:
+            bucket.pop(watch_id, None)
+            if not bucket:
+                del self._watch_index[watch.path]
+                self._watch_scan = None
 
     def fire_watches(self, path: str) -> int:
-        """Fire all watches whose path is a prefix of ``path``."""
-        fired = 0
+        """Fire all watches whose path is a prefix of ``path``.
+
+        Only the fired path's own prefixes can match, so this consults
+        the watch index at each prefix (O(depth + matches)) rather than
+        scanning every registered watch. Matches fire in registration
+        order, and watches removed by an earlier callback still fire
+        (the match list is snapshotted up front).
+        """
+        index = self._watch_index
+        if not index:
+            return 0
         normalized = path.rstrip("/") or "/"
-        for watch in list(self._watches.values()):
-            if normalized == watch.path or normalized.startswith(watch.path + "/"):
-                self.clock.charge(self.costs.xs_watch_fire)
-                watch.callback(normalized, watch.token)
-                fired += 1
+        matched: list[tuple[int, Watch]] = []
+        if normalized == "/":
+            bucket = index.get("/")
+            if bucket:
+                matched.extend(bucket.items())
+        elif len(index) <= 16:
+            # Few distinct watch paths: scanning them directly is
+            # cheaper than materializing every prefix of the fired path.
+            scan = self._watch_scan
+            if scan is None:
+                scan = self._watch_scan = [
+                    (wpath, "/" if wpath == "/" else f"{wpath}/", bucket)
+                    for wpath, bucket in index.items()]
+            for wpath, wprefix, bucket in scan:
+                if normalized == wpath or (wpath != "/"
+                                           and normalized.startswith(wprefix)):
+                    matched.extend(bucket.items())
+            if len(matched) > 1:
+                matched.sort()
+        else:
+            prefix = ""
+            for part in normalized[1:].split("/"):
+                prefix = f"{prefix}/{part}"
+                bucket = index.get(prefix)
+                if bucket:
+                    matched.extend(bucket.items())
+            if len(matched) > 1:
+                matched.sort()
+        fired = 0
+        for _watch_id, watch in matched:
+            self.clock.charge(self.costs.xs_watch_fire)
+            watch.callback(normalized, watch.token)
+            fired += 1
         return fired
 
     # ------------------------------------------------------------------

@@ -124,14 +124,15 @@ def test_traced_clone_stage_durations_sum_to_elapsed(session):
     assert len(first_stages) == 3
     assert len(second_stages) == 3
     stages = (tracer.spans("clone.prepare") + first_stages
-              + tracer.spans("clone.handoff") + tracer.spans("clone.resume"))
+              + tracer.spans("clone.handoff") + tracer.spans("clone.wakeup")
+              + tracer.spans("clone.resume"))
     assert sum(s.duration_ms for s in stages) == pytest.approx(elapsed,
                                                                abs=1e-9)
-    # Second stages run inside the handoff, so they are already counted.
+    # Second stages run inside the batch's coalesced wake-up, so they
+    # are already counted.
+    (wakeup,) = tracer.spans("clone.wakeup")
     for second in second_stages:
-        parent = next(s for s in tracer.spans("clone.handoff")
-                      if s.span_id == second.parent_id)
-        assert parent.kind == "clone.handoff"
+        assert second.parent_id == wakeup.span_id
 
 
 def test_traced_clone_covers_all_layers(session, tmp_path):

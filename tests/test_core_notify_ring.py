@@ -82,3 +82,43 @@ def test_backpressure_path_in_cloneop(platform, udp_parent):
     assert drained and len(drained) == 3
     assert platform.cloneop.ring.high_watermark <= 1
     assert sorted(drained) == sorted(children)
+
+
+def test_backpressure_bounded_stall_raises_when_daemon_stuck(
+        platform, udp_parent):
+    """A daemon that never drains must not hang the first stage: after
+    BACKPRESSURE_STALL_LIMIT fruitless wake-ups the clone fails cleanly
+    and the parent comes back runnable."""
+    from repro.core.cloneop import BACKPRESSURE_STALL_LIMIT, CloneOpError
+    from repro.xen.events import VIRQ_CLONED
+
+    # Choke the ring and detach every VIRQ_CLONED subscriber: wake-ups
+    # now free no slots, exactly like a wedged xencloned.
+    platform.cloneop.ring = CloneNotificationRing(capacity=1)
+    platform.cloneop.ring.push(entry(999))
+    platform.hypervisor._virq_handlers[VIRQ_CLONED] = []
+
+    wakeups = []
+    original = platform.hypervisor.notify_cloned
+    platform.hypervisor.notify_cloned = (
+        lambda defer=False: (wakeups.append(defer), original(defer))[1])
+
+    domains_before = set(platform.hypervisor.domains)
+    with pytest.raises(CloneOpError, match="still full"):
+        platform.cloneop.clone(udp_parent.domid)
+    # The stall loop tried the bounded number of synchronous wake-ups.
+    assert wakeups.count(False) == BACKPRESSURE_STALL_LIMIT
+    # The half-built child was unwound and the parent resumed.
+    assert set(platform.hypervisor.domains) == domains_before
+    assert udp_parent.state.name == "RUNNING"
+
+
+def test_backpressure_slow_drain_still_succeeds(platform, udp_parent):
+    """A slow (but live) daemon only costs stalls, not failures."""
+    platform.cloneop.ring = CloneNotificationRing(capacity=1)
+    children = platform.cloneop.clone(udp_parent.domid, count=4)
+    assert len(children) == 4
+    # Children 2..4 each found the one-slot ring full, stalled, and
+    # succeeded after a synchronous drain.
+    assert platform.cloneop.ring.backpressure_events == 3
+    assert platform.cloneop.ring.high_watermark == 1

@@ -21,8 +21,8 @@ def test_fig1_two_stage_ordering(platform, udp_parent):
     cloneop.ring.push = lambda e: (events.append("ring_push"),
                                    original_push(e))[1]
     original_virq = hyp.notify_cloned
-    hyp.notify_cloned = lambda: (events.append("virq_cloned"),
-                                 original_virq())[1]
+    hyp.notify_cloned = lambda *a, **k: (events.append("virq_cloned"),
+                                         original_virq(*a, **k))[1]
     original_stage2 = xencloned._second_stage
 
     def stage2(parent_id, child_id):
@@ -148,14 +148,16 @@ def test_negotiation_runs_on_boot_but_not_on_clone(platform):
     writes_per_path = {}
 
     daemon = platform.xenstore
-    original_write = daemon.write_node
+    # Every store mutation (plain write_node or the xs_clone bulk copy)
+    # records a conflict generation per touched path: spy that seam.
+    original_record = daemon.transactions.record_external_write
 
-    def spying_write(path, value, fire=True):
+    def spying_record(path):
         if path.endswith("/state"):
             writes_per_path[path] = writes_per_path.get(path, 0) + 1
-        return original_write(path, value, fire)
+        return original_record(path)
 
-    daemon.write_node = spying_write
+    daemon.transactions.record_external_write = spying_record
     parent = platform.xl.create(udp_config("p", max_clones=4),
                                 app=UdpServerApp())
     boot_vif_state_writes = max(

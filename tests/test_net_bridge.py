@@ -59,3 +59,123 @@ def test_detach():
     bridge.attach(p)
     bridge.detach(p)
     assert bridge.forward(packet("00:0a")) == 0
+
+
+def filtered_port(name: str, mac: str, rx: list, wanted_ports: set) -> Port:
+    return Port(name, mac, rx.append,
+                accepts=lambda pkt: pkt.flow.dst_port in wanted_ports)
+
+
+def dst_packet(dst_port: int) -> Packet:
+    return Packet("00:01", "ff:ff", Flow("1.1.1.1", "2.2.2.2", 1, dst_port))
+
+
+def test_source_mac_learned_from_forwarded_traffic():
+    """A re-attached port regains its MAC entry on first transmission."""
+    bridge = Bridge()
+    rx_a, rx_b = [], []
+    a = port("a", "00:0a", rx_a)
+    b = port("b", "00:0b", rx_b)
+    bridge.attach(a)
+    bridge.attach(b)
+    # Another port takes over b's MAC table slot...
+    bridge._mac_table["00:0b"] = a
+    # ...until b transmits and is learned back.
+    tx = Packet("00:0b", "ff:ff", Flow("2.2.2.2", "1.1.1.1", 2, 1))
+    bridge.forward(tx, ingress=b)
+    assert bridge.forward(packet("00:0b")) == 1
+    assert len(rx_b) == 1
+
+
+def test_stale_mac_entry_falls_through_to_flood():
+    """A detached port's leftover MAC entry must not black-hole traffic."""
+    bridge = Bridge()
+    rx_a, rx_b, rx_c = [], [], []
+    a = port("a", "00:0a", rx_a)
+    b = port("b", "00:0b", rx_b)
+    c = port("c", "00:0c", rx_c)
+    bridge.attach(a)
+    bridge.attach(b)
+    bridge.attach(c)
+    # Simulate a stale entry: detach b but leave its MAC in the table
+    # (another port with the same MAC was since attached elsewhere).
+    del bridge.ports[b]
+    assert bridge._mac_table["00:0b"] is b
+    reached = bridge.forward(packet("00:0b"), ingress=a)
+    assert reached == 1 and len(rx_c) == 1  # flooded to remaining ports
+    assert "00:0b" not in bridge._mac_table  # stale entry dropped
+
+
+def test_flood_prefilter_skips_non_accepting_ports():
+    bridge = Bridge()
+    rx_a, rx_b = [], []
+    a = filtered_port("a", "00:0a", rx_a, {7000})
+    b = filtered_port("b", "00:0b", rx_b, {8000})
+    bridge.attach(a)
+    bridge.attach(b)
+    assert bridge.forward(dst_packet(7000)) == 1
+    assert len(rx_a) == 1 and len(rx_b) == 0
+    assert bridge.flood_filtered == 1
+
+
+def test_flood_cache_repaired_on_touch():
+    """Binding a new destination (signalled via Port.touch) repairs the
+    cached acceptance decisions instead of rebuilding them."""
+    bridge = Bridge()
+    rx_a, rx_b = [], []
+    wanted_a, wanted_b = {7000}, set()
+    a = filtered_port("a", "00:0a", rx_a, wanted_a)
+    b = filtered_port("b", "00:0b", rx_b, wanted_b)
+    bridge.attach(a)
+    bridge.attach(b)
+    bridge.forward(dst_packet(7000))  # populates the cache: only a
+    assert len(rx_b) == 0
+    wanted_b.add(7000)  # "bind": b now wants the flow
+    b.touch()
+    bridge.forward(dst_packet(7000))
+    assert len(rx_b) == 1
+    wanted_a.discard(7000)  # "unbind": a no longer wants it
+    a.touch()
+    bridge.forward(dst_packet(7000))
+    assert len(rx_a) == 2  # two deliveries from before the unbind
+    assert len(rx_b) == 2
+
+
+def test_detach_removes_port_from_flood_cache():
+    bridge = Bridge()
+    rx_a, rx_b = [], []
+    a = port("a", "00:0a", rx_a)
+    b = port("b", "00:0b", rx_b)
+    bridge.attach(a)
+    bridge.attach(b)
+    bridge.forward(dst_packet(9000))  # cache: both accept
+    bridge.detach(b)
+    bridge.forward(dst_packet(9000))
+    assert len(rx_b) == 1  # nothing delivered after detach
+
+
+def test_attach_joins_existing_flood_cache_entries():
+    bridge = Bridge()
+    rx_a, rx_c = [], []
+    a = port("a", "00:0a", rx_a)
+    bridge.attach(a)
+    bridge.forward(dst_packet(9000))
+    c = port("c", "00:0c", rx_c)
+    bridge.attach(c)
+    bridge.forward(dst_packet(9000))
+    assert len(rx_c) == 1
+
+
+def test_forwarded_and_flooded_stats_and_ratio():
+    bridge = Bridge()
+    rx_a, rx_b = [], []
+    a = port("a", "00:0a", rx_a)
+    b = port("b", "00:0b", rx_b)
+    bridge.attach(a)
+    bridge.attach(b)
+    bridge.forward(packet("00:0b"))       # unicast
+    bridge.forward(packet("ff:ff"))       # flood
+    bridge.forward(packet("ff:ff"))       # flood
+    assert bridge.forwarded == 3
+    assert bridge.flooded == 2
+    assert bridge.flood_ratio == 2 / 3

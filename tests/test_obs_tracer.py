@@ -261,3 +261,13 @@ def test_null_tracer_allocates_nothing():
     second = NULL_TRACER.span("b")
     assert first is second  # the shared singleton span
     assert first.set(x=1) is first
+
+
+def test_format_counters_includes_flood_ratio():
+    from repro.obs.report import format_counters
+
+    text = format_counters({"net.bridge.forwarded": 8,
+                            "net.bridge.flooded": 2})
+    assert "net.bridge.flood_ratio" in text
+    assert "0.2500" in text
+    assert format_counters({}) == "(no counters recorded)"

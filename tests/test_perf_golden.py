@@ -1,0 +1,35 @@
+"""The golden determinism guard (benchmarks/perf).
+
+Wall-clock optimization work must never move virtual time. The full
+eight-figure fingerprint check runs in CI (`python -m benchmarks.perf.golden`
+or the harness's --check-determinism); here the two clone-heavy figures
+run at reduced scale on every pytest invocation, plus the full set when
+RUN_FULL_GOLDEN=1.
+"""
+
+import json
+import os
+
+import pytest
+
+from benchmarks.perf import golden
+
+
+def test_golden_file_matches_figure_set():
+    reference = golden.load_golden()
+    assert set(reference) == set(golden._figures())
+    data = json.loads(golden.GOLDEN_PATH.read_text())
+    assert data["seed"] == golden.SEED == 0xC10E
+
+
+@pytest.mark.parametrize("figure", ["fig4", "fig5"])
+def test_clone_figures_fingerprint_stable(figure):
+    prints = golden.compute_fingerprints(only={figure})
+    assert prints[figure] == golden.load_golden()[figure]
+
+
+@pytest.mark.skipif(not os.environ.get("RUN_FULL_GOLDEN"),
+                    reason="full eight-figure sweep (set RUN_FULL_GOLDEN=1)")
+def test_all_figures_fingerprint_stable():
+    prints = golden.compute_fingerprints()
+    assert prints == golden.load_golden()

@@ -133,3 +133,75 @@ def test_introduce_and_release(daemon):
 def test_resident_bytes_scale_with_nodes(daemon, costs):
     daemon.write_node("/a/b/c", "x")
     assert daemon.resident_bytes() == 3 * costs.xs_node_resident_bytes
+
+
+# ----------------------------------------------------------------------
+# incremental subtree node counts
+# ----------------------------------------------------------------------
+def assert_counts_consistent(daemon):
+    """Every node's incremental ``count`` matches a from-scratch recount."""
+    def check(node):
+        assert node.count == daemon._count_subtree(node)
+        for child in node.children.values():
+            check(child)
+    check(daemon.root)
+    assert daemon.root.count == daemon.node_count + 1  # root not counted
+
+
+def test_node_counts_track_writes(daemon):
+    daemon.write_node("/a/b/c", "1")
+    daemon.write_node("/a/b/d", "2")
+    daemon.write_node("/a/e", "3")
+    assert daemon.subtree_nodes("/a") == 5
+    assert daemon.subtree_nodes("/a/b") == 3
+    assert daemon.node_count == 5
+    assert_counts_consistent(daemon)
+
+
+def test_node_counts_track_removes(daemon):
+    daemon.write_node("/a/b/c", "1")
+    daemon.write_node("/a/b/d", "2")
+    daemon.write_node("/a/e", "3")
+    removed = daemon.remove_node("/a/b")
+    assert removed == 3
+    assert daemon.subtree_nodes("/a") == 2
+    assert daemon.node_count == 2
+    assert_counts_consistent(daemon)
+
+
+def test_node_counts_track_graft(daemon):
+    from repro.xenstore.store import Node
+
+    daemon.write_node("/local/domain/1/name", "parent")
+    subtree = Node("")
+    leaf = Node("clone")
+    subtree.children["name"] = leaf
+    subtree.count = 2
+    added = daemon.graft("/local/domain/2", subtree)
+    assert added == 2
+    assert daemon.subtree_nodes("/local/domain/2") == 2
+    assert daemon.subtree_nodes("/local") == 6
+    assert_counts_consistent(daemon)
+
+
+def test_graft_refuses_existing_path(daemon):
+    from repro.xenstore.store import Node
+
+    daemon.write_node("/a/b", "x")
+    with pytest.raises(XenstoreError):
+        daemon.graft("/a/b", Node("y"))
+
+
+def test_node_counts_consistent_after_xs_clone(platform):
+    """The bulk-copy path (xs_clone grafting a prebuilt subtree) keeps
+    the incremental counts exact."""
+    from repro.toolstack.config import DomainConfig, VifConfig
+    from repro.apps.udp_server import UdpServerApp
+
+    domain = platform.xl.create(
+        DomainConfig(name="xsclone", memory_mb=4,
+                     vifs=[VifConfig(ip="10.0.3.1")], max_clones=4),
+        app=UdpServerApp())
+    platform.cloneop.clone(domain.domid, count=2)
+    daemon = platform.xenstore
+    assert_counts_consistent(daemon)
