@@ -45,6 +45,8 @@ BASELINES: dict[str, dict[str, tuple[float, int]]] = {
                                 "quick": (0.207, 889_137)},
     "clone_fleet": {"full": (0.838, 4_252_727),
                     "quick": (0.104, 531_597)},
+    "xenstore_deep_clone": {"full": (0.460, 1_588_219),
+                            "quick": (0.035, 116_289)},
 }
 
 
@@ -98,10 +100,52 @@ def _clone_fleet(quick: bool):
     return scenario
 
 
+def _xenstore_deep_clone(quick: bool):
+    """xs_clone over a deep (6-level, 534-node) device subtree.
+
+    The fleet scenarios clone shallow per-device directories; this one
+    exercises the structural graft on the kind of subtree where O(1)
+    vs O(M) actually matters. Pure Xenstore: no session, no datapath.
+    """
+    clones = 16 if quick else 128
+    rounds = 2 if quick else 4
+
+    def scenario():
+        from repro.sim import CostModel, VirtualClock
+        from repro.xenstore.client import XsHandle
+        from repro.xenstore.clone import XsCloneOp
+        from repro.xenstore.store import XenstoreDaemon
+
+        for _ in range(rounds):
+            daemon = XenstoreDaemon(VirtualClock(), CostModel(),
+                                    log_enabled=False)
+            handle = XsHandle(daemon)
+            base = "/local/domain/0/backend/9pfs/5"
+            daemon.write_node(f"{base}/frontend-id", "5")
+            for dev in range(4):
+                droot = f"{base}/{dev}"
+                daemon.write_node(
+                    f"{droot}/frontend",
+                    f"/local/domain/5/device/9pfs/{dev}")
+                for shard in range(10):
+                    for entry in range(4):
+                        eroot = f"{droot}/tags/{shard}/{entry}"
+                        daemon.write_node(f"{eroot}/path",
+                                          f"/srv/{shard}/{entry}")
+                        daemon.write_node(f"{eroot}/mode", "rw")
+            for child in range(clones):
+                domid = 100 + child
+                handle.clone(5, domid, XsCloneOp.DEV_9PFS, base,
+                             f"/local/domain/0/backend/9pfs/{domid}")
+
+    return scenario
+
+
 SCENARIOS = {
     "fig5_density": _fig5,
     "fig4_instantiation_1000": _fig4,
     "clone_fleet": _clone_fleet,
+    "xenstore_deep_clone": _xenstore_deep_clone,
 }
 
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import ReproError
@@ -31,11 +30,9 @@ class MqueueError(ReproError):
     """Queue misuse: full, oversized message, or empty receive."""
 
 
-@dataclass(order=True)
-class _Entry:
-    sort_key: tuple[int, int]
-    payload: bytes = field(compare=False)
-    priority: int = field(compare=False)
+#: Heap entries are plain tuples ``(-priority, seq, payload, priority)``:
+#: the unique ``seq`` breaks priority ties before the payload is ever
+#: compared, and tuple ordering stays entirely in C.
 
 
 class MessageQueue:
@@ -48,7 +45,7 @@ class MessageQueue:
         self.channel = IdcChannel(hypervisor, owner)
         self.capacity_bytes = npages * PAGE_SIZE
         self.max_messages = max_messages
-        self._heap: list[_Entry] = []
+        self._heap: list[tuple[int, int, bytes, int]] = []
         self._seq = itertools.count()
         self.buffered_bytes = 0
         self._receivers: dict[int, MessageHandler] = {}
@@ -67,18 +64,20 @@ class MessageQueue:
                 f"({self.capacity_bytes - self.buffered_bytes} B)")
         self.area.write(sender, len(payload))
         heapq.heappush(self._heap,
-                       _Entry((-priority, next(self._seq)), payload, priority))
+                       (-priority, next(self._seq), payload, priority))
         self.buffered_bytes += len(payload)
         self.channel.notify(sender)
-        self._wake(exclude=sender.domid)
+        if self._receivers:
+            self._wake(exclude=sender.domid)
 
     def receive(self, receiver: Domain) -> tuple[bytes, int]:
         """mq_receive: dequeue the highest-priority message."""
         if not self._heap:
             raise MqueueError("queue empty")
         entry = heapq.heappop(self._heap)
-        self.buffered_bytes -= len(entry.payload)
-        return entry.payload, entry.priority
+        payload = entry[2]
+        self.buffered_bytes -= len(payload)
+        return payload, entry[3]
 
     def try_receive(self, receiver: Domain) -> tuple[bytes, int] | None:
         """Non-blocking receive: None when the queue is empty."""

@@ -96,7 +96,11 @@ class SpanRing:
         return self.pushed - len(self._spans)
 
     def push(self, span: Span) -> None:
-        """Record a finished span (evicting the oldest when full)."""
+        """Record a finished span (evicting the oldest when full).
+
+        ``Tracer._record`` inlines this body on its hot path; keep the
+        two in sync.
+        """
         self._spans.append(span)
         self.pushed += 1
 

@@ -84,8 +84,23 @@ class _OpenSpan:
         self._span: Span | None = None
 
     def __enter__(self) -> Span:
-        self._span = self._tracer._open(self._kind, self._attrs)
-        return self._span
+        # The body of Tracer._open, inlined: spans bracket the hottest
+        # simulated paths, so entering one must cost a fixed handful of
+        # calls. ``clock._now`` is the VirtualClock backing field (the
+        # tracer is documented as keyed to a VirtualClock).
+        tracer = self._tracer
+        stack = tracer._stack
+        span = self._span = Span(
+            kind=self._kind,
+            start_ms=tracer.clock._now,
+            span_id=tracer._next_id,
+            parent_id=stack[-1].span_id if stack else None,
+            depth=len(stack),
+            attrs=self._attrs,
+        )
+        tracer._next_id += 1
+        stack.append(span)
+        return span
 
     def __exit__(self, *exc_info: object) -> bool:
         self._tracer._close(self._span)
@@ -115,8 +130,11 @@ class Tracer:
         self._stack: list[Span] = []
         self._next_id = 1
         #: Per-kind running aggregates, immune to ring eviction:
-        #: kind -> [count, total_ms, self_ms, max_ms].
-        self._agg: dict[str, list[float]] = {}
+        #: kind -> [count, total_ms, self_ms, max_ms, histogram].
+        self._agg: dict[str, list] = {}
+        #: Counter objects by name, so steady-state ``count()`` calls
+        #: skip the registry lookup. Cleared together with the registry.
+        self._counter_cache: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # span lifecycle
@@ -125,54 +143,59 @@ class Tracer:
         """A context manager recording one nested span of kind ``kind``."""
         return _OpenSpan(self, kind, attrs)
 
-    def _open(self, kind: str, attrs: dict[str, Any]) -> Span:
-        parent = self._stack[-1] if self._stack else None
-        span = Span(
-            kind=kind,
-            start_ms=self.clock.now,
-            span_id=self._next_id,
-            parent_id=parent.span_id if parent is not None else None,
-            depth=len(self._stack),
-            attrs=attrs,
-        )
-        self._next_id += 1
-        self._stack.append(span)
-        return span
-
     def _close(self, span: Span | None) -> None:
         if span is None:  # pragma: no cover - defensive
             return
-        span.end_ms = self.clock.now
+        now = self.clock._now
+        span.end_ms = now
         # Unwind to (and including) this span; tolerate callers that
         # closed out of order by closing the intermediates too.
-        while self._stack:
-            top = self._stack.pop()
-            top.end_ms = self.clock.now if top.end_ms is None else top.end_ms
-            if self._stack:
-                self._stack[-1].children_ms += top.duration_ms
-            self._record(top)
+        stack = self._stack
+        while stack:
+            top = stack.pop()
+            end = top.end_ms
+            if end is None:
+                end = top.end_ms = now
+            duration = end - top.start_ms
+            if stack:
+                stack[-1].children_ms += duration
+            self._record(top, duration)
             if top is span:
                 break
 
-    def _record(self, span: Span) -> None:
-        self.ring.push(span)
+    def _record(self, span: Span, duration: float | None = None) -> None:
+        if duration is None:
+            end = span.end_ms
+            duration = 0.0 if end is None else end - span.start_ms
+        ring = self.ring
+        ring._spans.append(span)
+        ring.pushed += 1
         agg = self._agg.get(span.kind)
         if agg is None:
-            agg = self._agg[span.kind] = [0, 0.0, 0.0, 0.0]
+            # The per-kind histogram rides along in the aggregate slot
+            # so steady-state recording skips the registry lookup (and
+            # its name formatting) entirely.
+            agg = self._agg[span.kind] = [
+                0, 0.0, 0.0, 0.0,
+                self.registry.histogram(f"span_ms.{span.kind}")]
         agg[0] += 1
-        agg[1] += span.duration_ms
-        agg[2] += span.self_ms
-        if span.duration_ms > agg[3]:
-            agg[3] = span.duration_ms
-        self.registry.histogram(f"span_ms.{span.kind}").observe(
-            span.duration_ms)
+        agg[1] += duration
+        self_ms = duration - span.children_ms
+        agg[2] += self_ms if self_ms > 0.0 else 0.0
+        if duration > agg[3]:
+            agg[3] = duration
+        agg[4].observe(duration)
 
     # ------------------------------------------------------------------
     # metrics
     # ------------------------------------------------------------------
     def count(self, name: str, n: int = 1) -> None:
         """Increment counter ``name`` by ``n``."""
-        self.registry.counter(name).add(n)
+        try:
+            counter = self._counter_cache[name]
+        except KeyError:
+            counter = self._counter_cache[name] = self.registry.counter(name)
+        counter.add(n)
 
     def observe(self, name: str, value: float) -> None:
         """Record ``value`` into histogram ``name``."""
@@ -209,7 +232,7 @@ class Tracer:
         """
         result: dict[str, dict[str, float]] = {}
         for kind in sorted(self._agg, key=lambda k: -self._agg[k][1]):
-            count, total, self_total, max_ms = self._agg[kind]
+            count, total, self_total, max_ms = self._agg[kind][:4]
             result[kind] = {
                 "count": int(count),
                 "total_ms": total,
@@ -236,3 +259,4 @@ class Tracer:
         self.ring.clear()
         self.registry.clear()
         self._agg.clear()
+        self._counter_cache.clear()

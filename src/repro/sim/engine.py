@@ -17,20 +17,33 @@ from repro.sim.clock import VirtualClock
 
 EventCallback = Callable[[], None]
 
+#: Queues smaller than this are never compacted: a handful of stale
+#: entries is cheaper to pop past than to rebuild the heap for.
+_COMPACT_MIN = 64
+
 
 class ScheduledEvent:
     """Handle for a scheduled event; supports cancellation."""
 
-    __slots__ = ("time", "callback", "cancelled")
+    __slots__ = ("time", "callback", "cancelled", "_engine", "_enqueued")
 
     def __init__(self, time: float, callback: EventCallback) -> None:
         self.time = time
         self.callback = callback
         self.cancelled = False
+        #: Owning engine, set on first push; lets ``cancel`` report the
+        #: now-dead queue entry so the engine can compact lazily.
+        self._engine: "Engine | None" = None
+        self._enqueued = False
 
     def cancel(self) -> None:
         """Prevent this event (and, for periodic series, reoccurrence)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        engine = self._engine
+        if engine is not None and self._enqueued:
+            engine._note_cancelled()
 
 
 class Engine:
@@ -40,6 +53,13 @@ class Engine:
         self.clock = clock if clock is not None else VirtualClock()
         self._queue: list[tuple[float, int, ScheduledEvent]] = []
         self._seq = itertools.count()
+        #: Cancelled events still sitting in the heap. When they come to
+        #: outnumber the live ones the queue is rebuilt without them, so
+        #: cancel-heavy workloads (periodic timers torn down en masse)
+        #: stay O(live events) instead of growing the heap forever.
+        self._cancelled = 0
+        #: How many lazy compactions have run (regression-test hook).
+        self.compactions = 0
         #: Set by the platform when tracing is on; each dispatched event
         #: then records a ``sim.event`` span.
         self.tracer = NULL_TRACER
@@ -49,6 +69,8 @@ class Engine:
         if t_ms < self.clock.now:
             raise ValueError(f"cannot schedule in the past: {t_ms} < {self.clock.now}")
         event = ScheduledEvent(t_ms, callback)
+        event._engine = self
+        event._enqueued = True
         heapq.heappush(self._queue, (t_ms, next(self._seq), event))
         return event
 
@@ -69,6 +91,7 @@ class Engine:
             raise ValueError(f"non-positive interval: {interval_ms}")
         start = self.clock.now + interval_ms if first_at is None else first_at
         series = ScheduledEvent(start, callback)
+        series._engine = self
 
         def tick() -> None:
             if series.cancelled:
@@ -76,9 +99,11 @@ class Engine:
             callback()
             if not series.cancelled:
                 series.time = self.clock.now + interval_ms
+                series._enqueued = True
                 heapq.heappush(self._queue, (series.time, next(self._seq), series))
 
         series.callback = tick
+        series._enqueued = True
         heapq.heappush(self._queue, (start, next(self._seq), series))
         return series
 
@@ -87,11 +112,41 @@ class Engine:
         """Number of queued (possibly cancelled) events."""
         return len(self._queue)
 
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return self._cancelled
+
+    def _note_cancelled(self) -> None:
+        """One enqueued event just turned dead; compact if they dominate.
+
+        Rebuilding costs O(queue), but only runs once the queue is more
+        than half garbage, so the amortized cost per cancel is O(1) and
+        the heap never holds more than ``2 * live + 1`` entries (above
+        ``_COMPACT_MIN``).
+        """
+        self._cancelled += 1
+        queue = self._queue
+        if len(queue) >= _COMPACT_MIN and self._cancelled * 2 > len(queue):
+            live = []
+            for entry in queue:
+                event = entry[2]
+                if event.cancelled:
+                    event._enqueued = False
+                else:
+                    live.append(entry)
+            queue[:] = live
+            heapq.heapify(queue)
+            self._cancelled = 0
+            self.compactions += 1
+
     def step(self) -> bool:
         """Run the next event. Returns False when the queue is empty."""
         while self._queue:
             t_ms, _, event = heapq.heappop(self._queue)
+            event._enqueued = False
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self.clock.advance_to(max(t_ms, self.clock.now))
             with self.tracer.span("sim.event"):

@@ -30,6 +30,13 @@ VIRQ_CLONED = 14
 
 EventHandler = Callable[[int], None]  # receives the local port
 
+#: Global event-topology epoch (single-slot list so call sites bump it
+#: in place). Any mutation that can change who a send reaches — port
+#: allocation or close, domain create/destroy, IDC child linking —
+#: bumps it, invalidating every cached fan-out list (see
+#: ``Hypervisor.send_event``). Spurious bumps only cost a re-resolve.
+_TOPOLOGY_EPOCH = [0]
+
 
 class ChannelState(enum.Enum):
     """Binding state of an event-channel endpoint."""
@@ -56,6 +63,9 @@ class EventChannel:
     handler: EventHandler | None = None
     #: For DOMID_CHILD channels: (child_domid, child_port) endpoints.
     child_endpoints: list[tuple[int, int]] = field(default_factory=list)
+    #: (epoch, resolved targets) memo for ``Hypervisor.send_event``.
+    fanout_cache: tuple | None = field(default=None, repr=False,
+                                       compare=False)
 
     @property
     def is_idc_wildcard(self) -> bool:
@@ -77,6 +87,7 @@ class EventChannelTable:
         port = next(self._next_port)
         channel = EventChannel(port=port, owner=self.domid)
         self.ports[port] = channel
+        _TOPOLOGY_EPOCH[0] += 1
         return channel
 
     def alloc_unbound(self, remote_domid: int) -> EventChannel:
@@ -123,6 +134,7 @@ class EventChannelTable:
         channel = self.lookup(port)
         channel.state = ChannelState.CLOSED
         del self.ports[port]
+        _TOPOLOGY_EPOCH[0] += 1
 
     def idc_wildcard_channels(self) -> list[EventChannel]:
         """Channels bound to DOMID_CHILD - the parent's IDC notification set."""
@@ -140,6 +152,7 @@ class EventChannelTable:
         """
         child = EventChannelTable(child_domid)
         top = 0
+        ports = child.ports
         for port, channel in self.ports.items():
             copy = EventChannel(
                 port=port,
@@ -151,7 +164,11 @@ class EventChannelTable:
                 masked=channel.masked,
                 handler=None,
             )
-            child.ports[port] = copy
-            top = max(top, port)
+            ports[port] = copy
+            if port > top:
+                top = port
         child._next_port = itertools.count(top + 1)
+        # One bump for the whole bulk copy (not one per port): the new
+        # table changes the topology once, when it is attached.
+        _TOPOLOGY_EPOCH[0] += 1
         return child

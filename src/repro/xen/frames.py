@@ -254,13 +254,17 @@ class FrameTable:
         if start == 0 and count == extent.count and not extent.dead_pages:
             extent.base_ref += 1
             return
+        delta = extent.ref_delta
+        dead = extent.dead_pages
         for index in range(start, start + count):
-            if extent.is_dead(index):
+            if index in dead:
                 raise XenInvalidError(
                     f"cannot re-reference dead page {index} of {extent!r}")
-            extent.ref_delta[index] = extent.ref_delta.get(index, 0) + 1
-            if extent.ref_delta[index] == 0:
-                del extent.ref_delta[index]
+            value = (delta[index] if index in delta else 0) + 1
+            if value == 0:
+                del delta[index]
+            else:
+                delta[index] = value
 
     def drop_ref_range(self, extent: Extent, start: int, count: int) -> int:
         """Drop one reference on pages ``[start, start+count)``.
@@ -285,16 +289,21 @@ class FrameTable:
                 extent.freed += freed
                 extent.dead_pages.update(range(extent.count))
         else:
+            delta = extent.ref_delta
+            dead = extent.dead_pages
+            base = extent.base_ref
             for index in range(start, start + count):
-                if extent.is_dead(index):
+                if index in dead:
                     continue
-                new_ref = extent.effective_ref(index) - 1
-                extent.ref_delta[index] = new_ref - extent.base_ref
+                new_ref = base + (delta[index] if index in delta else 0) - 1
                 if new_ref == 0:
                     extent.freed += 1
-                    extent.dead_pages.add(index)
-                    del extent.ref_delta[index]
+                    dead.add(index)
+                    if index in delta:
+                        del delta[index]
                     freed += 1
+                else:
+                    delta[index] = new_ref - base
         if freed:
             self._debit(DOMID_COW, freed)
             self.free_frames += freed
@@ -323,16 +332,21 @@ class FrameTable:
         ownership is transferred from dom_cow to the domain generating
         the fault"). Every page in the range must have refcount 1.
         """
+        base = extent.base_ref
+        delta = extent.ref_delta
+        dead = extent.dead_pages
         for i in range(index, index + count):
-            if extent.effective_ref(i) != 1 or extent.is_dead(i):
+            ref = base + (delta[i] if i in delta else 0)
+            if ref != 1 or i in dead:
                 raise XenInvalidError(
                     f"page {i} of {extent!r} has refcount "
-                    f"{extent.effective_ref(i)}, adoption needs exactly 1"
+                    f"{ref}, adoption needs exactly 1"
                 )
         extent.adopted += count
         for i in range(index, index + count):
-            extent.dead_pages.add(i)
-            extent.ref_delta.pop(i, None)
+            dead.add(i)
+            if i in delta:
+                del delta[i]
         self._debit(DOMID_COW, count)
         self._credit(new_owner, count)
         self.stats["cow_adoptions"] += count

@@ -49,11 +49,36 @@ class GrantTable:
 
     def __init__(self, domid: int) -> None:
         self.domid = domid
-        self.entries: dict[int, GrantEntry] = {}
+        self._entries: dict[int, GrantEntry] = {}
+        #: Pending lazy clone: a snapshot of the source table's entries
+        #: taken by :meth:`clone_for_child`, materialized into
+        #: ``_entries`` on first access. The snapshotted entries are
+        #: never mutated in the fields we copy (only ``mapped_by``
+        #: changes after publication, and mappings are not inherited),
+        #: so holding references is safe.
+        self._source_items: list[GrantEntry] | None = None
         self._next_gref = itertools.count(1)
 
+    @property
+    def entries(self) -> dict[int, GrantEntry]:
+        """The grant dict, materializing a pending lazy clone."""
+        items = self._source_items
+        if items is not None:
+            self._source_items = None
+            entries = self._entries
+            domid = self.domid
+            for entry in items:
+                gref = entry.gref
+                entries[gref] = GrantEntry(
+                    gref=gref, granter=domid, grantee=entry.grantee,
+                    pfn=entry.pfn, readonly=entry.readonly)
+        return self._entries
+
     def __len__(self) -> int:
-        return len(self.entries)
+        items = self._source_items
+        if items is not None:
+            return len(items)
+        return len(self._entries)
 
     def grant_access(self, grantee: int, pfn: int, readonly: bool = False) -> int:
         """Publish a grant for ``pfn`` to ``grantee`` (may be DOMID_CHILD)."""
@@ -107,17 +132,19 @@ class GrantTable:
         Grefs are preserved (the guest's data structures reference them);
         the granter field is rewritten to the child. Mappings held by
         other domains are not inherited.
+
+        The copy is lazy: this is O(1), snapshotting the source entries
+        by reference; the child builds its own entry objects on first
+        table access. A fleet of N clones that never touch their
+        inherited grants (the common case — the parent grants, children
+        map) pays for zero copies instead of N.
         """
         child = GrantTable(child_domid)
-        for gref, entry in self.entries.items():
-            child.entries[gref] = GrantEntry(
-                gref=gref, granter=child_domid, grantee=entry.grantee,
-                pfn=entry.pfn, readonly=entry.readonly,
-            )
-        # Keep allocating above the highest inherited gref.
-        if self.entries:
-            top = max(self.entries)
-            child._next_gref = itertools.count(top + 1)
+        entries = self.entries  # materializes *this* table if lazy
+        if entries:
+            child._source_items = list(entries.values())
+            # Keep allocating above the highest inherited gref.
+            child._next_gref = itertools.count(max(entries) + 1)
         return child
 
     def child_wildcard_grants(self) -> list[GrantEntry]:

@@ -19,9 +19,14 @@ from repro.xen.errors import (
     XenNoEntryError,
     XenPermissionError,
 )
-from repro.xen.events import ChannelState, EventChannel, VIRQ_CLONED
+from repro.xen.events import (
+    _TOPOLOGY_EPOCH,
+    ChannelState,
+    EventChannel,
+    VIRQ_CLONED,
+)
 from repro.xen.frames import FrameTable, PageType
-from repro.xen.paging import build_paging, release_paging
+from repro.xen.paging import SkeletonCache, build_paging, release_paging
 
 VirqHandler = Callable[[int], None]  # receives the virq number
 
@@ -62,6 +67,13 @@ class Hypervisor:
         self._cloned_pending = 0
         #: Guest exits awaiting toolstack handling: (domid, crashed).
         self.pending_exits: list[tuple[int, bool]] = []
+        #: Paging-skeleton templates keyed by guest geometry: every
+        #: identical-geometry domain (a clone fleet, typically) reuses
+        #: one precomputed page-table/p2m shape instead of rederiving
+        #: it. Frames are still allocated per domain — the template
+        #: holds geometry only, never extents, so per-domain frame
+        #: accounting (and release) is untouched.
+        self.paging_skeletons = SkeletonCache()
 
     # ------------------------------------------------------------------
     # domain lifecycle
@@ -110,8 +122,9 @@ class Hypervisor:
                 self.clock.charge(costs.page_alloc)
 
             ram_pages = domain.ram_budget_pages
-            domain.paging = build_paging(self.frames, domid, ram_pages,
-                                         label=name)
+            domain.paging = build_paging(
+                self.frames, domid, ram_pages, label=name,
+                skeleton=self.paging_skeletons.get(ram_pages))
             self.clock.charge(costs.pt_entry_build * ram_pages)
             if populate:
                 domain.populate_ram(ram_pages, label="ram")
@@ -125,6 +138,7 @@ class Hypervisor:
             self.guest_count += 1
         self.scheduler.add_domain(domain)
         domain.state = DomainState.CREATED
+        _TOPOLOGY_EPOCH[0] += 1
         return domain
 
     def _release_partial_domain(self, domain: Domain) -> None:
@@ -175,6 +189,7 @@ class Hypervisor:
         self.scheduler.remove_domain(domid)
         del self.domains[domid]
         self.guest_count -= 1
+        _TOPOLOGY_EPOCH[0] += 1
 
     def pause_domain(self, domid: int) -> None:
         """Stop scheduling the domain's vCPUs."""
@@ -286,27 +301,52 @@ class Hypervisor:
         For Nephele IDC wildcard channels this is one-to-many: the
         notification reaches the interdomain peer (the parent, for a
         clone) and every bound child endpoint, except the sender itself.
+
+        The (domain, peer-channel) resolution is memoized per channel
+        against the global event-topology epoch: a fleet parent pumping
+        jobs to N children resolves the fan-out once, not once per
+        send. Any domain create/destroy, port alloc/close, or IDC
+        linking bumps the epoch and forces a re-resolve.
         """
-        sender = self.get_domain(domid)
-        channel = sender.events.lookup(port)
+        try:
+            sender = self.domains[domid]
+        except KeyError:
+            raise XenNoEntryError(f"no such domain: {domid}") from None
+        try:
+            channel = sender.events.ports[port]
+        except KeyError:
+            raise XenNoEntryError(
+                f"port {port} not found in domain {domid}") from None
         self.clock.charge(self.costs.evtchn_send)
+        epoch = _TOPOLOGY_EPOCH[0]
+        cache = channel.fanout_cache
+        if cache is not None and cache[0] == epoch:
+            resolved = cache[1]
+        else:
+            targets: list[tuple[int, int]] = []
+            if (channel.state is ChannelState.INTERDOMAIN
+                    and channel.remote_domid is not None
+                    and channel.remote_domid != DOMID_CHILD
+                    and channel.remote_port is not None):
+                targets.append((channel.remote_domid, channel.remote_port))
+            targets.extend(channel.child_endpoints)
+            resolved = []
+            for target_domid, target_port in targets:
+                target = self.domains.get(target_domid)
+                if target is None:
+                    continue
+                peer = target.events.ports.get(target_port)
+                if peer is None:
+                    continue
+                resolved.append(peer)
+            channel.fanout_cache = (epoch, resolved)
         delivered = 0
-        targets: list[tuple[int, int]] = []
-        if (channel.state is ChannelState.INTERDOMAIN
-                and channel.remote_domid is not None
-                and channel.remote_domid != DOMID_CHILD
-                and channel.remote_port is not None):
-            targets.append((channel.remote_domid, channel.remote_port))
-        targets.extend(channel.child_endpoints)
-        for target_domid, target_port in targets:
-            target = self.domains.get(target_domid)
-            if target is None:
-                continue
-            try:
-                peer = target.events.lookup(target_port)
-            except XenNoEntryError:
-                continue
-            self._deliver(target, peer)
+        for peer in resolved:
+            peer.pending = True
+            handler = peer.handler
+            if handler is not None and not peer.masked:
+                peer.pending = False
+                handler(peer.port)
             delivered += 1
         return delivered
 
@@ -336,6 +376,8 @@ class Hypervisor:
             channel.child_endpoints.append((child.domid, channel.port))
             self.clock.charge(self.costs.evtchn_op)
             connected += 1
+        if connected:
+            _TOPOLOGY_EPOCH[0] += 1
         return connected
 
     # ------------------------------------------------------------------

@@ -170,17 +170,23 @@ class GuestMemory:
             extent = cur_seg.extent
             index = cur_seg.extent_offset + cur_local
             limit = min(span - offset, cur_seg.npages - cur_local)
-            ref = extent.effective_ref(index)
+            delta = extent.ref_delta
+            dead = extent.dead_pages
+            base = extent.base_ref
+            ref = base + (delta[index] if index in delta else 0)
             if ref < 1:
                 raise XenInvalidError(
                     f"write to dead shared page (pfn {start_pfn + offset})")
-            if not extent.ref_delta and not extent.dead_pages:
+            if not delta and not dead:
                 run = limit  # uniform refcount across the extent
             else:
                 run = 1
-                while (run < limit
-                       and not extent.is_dead(index + run)
-                       and extent.effective_ref(index + run) == ref):
+                while run < limit:
+                    nxt = index + run
+                    if (nxt in dead
+                            or base + (delta[nxt] if nxt in delta else 0)
+                            != ref):
+                        break
                     run += 1
             if ref > 1:
                 replacement = self.frames.cow_copy(extent, index, self.domid,

@@ -89,16 +89,49 @@ def xs_clone(daemon: XenstoreDaemon, parent_domid: int, child_domid: int,
     implicit; the simulation applies the copy atomically). The caller
     (XsHandle) accounts the request; this function performs the
     server-side work and charges the per-node copy cost.
+
+    The copy is structural sharing, not a deep copy: the parent subtree
+    is grafted into the child by reference and marked shared, so the
+    host-side work is O(#rewrite sites), not O(subtree). For device ops
+    the few values the domid heuristics actually change are found once
+    per clone source (cached on the source node — shared subtrees are
+    immutable, so the scan cannot go stale) and only those paths are
+    materialized per child. Virtual cost and store accounting are
+    unchanged: the request still charges ``xs_clone_per_node`` per
+    logical node, and write stats / conflict generations advance by the
+    full subtree size exactly as the per-node copy did.
     """
     if not daemon.exists(parent_path):
         raise XenstoreError(f"xs_clone: ENOENT {parent_path!r}")
     if daemon.exists(child_path):
         raise XenstoreError(f"xs_clone: EEXIST {child_path!r}")
-    rewrite = op in _DEVICE_OPS
     source = daemon._lookup(parent_path)
+    created = source.count
     key = parent_path.rstrip("/").rsplit("/", 1)[-1]
-    created = _copy_subtree(daemon, key, source, child_path, parent_domid,
-                            child_domid, rewrite)
+    graft_root = source
+    if op in _DEVICE_OPS:
+        cache = source.site_cache
+        if cache is None:
+            cache = source.site_cache = {}
+        cache_key = (parent_domid, key)
+        sites = cache.get(cache_key)
+        if sites is None:
+            sites = cache[cache_key] = _scan_sites(key, source, parent_domid)
+        if sites:
+            graft_root = _materialize(source, key, sites, parent_domid,
+                                      child_domid)
+    parent_norm = parent_path.rstrip("/")
+    child_norm = child_path.rstrip("/")
+    if not parent_norm or child_norm.startswith(f"{parent_norm}/"):
+        # Destination nested inside the source (or the source is the
+        # root): sharing would create a cycle, so snapshot eagerly the
+        # way the pre-sharing implementation did.
+        graft_root = _copy_tree(graft_root)
+    elif graft_root is source:
+        source.shared = True
+    daemon.graft(child_path, graft_root)
+    daemon.stats["writes"] += created
+    daemon.transactions.record_subtree_write(child_path, created)
     daemon.clock.charge(daemon.costs.xs_clone_per_node * created)
     daemon.stats["clones"] += 1
     # One notification for the new directory (backends watch the class
@@ -132,34 +165,79 @@ def xs_clone_txn(daemon: XenstoreDaemon, transaction, parent_domid: int,
     return created
 
 
-def _copy_subtree(daemon: XenstoreDaemon, key: str, source: Node,
-                  dest_path: str, parent_domid: int, child_domid: int,
-                  rewrite: bool) -> int:
-    """Server-side bulk copy: build the destination subtree directly and
-    graft it in one attach, instead of one root-walking ``write_node``
-    per node (the dominant cost of large clone fleets). Write stats and
-    transaction conflict generations are maintained per copied node
-    exactly as the per-node writes did."""
-    stats = daemon.stats
-    record = daemon.transactions.record_external_write
+def _needs_rewrite(key: str, value: str, parent: str) -> bool:
+    """Would ``_rewrite_value`` change this value for *any* child domid?
 
-    def build(key: str, source: Node, dest_path: str) -> Node:
-        value = source.value
-        if rewrite and value:
-            value = _rewrite_value(key, value, parent_domid, child_domid)
-        copy = Node(value)
-        stats["writes"] += 1
-        record(dest_path)
-        count = 1
-        children = copy.children
-        for name, child in source.children.items():
+    The rewrite condition only compares against the parent domid, so
+    the set of rewrite sites in a subtree is a property of the (source,
+    parent) pair and can be cached across every clone taken from it.
+    """
+    if key in DOMID_KEYS and value == parent:
+        return True
+    if "/" in value:
+        parts = value.split("/")
+        for i, part in enumerate(parts):
+            if part == parent and _is_domid_position(parts, i):
+                return True
+    return False
+
+
+def _scan_sites(key: str, source: Node,
+                parent_domid: int) -> tuple[tuple[str, ...], ...]:
+    """Relative paths (as name tuples; ``()`` is the root) of every
+    node in ``source`` whose value the device heuristics rewrite."""
+    parent = str(parent_domid)
+    sites: list[tuple[str, ...]] = []
+    stack: list[tuple[tuple[str, ...], str, Node]] = [((), key, source)]
+    while stack:
+        rel, node_key, node = stack.pop()
+        value = node.value
+        if value and _needs_rewrite(node_key, value, parent):
+            sites.append(rel)
+        for name, child in node.children.items():
             # Node names under a device directory are indices, never
             # domids (the domid sits in the cloned root, chosen by the
             # caller).
-            grandchild = build(name, child, f"{dest_path}/{name}")
-            children[name] = grandchild
-            count += grandchild.count
-        copy.count = count
-        return copy
+            stack.append(((*rel, name), name, child))
+    return tuple(sites)
 
-    return daemon.graft(dest_path, build(key, source, dest_path))
+
+def _materialize(node: Node, key: str, sites, parent_domid: int,
+                 child_domid: int) -> Node:
+    """Copy ``node`` along the given rewrite-site paths only.
+
+    Site nodes get their value rewritten for this child; every subtree
+    hanging off the copied spine is aliased by reference and marked
+    shared (it is now reachable from both the source and the copy).
+    """
+    heads: dict[str, list] = {}
+    is_site = False
+    for rel in sites:
+        if rel:
+            heads.setdefault(rel[0], []).append(rel[1:])
+        else:
+            is_site = True
+    value = node.value
+    if is_site and value:
+        value = _rewrite_value(key, value, parent_domid, child_domid)
+    copy = Node(value)
+    copy.count = node.count
+    children = dict(node.children)
+    copy.children = children
+    for name, child in node.children.items():
+        subsites = heads.get(name)
+        if subsites is not None:
+            children[name] = _materialize(child, name, subsites,
+                                          parent_domid, child_domid)
+        else:
+            child.shared = True
+    return copy
+
+
+def _copy_tree(node: Node) -> Node:
+    """Eager private deep copy (the nested-destination slow path)."""
+    copy = Node(node.value)
+    copy.count = node.count
+    copy.children = {name: _copy_tree(child)
+                     for name, child in node.children.items()}
+    return copy

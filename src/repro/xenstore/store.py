@@ -32,14 +32,30 @@ class Node:
     included). It is maintained incrementally by every tree mutation,
     so ``subtree_nodes`` and the per-request store-size costing never
     re-count trees.
+
+    Nodes are copy-on-write: ``xs_clone`` grafts a parent subtree into
+    the child by *reference* and marks it ``shared``. The invariant is
+    that every path from the root to a multiply-referenced node passes
+    through a node with ``shared`` set (usually the grafted subtree
+    root); a shared node is immutable. Mutating walks un-share each
+    shared node they descend through — copy the node, alias its child
+    dict entries, and mark those children shared — so only the touched
+    path is ever duplicated.
+
+    ``site_cache`` memoizes, per clone-source root, where the device
+    domid-rewrite heuristics actually change a value (keyed by parent
+    domid); safe to cache precisely because shared subtrees never
+    mutate in place. See :mod:`repro.xenstore.clone`.
     """
 
-    __slots__ = ("value", "children", "count")
+    __slots__ = ("value", "children", "count", "shared", "site_cache")
 
     def __init__(self, value: str = "") -> None:
         self.value = value
         self.children: dict[str, Node] = {}
         self.count = 1
+        self.shared = False
+        self.site_cache = None
 
 
 @functools.lru_cache(maxsize=None)
@@ -112,12 +128,25 @@ class XenstoreDaemon:
         if create:
             return self._lookup_create(path)
         node = self.root
-        for part in _split(path):
-            child = node.children.get(part)
-            if child is None:
-                raise XenstoreError(f"ENOENT: {path!r}")
-            node = child
+        try:
+            for part in _split(path):
+                node = node.children[part]
+        except KeyError:
+            raise XenstoreError(f"ENOENT: {path!r}") from None
         return node
+
+    @staticmethod
+    def _unshare(node: Node) -> Node:
+        """Private copy of a shared node: alias its children (marking
+        them shared so the laziness recurses) and return the copy. The
+        caller re-links it into the (already private) parent."""
+        copy = Node(node.value)
+        copy.count = node.count
+        children = dict(node.children)
+        copy.children = children
+        for child in children.values():
+            child.shared = True
+        return copy
 
     def _lookup_create(self, path: str) -> Node:
         parts = _split(path)
@@ -138,6 +167,9 @@ class XenstoreDaemon:
                     node = child
                 self.node_count += created
                 return node
+            if child.shared:
+                child = self._unshare(child)
+                node.children[part] = child
             trail.append(child)
             node = child
         return node
@@ -179,6 +211,9 @@ class XenstoreDaemon:
             child = parent.children.get(part)
             if child is None:
                 raise XenstoreError(f"ENOENT: {path!r}")
+            if child.shared:
+                child = self._unshare(child)
+                parent.children[part] = child
             trail.append(child)
             parent = child
         target = parent.children.get(parts[-1])
@@ -196,10 +231,14 @@ class XenstoreDaemon:
 
     def _count_subtree(self, node: Node) -> int:
         """From-scratch recount (consistency checks; the live path uses
-        the incrementally maintained ``Node.count``)."""
-        total = 1
-        for child in node.children.values():
-            total += self._count_subtree(child)
+        the incrementally maintained ``Node.count``). Iterative, so it
+        stays usable on trees deeper than the recursion limit."""
+        total = 0
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            total += 1
+            stack.extend(current.children.values())
         return total
 
     def subtree_nodes(self, path: str) -> int:
@@ -223,6 +262,9 @@ class XenstoreDaemon:
                 self.node_count += 1
                 for ancestor in trail:
                     ancestor.count += 1
+            elif child.shared:
+                child = self._unshare(child)
+                node.children[part] = child
             trail.append(child)
             node = child
         if parts[-1] in node.children:
@@ -235,15 +277,21 @@ class XenstoreDaemon:
         return added
 
     def walk(self, path: str) -> list[tuple[str, str]]:
-        """All (path, value) pairs under ``path``, including it."""
+        """All (path, value) pairs under ``path``, including it.
+
+        Iterative pre-order with children in sorted name order (the
+        same visit order the old recursive version produced), so it
+        works on arbitrarily deep trees.
+        """
         result: list[tuple[str, str]] = []
-
-        def visit(prefix: str, node: Node) -> None:
+        stack = [(path.rstrip("/") or "/", self._lookup(path))]
+        while stack:
+            prefix, node = stack.pop()
             result.append((prefix, node.value))
-            for name, child in sorted(node.children.items()):
-                visit(f"{prefix}/{name}", child)
-
-        visit(path.rstrip("/") or "/", self._lookup(path))
+            children = node.children
+            if children:
+                stack.extend((f"{prefix}/{name}", children[name])
+                             for name in sorted(children, reverse=True))
         return result
 
     # ------------------------------------------------------------------

@@ -50,6 +50,10 @@ class TransactionManager:
         #: tracked for precise conflict detection.
         self.generation = 0
         self._path_generation: dict[str, int] = {}
+        #: Subtree-granularity generations: ``xs_clone`` records one
+        #: entry for the grafted root instead of one per copied node;
+        #: commits check each footprint path's prefixes against it.
+        self._prefix_generation: dict[str, int] = {}
         self.stats = {"commits": 0, "aborts": 0, "conflicts": 0}
 
     # ------------------------------------------------------------------
@@ -100,13 +104,31 @@ class TransactionManager:
         footprint path changed since the transaction started."""
         if transaction.closed:
             raise XenstoreError(f"transaction {transaction.tid} is closed")
+        start = transaction.start_generation
+        prefix_generation = self._prefix_generation
         for path in transaction.footprint:
-            if self._path_generation.get(path, 0) > transaction.start_generation:
+            if self._path_generation.get(path, 0) > start:
                 self.stats["conflicts"] += 1
                 self._close(transaction)
                 raise TransactionConflict(
                     f"EAGAIN: {path!r} changed during transaction "
                     f"{transaction.tid}")
+            if prefix_generation:
+                # A bulk subtree write conflicts with any footprint
+                # path at or under the written root: walk the O(depth)
+                # prefixes of the footprint path.
+                prefix = path.rstrip("/") or "/"
+                while True:
+                    if prefix_generation.get(prefix, 0) > start:
+                        self.stats["conflicts"] += 1
+                        self._close(transaction)
+                        raise TransactionConflict(
+                            f"EAGAIN: {path!r} changed during transaction "
+                            f"{transaction.tid}")
+                    if prefix == "/":
+                        break
+                    cut = prefix.rfind("/")
+                    prefix = prefix[:cut] or "/"
         for op in transaction.ops:
             self.generation += 1
             self._path_generation[op.path] = self.generation
@@ -122,6 +144,15 @@ class TransactionManager:
         """Mark a non-transactional mutation (for conflict detection)."""
         self.generation += 1
         self._path_generation[path] = self.generation
+
+    def record_subtree_write(self, path: str, nodes: int) -> None:
+        """Mark a bulk subtree graft of ``nodes`` nodes rooted at
+        ``path`` — one O(1) record equivalent to ``nodes`` individual
+        :meth:`record_external_write` calls (the generation advances by
+        the same amount, and any transaction whose footprint touches
+        the subtree conflicts via the prefix check in :meth:`commit`)."""
+        self.generation += nodes
+        self._prefix_generation[path.rstrip("/") or "/"] = self.generation
 
     def abort(self, transaction: Transaction) -> None:
         """Discard the transaction's buffered operations."""

@@ -148,16 +148,27 @@ def test_negotiation_runs_on_boot_but_not_on_clone(platform):
     writes_per_path = {}
 
     daemon = platform.xenstore
-    # Every store mutation (plain write_node or the xs_clone bulk copy)
-    # records a conflict generation per touched path: spy that seam.
+    # Every store mutation records a conflict generation: plain writes
+    # per touched path, the xs_clone structural graft once per grafted
+    # subtree. Spy both seams; each path inside a graft counts as one
+    # write, exactly as the pre-sharing per-node copy recorded it.
     original_record = daemon.transactions.record_external_write
+    original_record_subtree = daemon.transactions.record_subtree_write
 
     def spying_record(path):
         if path.endswith("/state"):
             writes_per_path[path] = writes_per_path.get(path, 0) + 1
         return original_record(path)
 
+    def spying_record_subtree(path, nodes):
+        for sub_path, _value in daemon.walk(path):
+            if sub_path.endswith("/state"):
+                writes_per_path[sub_path] = (
+                    writes_per_path.get(sub_path, 0) + 1)
+        return original_record_subtree(path, nodes)
+
     daemon.transactions.record_external_write = spying_record
+    daemon.transactions.record_subtree_write = spying_record_subtree
     parent = platform.xl.create(udp_config("p", max_clones=4),
                                 app=UdpServerApp())
     boot_vif_state_writes = max(

@@ -106,6 +106,84 @@ def test_every_rejects_nonpositive_interval():
         Engine().every(0.0, lambda: None)
 
 
+def test_cancel_heavy_workload_compacts_queue():
+    """Mass-cancelling periodic timers must not leave the heap full of
+    dead entries: once cancelled events dominate, the queue compacts."""
+    engine = Engine()
+    fired = []
+    keep = engine.every(7.0, lambda: fired.append(engine.clock.now))
+    series = [engine.every(10.0, lambda: None) for _ in range(200)]
+    assert engine.pending == 201
+    for event in series:
+        event.cancel()
+    assert engine.compactions >= 1
+    # Repeated compaction keeps the heap near the live count; only the
+    # sub-floor residue (< _COMPACT_MIN entries) awaits a pop.
+    from repro.sim.engine import _COMPACT_MIN
+
+    assert engine.pending < _COMPACT_MIN
+    assert engine.cancelled_pending == engine.pending - 1
+    engine.run_until(15.0)
+    # Popping the residue settles the counter; only ``keep`` survives.
+    assert engine.pending == 1
+    assert engine.cancelled_pending == 0
+    assert fired == [7.0, 14.0]
+    keep.cancel()
+
+
+def test_small_queue_skips_compaction_but_counts():
+    engine = Engine()
+    events = [engine.schedule_at(5.0, lambda: None) for _ in range(10)]
+    for event in events:
+        event.cancel()
+    # Below the compaction floor the entries stay queued...
+    assert engine.compactions == 0
+    assert engine.pending == 10
+    assert engine.cancelled_pending == 10
+    # ...and popping them in step() settles the books.
+    assert not engine.run()
+    assert engine.pending == 0
+    assert engine.cancelled_pending == 0
+
+
+def test_double_cancel_counts_once():
+    engine = Engine()
+    event = engine.schedule_at(5.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert engine.cancelled_pending == 1
+
+
+def test_series_cancelled_inside_callback_leaves_no_garbage():
+    engine = Engine()
+    fired = []
+
+    def tick():
+        fired.append(engine.clock.now)
+        series.cancel()
+
+    series = engine.every(10.0, tick)
+    engine.run()
+    assert fired == [10.0]
+    # Cancelled while popped, so there is no stale heap entry to count.
+    assert engine.pending == 0
+    assert engine.cancelled_pending == 0
+
+
+def test_compaction_preserves_order_and_ties():
+    engine = Engine()
+    fired = []
+    doomed = [engine.schedule_at(1.0, lambda: None) for _ in range(100)]
+    engine.schedule_at(5.0, lambda: fired.append("a1"))
+    engine.schedule_at(5.0, lambda: fired.append("a2"))
+    engine.schedule_at(3.0, lambda: fired.append("b"))
+    for event in doomed:
+        event.cancel()
+    assert engine.compactions >= 1
+    engine.run()
+    assert fired == ["b", "a1", "a2"]
+
+
 def test_events_scheduled_during_run_are_processed():
     engine = Engine()
     fired = []

@@ -69,3 +69,71 @@ def test_clone_port_allocation_continues():
     child = table.clone_for_child(7)
     fresh = child.alloc_unbound(0)
     assert fresh.port > a.port
+
+
+# ----------------------------------------------------------------------
+# fan-out cache invalidation (the memoized send_event peer list)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def hyp():
+    from repro.sim.units import GIB
+    from repro.xen.hypervisor import Hypervisor
+
+    return Hypervisor(guest_pool_bytes=2 * GIB, cpus=4)
+
+
+def _interdomain_pair(hyp):
+    from repro.sim.units import MIB
+
+    a = hyp.create_domain("a", 4 * MIB)
+    b = hyp.create_domain("b", 4 * MIB)
+    received = []
+    listening = b.events.alloc_unbound(a.domid)
+    b.events.set_handler(listening.port, received.append)
+    sender = a.events.bind_interdomain(b.domid, listening.port)
+    return a, b, sender, listening, received
+
+
+def test_fanout_cache_repeated_sends_deliver(hyp):
+    a, b, sender, listening, received = _interdomain_pair(hyp)
+    for _ in range(5):
+        assert hyp.send_event(a.domid, sender.port) == 1
+    assert received == [listening.port] * 5
+
+
+def test_fanout_cache_invalidated_by_peer_destroy(hyp):
+    a, b, sender, listening, received = _interdomain_pair(hyp)
+    assert hyp.send_event(a.domid, sender.port) == 1
+    hyp.destroy_domain(b.domid)
+    # The memoized peer list must not resurrect the dead domain.
+    assert hyp.send_event(a.domid, sender.port) == 0
+    assert received == [listening.port]
+
+
+def test_fanout_cache_invalidated_by_port_close(hyp):
+    a, b, sender, listening, received = _interdomain_pair(hyp)
+    assert hyp.send_event(a.domid, sender.port) == 1
+    b.events.close(listening.port)
+    assert hyp.send_event(a.domid, sender.port) == 0
+
+
+def test_fanout_cache_sees_new_idc_children(hyp):
+    """A DOMID_CHILD channel's fan-out grows when a child connects
+    after the first (cached) send."""
+    from repro.sim.units import MIB
+    from repro.xen.domid import DOMID_CHILD
+
+    parent = hyp.create_domain("p", 4 * MIB)
+    idc = parent.events.alloc_unbound(DOMID_CHILD)
+    hyp.send_event(parent.domid, idc.port)  # primes the (empty) cache
+
+    child = hyp.create_domain("c", 4 * MIB)
+    child.events = parent.events.clone_for_child(child.domid)
+    child.parent_id = parent.domid
+    parent.children.append(child.domid)
+    assert hyp.connect_idc_child(parent, child) == 1
+
+    got = []
+    child.events.set_handler(idc.port, got.append)
+    assert hyp.send_event(parent.domid, idc.port) == 1
+    assert got == [idc.port]

@@ -99,3 +99,54 @@ def test_child_wildcard_grants_listing():
     table.grant_access(grantee=DOMID_CHILD, pfn=2)
     table.grant_access(grantee=DOMID_CHILD, pfn=3)
     assert len(table.child_wildcard_grants()) == 2
+
+
+# ----------------------------------------------------------------------
+# lazy clone materialization
+# ----------------------------------------------------------------------
+def test_clone_is_lazy_until_first_access():
+    table = GrantTable(domid=1)
+    for pfn in range(8):
+        table.grant_access(grantee=DOMID_CHILD, pfn=pfn)
+    child = table.clone_for_child(7)
+    # The snapshot defers per-entry copies, but the table already knows
+    # its size and answers lookups correctly once poked.
+    assert len(child) == 8
+    assert child.lookup(1).granter == 7
+    assert len(child.entries) == 8
+
+
+def test_chain_clone_of_lazy_table():
+    """Cloning a clone that was never materialized still snapshots the
+    right entries (grandchild sees the parent's grants)."""
+    table = GrantTable(domid=1)
+    grefs = [table.grant_access(grantee=DOMID_CHILD, pfn=p) for p in range(4)]
+    child = table.clone_for_child(7)
+    grandchild = child.clone_for_child(9)
+    for gref in grefs:
+        entry = grandchild.lookup(gref)
+        assert entry.granter == 9
+        assert entry.pfn == table.lookup(gref).pfn
+    assert len(grandchild) == 4
+
+
+def test_parent_grants_after_clone_are_not_inherited():
+    table = GrantTable(domid=1)
+    table.grant_access(grantee=DOMID_CHILD, pfn=0)
+    child = table.clone_for_child(7)
+    late = table.grant_access(grantee=DOMID_CHILD, pfn=99)
+    import pytest as _pytest
+
+    from repro.xen.errors import XenNoEntryError as _ENOENT
+    with _pytest.raises(_ENOENT):
+        child.lookup(late)
+    assert len(child) == 1
+
+
+def test_child_mutation_does_not_leak_to_parent():
+    table = GrantTable(domid=1)
+    gref = table.grant_access(grantee=DOMID_CHILD, pfn=0)
+    child = table.clone_for_child(7)
+    child.map_grant(gref, mapper=9, family_children=frozenset({9}))
+    assert table.lookup(gref).mapped_by == set()
+    assert child.lookup(gref).mapped_by == {9}

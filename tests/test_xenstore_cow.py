@@ -1,0 +1,365 @@
+"""COW isolation tests for the structurally-shared Xenstore tree.
+
+``xs_clone`` grafts the source subtree *by reference* and un-shares
+lazily on the first write that touches a shared path. These tests pin
+the user-visible contract of that optimization: clones behave exactly
+as if the subtree had been deep-copied.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim import CostModel, VirtualClock
+from repro.xenstore.client import XsHandle
+from repro.xenstore.clone import XsCloneOp, xs_clone
+from repro.xenstore.store import XenstoreDaemon, XenstoreError
+
+BASE = "/local/domain/0/backend/9pfs"
+
+
+@pytest.fixture
+def daemon(clock, costs):
+    d = XenstoreDaemon(clock, costs)
+    d.write_node(f"{BASE}/5/0/frontend-id", "5")
+    d.write_node(f"{BASE}/5/0/state", "4")
+    d.write_node(f"{BASE}/5/0/path", "rootfs")
+    d.write_node(f"{BASE}/5/0/tag", "fs0")
+    return d
+
+
+def clone(daemon, child, source_domid=5):
+    xs_clone(daemon, source_domid, child, XsCloneOp.DEV_9PFS,
+             f"{BASE}/{source_domid}", f"{BASE}/{child}")
+
+
+def assert_counts_consistent(daemon):
+    """Every node's ``count`` equals one plus its children's counts,
+    even where subtrees are shared between several parents."""
+    stack = [daemon.root]
+    total = 0
+    while stack:
+        node = stack.pop()
+        total += 1
+        assert node.count == 1 + sum(c.count for c in node.children.values())
+        stack.extend(node.children.values())
+    # The reachable-tree total counts shared nodes once per path, so it
+    # can only exceed the daemon's (deduplicated) bookkeeping when
+    # sharing is in effect -- never undershoot it.
+    assert total >= daemon.node_count
+
+
+# ----------------------------------------------------------------------
+# direct write isolation
+# ----------------------------------------------------------------------
+def test_child_write_invisible_to_parent_and_siblings(daemon):
+    clone(daemon, 9)
+    clone(daemon, 10)
+    daemon.write_node(f"{BASE}/9/0/state", "6")
+    assert daemon.read_node(f"{BASE}/5/0/state") == "4"
+    assert daemon.read_node(f"{BASE}/10/0/state") == "4"
+    assert daemon.read_node(f"{BASE}/9/0/state") == "6"
+    assert_counts_consistent(daemon)
+
+
+def test_parent_write_invisible_to_children(daemon):
+    clone(daemon, 9)
+    daemon.write_node(f"{BASE}/5/0/state", "1")
+    daemon.write_node(f"{BASE}/5/0/extra", "new")
+    assert daemon.read_node(f"{BASE}/9/0/state") == "4"
+    assert not daemon.exists(f"{BASE}/9/0/extra")
+    assert_counts_consistent(daemon)
+
+
+def test_child_remove_leaves_parent_intact(daemon):
+    clone(daemon, 9)
+    daemon.remove_node(f"{BASE}/9/0/tag")
+    assert daemon.read_node(f"{BASE}/5/0/tag") == "fs0"
+    assert not daemon.exists(f"{BASE}/9/0/tag")
+    assert daemon.subtree_nodes(f"{BASE}/5") == \
+        daemon.subtree_nodes(f"{BASE}/9") + 1
+    assert_counts_consistent(daemon)
+
+
+def test_chain_clone_isolation(daemon):
+    """Cloning a clone: each generation mutates independently."""
+    clone(daemon, 9)
+    clone(daemon, 12, source_domid=9)
+    daemon.write_node(f"{BASE}/12/0/state", "2")
+    daemon.write_node(f"{BASE}/9/0/path", "snapshot")
+    assert daemon.read_node(f"{BASE}/5/0/state") == "4"
+    assert daemon.read_node(f"{BASE}/5/0/path") == "rootfs"
+    assert daemon.read_node(f"{BASE}/9/0/state") == "4"
+    assert daemon.read_node(f"{BASE}/12/0/path") == "rootfs"
+    assert_counts_consistent(daemon)
+
+
+def test_clone_then_remove_parent_subtree(daemon):
+    clone(daemon, 9)
+    removed = daemon.remove_node(f"{BASE}/5")
+    assert removed == daemon.subtree_nodes(f"{BASE}/9")
+    assert daemon.read_node(f"{BASE}/9/0/state") == "4"
+    assert_counts_consistent(daemon)
+
+
+# ----------------------------------------------------------------------
+# transaction isolation
+# ----------------------------------------------------------------------
+def test_transaction_commit_into_child_invisible_to_parent(daemon):
+    clone(daemon, 9)
+    handle = XsHandle(daemon)
+    tid = handle.transaction_start()
+    handle.t_write(tid, f"{BASE}/9/0/state", "6")
+    handle.t_write(tid, f"{BASE}/9/0/ring-ref", "77")
+    # Buffered: nobody sees it yet.
+    assert daemon.read_node(f"{BASE}/9/0/state") == "4"
+    handle.transaction_end(tid)
+    assert daemon.read_node(f"{BASE}/9/0/state") == "6"
+    assert daemon.read_node(f"{BASE}/9/0/ring-ref") == "77"
+    assert daemon.read_node(f"{BASE}/5/0/state") == "4"
+    assert not daemon.exists(f"{BASE}/5/0/ring-ref")
+    assert_counts_consistent(daemon)
+
+
+def test_transaction_commit_into_parent_invisible_to_child(daemon):
+    clone(daemon, 9)
+    handle = XsHandle(daemon)
+    tid = handle.transaction_start()
+    handle.t_write(tid, f"{BASE}/5/0/state", "1")
+    handle.transaction_end(tid)
+    assert daemon.read_node(f"{BASE}/9/0/state") == "4"
+    assert_counts_consistent(daemon)
+
+
+# ----------------------------------------------------------------------
+# watch targeting
+# ----------------------------------------------------------------------
+def test_watch_fires_only_for_writers_tree(daemon):
+    fired = {"parent": [], "child": []}
+    daemon.add_watch(f"{BASE}/5", "p",
+                     lambda p, t: fired["parent"].append(p))
+    clone(daemon, 9)
+    daemon.add_watch(f"{BASE}/9", "c",
+                     lambda p, t: fired["child"].append(p))
+    daemon.write_node(f"{BASE}/9/0/state", "6")
+    assert fired["parent"] == []
+    assert fired["child"] == [f"{BASE}/9/0/state"]
+    daemon.write_node(f"{BASE}/5/0/state", "5")
+    assert fired["parent"] == [f"{BASE}/5/0/state"]
+    assert fired["child"] == [f"{BASE}/9/0/state"]
+
+
+def test_sibling_watch_does_not_fire_on_other_clone(daemon):
+    clone(daemon, 9)
+    clone(daemon, 10)
+    fired = []
+    daemon.add_watch(f"{BASE}/10", "s", lambda p, t: fired.append(p))
+    daemon.write_node(f"{BASE}/9/0/state", "6")
+    daemon.remove_node(f"{BASE}/9/0/tag")
+    assert fired == []
+
+
+# ----------------------------------------------------------------------
+# property-style: random write/clone/remove interleavings
+# ----------------------------------------------------------------------
+def _model_write(model: dict, path: str, value: str) -> None:
+    parts = path.strip("/").split("/")
+    for i in range(1, len(parts)):
+        model.setdefault("/" + "/".join(parts[:i]), "")
+    model[path] = value
+
+
+def _model_remove(model: dict, path: str) -> None:
+    prefix = path + "/"
+    for p in list(model):
+        if p == path or p.startswith(prefix):
+            del model[p]
+
+
+def _model_clone(model: dict, src: str, dst: str) -> None:
+    _model_write(model, dst, model[src])
+    prefix = src + "/"
+    for p, v in list(model.items()):
+        if p.startswith(prefix):
+            model[dst + p[len(src):]] = v
+
+
+def test_random_interleavings_match_deep_copy_model():
+    """Random writes, removes and clones over a shared tree must stay
+    byte-identical to a flat path->value model with deep-copy clones."""
+    keys = ["state", "tag", "ring-ref", "path", "mode"]
+    for seed in range(6):
+        rng = random.Random(0xC10E + seed)
+        daemon = XenstoreDaemon(VirtualClock(), CostModel())
+        model: dict[str, str] = {}
+        for key in keys:
+            path = f"{BASE}/5/0/{key}"
+            daemon.write_node(path, key)
+            _model_write(model, path, key)
+        roots = [5]
+        next_domid = 20
+        for step in range(120):
+            op = rng.random()
+            if op < 0.25 and len(roots) < 24:
+                src = rng.choice(roots)
+                dst = next_domid
+                next_domid += 1
+                xs_clone(daemon, src, dst, XsCloneOp.BASIC,
+                         f"{BASE}/{src}", f"{BASE}/{dst}")
+                _model_clone(model, f"{BASE}/{src}", f"{BASE}/{dst}")
+                roots.append(dst)
+            elif op < 0.75:
+                path = (f"{BASE}/{rng.choice(roots)}/0/"
+                        f"{rng.choice(keys)}")
+                value = f"v{step}"
+                daemon.write_node(path, value)
+                _model_write(model, path, value)
+            elif op < 0.9:
+                path = (f"{BASE}/{rng.choice(roots)}/0/"
+                        f"{rng.choice(keys)}")
+                if daemon.exists(path):
+                    daemon.remove_node(path)
+                    _model_remove(model, path)
+            elif len(roots) > 1:
+                victim = roots.pop(rng.randrange(1, len(roots)))
+                daemon.remove_node(f"{BASE}/{victim}")
+                _model_remove(model, f"{BASE}/{victim}")
+            # Full-state equivalence after every step. The model keeps
+            # every intermediate directory as an explicit "" entry, so a
+            # straight dict compare covers paths and values both.
+            expected = {
+                p: v for p, v in model.items()
+                if p == BASE or p.startswith(BASE + "/")
+            }
+            assert dict(daemon.walk(BASE)) == expected, \
+                f"seed {seed} step {step}"
+            for domid in roots:
+                count = sum(
+                    1 for p in model
+                    if p == f"{BASE}/{domid}"
+                    or p.startswith(f"{BASE}/{domid}/"))
+                assert daemon.subtree_nodes(f"{BASE}/{domid}") == count
+        stack = [daemon.root]
+        while stack:
+            node = stack.pop()
+            assert node.count == \
+                1 + sum(c.count for c in node.children.values())
+            stack.extend(node.children.values())
+
+
+# ----------------------------------------------------------------------
+# sharing is real (not a behavioural accident)
+# ----------------------------------------------------------------------
+def test_clone_shares_nodes_by_reference(daemon):
+    """The graft must alias the source tree, not copy it."""
+    source = daemon._lookup(f"{BASE}/5")
+    clone_count = daemon.node_count
+    clone(daemon, 9)
+    child = daemon._lookup(f"{BASE}/9")
+    # Device-op rewrites touch frontend-id, so the spine is private but
+    # untouched subtrees alias the very same Node objects.
+    shared = [
+        name for name in source.children
+        if name in child.children
+        and child.children[name] is source.children[name]
+    ]
+    assert shared or any(
+        child.children["0"].children[k] is source.children["0"].children[k]
+        for k in source.children["0"].children
+    )
+    # Bookkeeping still counts the clone as real nodes.
+    assert daemon.node_count == clone_count + daemon.subtree_nodes(f"{BASE}/9")
+
+
+def test_shared_leaf_unshared_on_write(daemon):
+    clone(daemon, 9)
+    source = daemon._lookup(f"{BASE}/5/0")
+    child = daemon._lookup(f"{BASE}/9/0")
+    assert child.children["tag"] is source.children["tag"]
+    daemon.write_node(f"{BASE}/9/0/tag", "fs9")
+    child = daemon._lookup(f"{BASE}/9/0")
+    assert child.children["tag"] is not source.children["tag"]
+    assert source.children["tag"].value == "fs0"
+
+
+def test_graft_rejects_cycle_via_nested_destination(clock, costs):
+    """Cloning a subtree into itself must not create a literal cycle."""
+    daemon = XenstoreDaemon(clock, costs)
+    daemon.write_node("/a/b", "1")
+    xs_clone(daemon, 5, 9, XsCloneOp.BASIC, "/a", "/a/copy")
+    # The destination is an eager copy: no infinite walk, counts sane.
+    assert daemon.read_node("/a/copy/b") == "1"
+    assert daemon.subtree_nodes("/a") == 4  # a, a/b, a/copy, a/copy/b
+    walked = dict(daemon.walk("/a"))
+    assert walked["/a/copy/b"] == "1"
+
+
+def test_unshare_is_path_local(daemon):
+    """Writing one leaf un-shares only its ancestors, not siblings."""
+    clone(daemon, 9)
+    source = daemon._lookup(f"{BASE}/5/0")
+    daemon.write_node(f"{BASE}/9/0/state", "6")
+    child = daemon._lookup(f"{BASE}/9/0")
+    for name in ("tag", "path"):
+        assert child.children[name] is source.children[name]
+
+
+def test_node_identity_never_escapes_to_mutation(daemon):
+    """A long clone chain with writes at each generation never lets a
+    mutation travel through a shared reference."""
+    prev = 5
+    for child in range(30, 40):
+        clone(daemon, child, source_domid=prev)
+        daemon.write_node(f"{BASE}/{child}/0/gen", str(child))
+        prev = child
+    # Each generation sees its own marker and none of the later ones.
+    for child in range(30, 40):
+        assert daemon.read_node(f"{BASE}/{child}/0/gen") == str(child)
+        assert not daemon.exists(f"{BASE}/{child}/0/gen{child + 1}")
+    assert not daemon.exists(f"{BASE}/5/0/gen")
+    assert_counts_consistent(daemon)
+
+
+def test_shared_nodes_marked(daemon):
+    """Every multiply-referenced node sits behind a ``shared`` flag on
+    each aliased entry point (the COW invariant)."""
+    clone(daemon, 9)
+    clone(daemon, 10)
+    # Any node referenced from two parents must itself be marked shared:
+    # that is the entry-point half of the COW invariant, and the half a
+    # mutating descent relies on to know when to copy.
+    parents: dict[int, int] = {}
+    shared_flags: dict[int, bool] = {}
+    stack = [daemon.root]
+    visited: set[int] = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        for child in node.children.values():
+            parents[id(child)] = parents.get(id(child), 0) + 1
+            shared_flags[id(child)] = child.shared
+            stack.append(child)
+    for node_id, nparents in parents.items():
+        if nparents > 1:
+            assert shared_flags[node_id], \
+                "multiply-referenced node not marked shared"
+
+
+def test_deep_copy_ablation_unaffected(daemon):
+    """The paper's deep-copy baseline still produces private trees."""
+    handle = XsHandle(daemon)
+    handle.deep_copy(5, 9, f"{BASE}/5", f"{BASE}/9")
+    source = daemon._lookup(f"{BASE}/5/0")
+    child = daemon._lookup(f"{BASE}/9/0")
+    for name in source.children:
+        assert child.children[name] is not source.children[name]
+
+
+def test_clone_missing_source_still_raises(daemon):
+    with pytest.raises(XenstoreError):
+        xs_clone(daemon, 5, 9, XsCloneOp.DEV_9PFS, f"{BASE}/404",
+                 f"{BASE}/9")
