@@ -137,6 +137,12 @@ class NepheleSession:
         return self.platform.tracer
 
     @property
+    def faults(self):
+        """The fault injector (the no-op NULL_INJECTOR unless the
+        session was built with a non-empty ``fault_plan``)."""
+        return self.platform.faults
+
+    @property
     def now(self) -> float:
         """Current virtual time in milliseconds."""
         return self.platform.now

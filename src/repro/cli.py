@@ -15,6 +15,7 @@ additions:
     pause/unpause <name|domid> domctl pause control
     vcpu-pin <dom> <v> <cpus>  pin a vCPU to physical CPUs
     stats                      full platform snapshot (memory, families)
+    faults [sites]             fault-injection counters / site registry
     trace [summary]            per-stage virtual-time breakdown table
     trace spans [kind]         recorded spans (optionally one kind)
     trace export <file.json>   write the machine-readable run report
@@ -70,6 +71,7 @@ class XlShell:
             "unpause": self.cmd_unpause,
             "vcpu-pin": self.cmd_vcpu_pin,
             "stats": self.cmd_stats,
+            "faults": self.cmd_faults,
             "trace": self.cmd_trace,
             "help": self.cmd_help,
         }
@@ -271,6 +273,26 @@ class XlShell:
         from repro.metrics import snapshot
 
         self._print(snapshot(self.platform).format())
+
+    def cmd_faults(self, args: list[str]) -> None:
+        """faults [sites]: injection counters, or the site registry."""
+        if args and args[0] == "sites":
+            from repro.faults import SITES
+
+            self._print(f"{'site':<22} {'mode':<6} {'kinds':<24} analogue")
+            for name, site in sorted(SITES.items()):
+                kinds = ",".join(sorted(k.value for k in site.allowed_kinds))
+                self._print(f"{name:<22} {site.mode.value:<6} {kinds:<24} "
+                            f"{site.analogue}")
+            return
+        if args:
+            raise CliError("usage: faults [sites]")
+        faults = self.platform.faults
+        if not faults.enabled:
+            self._print("fault injection disabled "
+                        "(create the platform with a fault_plan)")
+            return
+        self._print(faults.format_report())
 
     def cmd_trace(self, args: list[str]) -> None:
         """trace [summary | spans [kind] | export <file> | reset]"""

@@ -30,6 +30,7 @@ class CloneSubOp(enum.Enum):
 
     CLONE = "clone"
     CLONE_COMPLETION = "clone_completion"
+    CLONE_FAILED = "clone_failed"
     CLONE_COW = "clone_cow"
     CLONE_RESET = "clone_reset"
     SET_GLOBAL_ENABLE = "set_global_enable"
@@ -42,6 +43,11 @@ class CloneOpError(ReproError):
 #: Bounded backpressure: how many stall + wake-up cycles :meth:`CloneOp._notify`
 #: attempts on a full notification ring before declaring xencloned stuck.
 BACKPRESSURE_STALL_LIMIT = 8
+
+#: Bounded VIRQ redelivery: how many times :meth:`CloneOp.clone` re-raises
+#: VIRQ_CLONED (with exponential virtual backoff) when the batch wake-up
+#: was lost before declaring the second stage dead.
+VIRQ_RETRY_LIMIT = 4
 
 
 @dataclass
@@ -65,9 +71,13 @@ class CloneOp:
         self.ring = CloneNotificationRing(ring_capacity)
         #: child domid -> parent domid, for in-flight second stages.
         self._pending: dict[int, int] = {}
+        #: child domid -> reason, for second stages xencloned reported
+        #: failed (consumed by the in-flight CLONE subop).
+        self._failed: dict[int, str] = {}
         #: clone_reset baselines: domid -> list of segment snapshots.
         self._baselines: dict[int, list[SegmentSnapshot]] = {}
-        self.stats = {"clones": 0, "resets": 0, "explicit_cows": 0}
+        self.stats = {"clones": 0, "resets": 0, "explicit_cows": 0,
+                      "failed_clones": 0}
         hypervisor.set_cloneop(self)
 
     def _is_privileged(self, domid: int) -> bool:
@@ -141,8 +151,14 @@ class CloneOp:
                                                          child_index)
                         span.set(child=child.domid)
                 except Exception:
-                    # Unwind the partial child (ENOMEM mid-stage, ...): the
-                    # parent must come back runnable and nothing may leak.
+                    # Unwind the partial child (ENOMEM mid-stage, ...) and
+                    # every earlier sibling whose second stage has not run
+                    # yet: the parent must come back runnable and nothing
+                    # may leak (domains, ring entries, pending records).
+                    hyp.faults.aborted("clone.first_stage")
+                    self._abort_unplumbed_children(parent, children,
+                                                   previous_state,
+                                                   resume=False)
                     self._abort_partial_clone(parent, known, previous_state)
                     raise
                 parent.clones_created += 1
@@ -152,10 +168,15 @@ class CloneOp:
                                      child=child.domid):
                         self._notify(parent, child)
                 except Exception:
-                    # Second stage failed (backend error, Dom0 trouble):
-                    # drop the half-plumbed child and resume the parent.
+                    # Handoff failed (ring stuck, xencloned fatal error):
+                    # drop the half-plumbed child plus every earlier
+                    # unplumbed sibling, then resume the parent.
                     self._pending.pop(child.domid, None)
+                    self._failed.pop(child.domid, None)
                     parent.clones_created -= 1
+                    self._abort_unplumbed_children(parent, children,
+                                                   previous_state,
+                                                   resume=False)
                     self._abort_partial_clone(parent, known, previous_state)
                     raise
                 children.append(child)
@@ -174,19 +195,44 @@ class CloneOp:
             except Exception:
                 # A second stage failed mid-batch: drop every child whose
                 # second stage did not complete and resume the parent.
+                hyp.faults.aborted("clone.wakeup")
                 self._abort_unplumbed_children(parent, children,
                                                previous_state)
                 raise
 
-            # The synchronous second stage has signalled completion for
-            # each child by now; anything left pending means xencloned is
-            # absent.
+            # The synchronous second stage has signalled completion (or
+            # failure) for each child by now. Children whose VIRQ was
+            # lost are still pending: re-raise it with exponential
+            # virtual backoff before concluding xencloned is absent.
+            failed = self._consume_failures(children)
             still_pending = [c.domid for c in children
                              if c.domid in self._pending]
+            retries = 0
+            while still_pending and retries < VIRQ_RETRY_LIMIT:
+                retries += 1
+                with tracer.span("clone.virq_retry", attempt=retries):
+                    hyp.clock.charge(hyp.costs.clone_virq_retry_backoff
+                                     * (2 ** (retries - 1)))
+                    hyp.notify_cloned()
+                failed.update(self._consume_failures(children))
+                still_pending = [c.domid for c in children
+                                 if c.domid in self._pending]
+            if retries and not still_pending:
+                hyp.faults.recovered("virq.deliver")
             if still_pending:
+                # The second stage is genuinely dead: unwind every child
+                # it never plumbed and hand the caller a clean failure.
+                hyp.faults.aborted("virq.deliver")
+                self._abort_unplumbed_children(parent, children,
+                                               previous_state)
                 raise CloneOpError(
                     f"second stage never completed for {still_pending} "
                     "(is xencloned attached?)")
+            if failed:
+                # Graceful degradation: xencloned cleaned up the failed
+                # children (CLONE_FAILED) without aborting the batch;
+                # only the survivors are resumed and returned.
+                children = [c for c in children if c.domid not in failed]
 
             with tracer.span("clone.resume"):
                 # rax fixups: 0 in the parent (paper §5.2).
@@ -199,8 +245,15 @@ class CloneOp:
                     parent.state = previous_state
                 self._resume_children(parent, children)
         tracer.count("clone.ops")
-        tracer.count("clone.children", count)
+        tracer.count("clone.children", len(children))
+        if failed:
+            tracer.count("clone.failed_children", len(failed))
         return [child.domid for child in children]
+
+    def _consume_failures(self, children: list[Domain]) -> dict[int, str]:
+        """Pop and return the CLONE_FAILED reports for ``children``."""
+        return {child.domid: self._failed.pop(child.domid)
+                for child in children if child.domid in self._failed}
 
     def _abort_partial_clone(self, parent: Domain, known: set[int],
                              previous_state: DomainState) -> None:
@@ -228,8 +281,11 @@ class CloneOp:
         """
         entry = first_stage.make_notification(parent, child)
         hyp = self.hypervisor
+        stalled = False
         for _ in range(BACKPRESSURE_STALL_LIMIT):
             try:
+                hyp.faults.fire("notify.ring", parent=parent.domid,
+                                child=child.domid)
                 self.ring.push(entry)
                 break
             except RingFullError:
@@ -237,24 +293,32 @@ class CloneOp:
                 # drains. A wake-up that frees no slot is retried — a
                 # daemon draining slowly makes progress eventually; one
                 # that never drains hits the bound below.
+                stalled = True
                 hyp.notify_cloned()
         else:
+            hyp.faults.aborted("notify.ring")
             raise CloneOpError(
                 f"clone notification ring still full after "
                 f"{BACKPRESSURE_STALL_LIMIT} wake-ups "
                 "(is xencloned draining?)")
+        if stalled:
+            hyp.faults.recovered("notify.ring")
         hyp.notify_cloned(defer=True)
 
     def _abort_unplumbed_children(self, parent: Domain,
                                   children: list[Domain],
-                                  previous_state: DomainState) -> None:
+                                  previous_state: DomainState,
+                                  resume: bool = True) -> None:
         """Unwind children whose second stage never completed (their
         domids are still pending) after a failed batch wake-up; children
         already plumbed by xencloned stay alive, like in the per-child
-        notification protocol."""
+        notification protocol. ``resume=False`` leaves the parent's
+        state to the caller (used when another unwind step follows)."""
         hyp = self.hypervisor
         aborted: set[int] = set()
         for child in children:
+            # Failure reports for this batch die with it.
+            self._failed.pop(child.domid, None)
             if self._pending.pop(child.domid, None) is None:
                 continue
             aborted.add(child.domid)
@@ -268,6 +332,8 @@ class CloneOp:
         # entry for a domain that no longer exists.
         if aborted:
             self.ring.discard(lambda entry: entry.child_domid in aborted)
+        if not resume:
+            return
         if previous_state in (DomainState.RUNNING, DomainState.CREATED):
             hyp.unpause_domain(parent.domid)
         else:
@@ -303,6 +369,43 @@ class CloneOp:
             raise CloneOpError(
                 f"unexpected completion for child {child_domid} "
                 f"(parent {parent_domid}, pending {pending_parent})")
+
+    # ------------------------------------------------------------------
+    # subop: CLONE_FAILED (called by xencloned)
+    # ------------------------------------------------------------------
+    def clone_failed(self, caller_domid: int, parent_domid: int,
+                     child_domid: int, reason: str = "") -> None:
+        """xencloned reports a child whose second stage failed.
+
+        The hypervisor unwinds the half-plumbed child — family links,
+        clone accounting, frames — while the rest of the batch proceeds
+        (graceful degradation: one bad child must not abort its
+        siblings). The in-flight CLONE subop consumes the report and
+        drops the child from its result.
+        """
+        if not self._is_privileged(caller_domid):
+            raise XenPermissionError("clone_failed is Dom0-only")
+        hyp = self.hypervisor
+        hyp.clock.charge(hyp.costs.hypercall_base)
+        pending_parent = self._pending.pop(child_domid, None)
+        if pending_parent != parent_domid:
+            raise CloneOpError(
+                f"unexpected failure report for child {child_domid} "
+                f"(parent {parent_domid}, pending {pending_parent})")
+        parent = hyp.get_domain(parent_domid)
+        parent.clones_created -= 1
+        self.stats["clones"] -= 1
+        self.stats["failed_clones"] += 1
+        child = hyp.domains.get(child_domid)
+        if child is not None:
+            child.parent_id = None
+            if child_domid in parent.children:
+                parent.children.remove(child_domid)
+            hyp.clock.charge(hyp.costs.clone_abort_fixed)
+            hyp.destroy_domain(child_domid)
+        self._failed[child_domid] = reason
+        hyp.faults.aborted("clone.second_stage")
+        hyp.tracer.count("clone.failed")
 
     # ------------------------------------------------------------------
     # subop: CLONE_COW (fuzzing: breakpoint insertion, §7.2)

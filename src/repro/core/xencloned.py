@@ -16,6 +16,7 @@ import enum
 
 from repro.core.cloneop import CloneOp
 from repro.devices.console import console_backend_path, console_frontend_path
+from repro.errors import ReproError
 from repro.devices.p9 import p9_backend_path, p9_frontend_path
 from repro.devices.udev import UdevEvent
 from repro.net.bridge import Bridge
@@ -68,7 +69,15 @@ class Xencloned:
             entry = self.cloneop.ring.pop()
             if entry is None:
                 break
-            self._second_stage(entry.parent_domid, entry.child_domid)
+            try:
+                self._second_stage(entry.parent_domid, entry.child_domid)
+            except ReproError as error:
+                # Graceful degradation: one child's second stage failing
+                # (backend error, Xenstore trouble) must not abort the
+                # rest of the batch. Clean the half-plumbed child up and
+                # report it; the remaining ring entries still run.
+                self._abort_child(entry.parent_domid, entry.child_domid,
+                                  error)
 
     def _second_stage(self, parent_domid: int, child_domid: int) -> None:
         parent = self.hypervisor.get_domain(parent_domid)
@@ -118,6 +127,9 @@ class Xencloned:
             # 5. 9pfs backends clone over QMP.
             if clone_io and parent.frontends.get("9pfs"):
                 with tracer.span("clone.second_stage.p9"):
+                    self.hypervisor.faults.fire(
+                        "device.attach", device="9pfs-qmp",
+                        parent=parent_domid, child=child_domid)
                     self.dom0.p9.clone(parent_domid, child_domid)
                     self.dom0.p9.connect_clone_frontend(child)
 
@@ -128,17 +140,46 @@ class Xencloned:
         self.clones_completed += 1
         tracer.count("clone.second_stages")
 
+    def _abort_child(self, parent_domid: int, child_domid: int,
+                     error: ReproError) -> None:
+        """Unwind one failed second stage (mirrors ``xl destroy``).
+
+        Removes whatever registry entries and backend state the partial
+        second stage created, releases the child from xenstored, then
+        reports CLONE_FAILED so the hypervisor destroys the domain and
+        the in-flight CLONE subop drops it from its result.
+        """
+        tracer = self.hypervisor.tracer
+        with tracer.span("clone.second_stage.abort", parent=parent_domid,
+                         child=child_domid, error=type(error).__name__):
+            for path in (f"/local/domain/{child_domid}",
+                         f"/local/domain/0/backend/vif/{child_domid}",
+                         f"/local/domain/0/backend/console/{child_domid}",
+                         f"/local/domain/0/backend/9pfs/{child_domid}"):
+                if self.handle.daemon.exists(path):
+                    self.handle.rm(path)
+            self.dom0.netback.remove(child_domid)
+            self.dom0.console_daemon.remove(child_domid)
+            self.dom0.p9.remove(child_domid)
+            self.handle.release_domain(child_domid)
+            self.cloneop.clone_failed(DOM0, parent_domid, child_domid,
+                                      reason=str(error))
+        tracer.count("clone.second_stage_aborts")
+
     # ------------------------------------------------------------------
     # device directory cloning
     # ------------------------------------------------------------------
     def _clone_devices_xs(self, parent: Domain, child: Domain) -> None:
         p, c = parent.domid, child.domid
+        faults = self.hypervisor.faults
         if parent.frontends.get("console"):
+            faults.fire("device.attach", device="console", parent=p, child=c)
             self.handle.clone(p, c, XsCloneOp.DEV_CONSOLE,
                               console_frontend_path(p), console_frontend_path(c))
             self.handle.clone(p, c, XsCloneOp.DEV_CONSOLE,
                               console_backend_path(p), console_backend_path(c))
         if parent.frontends.get("vif"):
+            faults.fire("device.attach", device="vif", parent=p, child=c)
             self.handle.clone(p, c, XsCloneOp.DEV_VIF,
                               f"/local/domain/{p}/device/vif",
                               f"/local/domain/{c}/device/vif")
@@ -146,6 +187,7 @@ class Xencloned:
                               f"/local/domain/0/backend/vif/{p}",
                               f"/local/domain/0/backend/vif/{c}")
         if parent.frontends.get("9pfs"):
+            faults.fire("device.attach", device="9pfs", parent=p, child=c)
             self.handle.clone(p, c, XsCloneOp.DEV_9PFS,
                               p9_frontend_path(p), p9_frontend_path(c))
             self.handle.clone(p, c, XsCloneOp.DEV_9PFS,
@@ -156,17 +198,21 @@ class Xencloned:
         "similarly to how the Xenstore entries are created on regular
         instantiation" (paper §6.1)."""
         p, c = parent.domid, child.domid
+        faults = self.hypervisor.faults
         if parent.frontends.get("console"):
+            faults.fire("device.attach", device="console", parent=p, child=c)
             self.handle.deep_copy(p, c, console_frontend_path(p),
                                   console_frontend_path(c))
             self.handle.deep_copy(p, c, console_backend_path(p),
                                   console_backend_path(c))
         if parent.frontends.get("vif"):
+            faults.fire("device.attach", device="vif", parent=p, child=c)
             self.handle.deep_copy(p, c, f"/local/domain/{p}/device/vif",
                                   f"/local/domain/{c}/device/vif")
             self.handle.deep_copy(p, c, f"/local/domain/0/backend/vif/{p}",
                                   f"/local/domain/0/backend/vif/{c}")
         if parent.frontends.get("9pfs"):
+            faults.fire("device.attach", device="9pfs", parent=p, child=c)
             self.handle.deep_copy(p, c, p9_frontend_path(p), p9_frontend_path(c))
             self.handle.deep_copy(p, c, p9_backend_path(p), p9_backend_path(c))
 

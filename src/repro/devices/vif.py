@@ -268,14 +268,21 @@ class NetBackendDriver:
         ))
 
     def remove(self, domid: int) -> None:
-        """Tear down a (destroyed) guest's vifs, emitting udev removes."""
+        """Tear down a (destroyed) guest's vifs, emitting udev removes.
+
+        The remove event carries the vif's IP and port so listeners
+        managing aggregation switches (clone-family bonds / OVS groups)
+        can release the slave — ports of dead guests must not stay in
+        the selection set.
+        """
         for key in [k for k in self.backends if k[0] == domid]:
             backend = self.backends.pop(key)
             if backend.switch is not None and hasattr(backend.switch, "detach"):
                 backend.switch.detach(backend.port)
             self.udev.emit(UdevEvent(
                 action="remove", subsystem="net", name=backend.name,
-                properties={"domid": domid, "index": backend.index},
+                properties={"domid": domid, "index": backend.index,
+                            "ip": backend.ip, "port": backend.port},
             ))
 
 

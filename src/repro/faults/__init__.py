@@ -1,0 +1,43 @@
+"""Deterministic fault injection for the Nephele reproduction.
+
+The cloning pipeline has many partial-failure points — grant
+exhaustion, Xenstore transaction conflicts, notification-ring
+backpressure, lost vIRQ wake-ups, device-attach errors. This package
+makes those failures *schedulable*: a :class:`FaultPlan` arms named
+injection sites (see :mod:`repro.faults.sites`) with deterministic
+triggers, the :class:`FaultInjector` fires them from hooks threaded
+through the hot paths, and :mod:`repro.faults.chaos` runs randomized
+plans against a clone workload while auditing that nothing leaks.
+
+The failure model (every site, its real-Xen analogue, its recovery
+semantics) is documented in ``docs/FAULTS.md``; a test keeps that
+document in sync with the registry.
+"""
+
+from repro.faults.chaos import ChaosReport, audit_platform, run_chaos
+from repro.faults.injector import (
+    NULL_INJECTOR,
+    FaultInjector,
+    InjectedFaultError,
+    NullFaultInjector,
+)
+from repro.faults.plan import EMPTY_PLAN, FaultPlan, FaultPlanError, FaultSpec
+from repro.faults.sites import SITES, FaultKind, InjectionSite, site_names
+
+__all__ = [
+    "SITES",
+    "EMPTY_PLAN",
+    "NULL_INJECTOR",
+    "ChaosReport",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "InjectedFaultError",
+    "InjectionSite",
+    "NullFaultInjector",
+    "audit_platform",
+    "run_chaos",
+    "site_names",
+]

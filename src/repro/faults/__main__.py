@@ -1,0 +1,8 @@
+"""``python -m repro.faults`` — the chaos-run entry point."""
+
+import sys
+
+from repro.faults.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

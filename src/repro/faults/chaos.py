@@ -1,0 +1,271 @@
+"""The chaos harness: randomized fault plans + leak auditing.
+
+``run_chaos`` drives a clone-fleet workload (boots, clone batches from
+Dom0 and from inside guests, COW writes, transactional Xenstore
+updates, destroys, host traffic) on a platform armed with a fault plan,
+then tears everything down and audits the platform for leaked frames,
+grants, event endpoints, Xenstore nodes and bond slaves. The report
+carries a fingerprint over every deterministic output, so two runs at
+the same seed must produce byte-identical reports — the property the
+chaos-smoke CI job pins.
+
+Platform construction is imported lazily: this module is re-exported
+by :mod:`repro.faults`, which the hypervisor imports, so a module-level
+platform import would cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+from repro.faults.plan import FaultPlan
+
+
+@dataclass
+class ChaosReport:
+    """The deterministic outcome of one chaos run."""
+
+    seed: int
+    plan_name: str
+    #: sha256 over the canonical JSON of every deterministic field.
+    fingerprint: str = ""
+    clones_attempted: int = 0
+    clones_succeeded: int = 0
+    clone_errors: int = 0
+    txn_attempts: int = 0
+    violations: list[str] = field(default_factory=list)
+    fault_stats: dict[str, Any] = field(default_factory=dict)
+    clock_ms: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (what the CLI prints with --json)."""
+        return {
+            "seed": self.seed,
+            "plan": self.plan_name,
+            "fingerprint": self.fingerprint,
+            "clones_attempted": self.clones_attempted,
+            "clones_succeeded": self.clones_succeeded,
+            "clone_errors": self.clone_errors,
+            "txn_attempts": self.txn_attempts,
+            "violations": list(self.violations),
+            "fault_stats": self.fault_stats,
+            "clock_ms": self.clock_ms,
+        }
+
+
+def audit_platform(platform: Any) -> list[str]:
+    """Leak oracle: every resource-conservation violation, as strings.
+
+    Intended to run after all guests are destroyed (the chaos harness
+    does), but every check except the frame-pool-refill one is valid at
+    any quiescent point — the rollback-invariant tests reuse it
+    mid-scenario.
+    """
+    violations: list[str] = []
+    hyp = platform.hypervisor
+    frames = hyp.frames
+
+    try:
+        frames.check_invariants()
+    except AssertionError as error:
+        violations.append(f"frame table: {error}")
+
+    live = set(hyp.domains)
+    from repro.xen.domid import DOM0, DOMID_COW, XEN_OWNER
+
+    accounted = live | {DOM0, DOMID_COW, XEN_OWNER}
+    for domid in range(1, hyp._next_domid):
+        if domid in accounted:
+            continue
+        owned = frames.pages_owned(domid)
+        if owned:
+            violations.append(
+                f"dead domain {domid} still owns {owned} frames")
+
+    for domain in hyp.domains.values():
+        for channel in domain.events.ports.values():
+            for child_domid, _port in channel.child_endpoints:
+                if child_domid not in live:
+                    violations.append(
+                        f"domain {domain.domid} port {channel.port} still "
+                        f"lists dead child endpoint {child_domid}")
+        for entry in domain.grants.entries.values():
+            for mapper in entry.mapped_by:
+                if mapper not in live:
+                    violations.append(
+                        f"domain {domain.domid} grant {entry.gref} still "
+                        f"mapped by dead domain {mapper}")
+
+    cloneop = platform.cloneop
+    if cloneop._pending:
+        violations.append(
+            f"clone second stages still pending: {sorted(cloneop._pending)}")
+    if len(cloneop.ring):
+        violations.append(
+            f"{len(cloneop.ring)} stale clone notifications in the ring")
+    if cloneop._failed:
+        violations.append(
+            f"unconsumed clone failures: {sorted(cloneop._failed)}")
+    for domid in cloneop._baselines:
+        if domid not in live:
+            violations.append(f"reset baseline leaked for dead domain {domid}")
+
+    store = platform.xenstore
+    recount = store._count_subtree(store.root) - 1
+    if recount != store.node_count:
+        violations.append(
+            f"xenstore node_count drift: cached {store.node_count}, "
+            f"actual {recount}")
+    for domid in store.introduced:
+        if domid not in live and domid != DOM0:
+            violations.append(f"dead domain {domid} still introduced "
+                              "to xenstored")
+    for domid_dir in _domain_dirs(store):
+        if domid_dir not in live and domid_dir != DOM0:
+            violations.append(
+                f"xenstore subtree /local/domain/{domid_dir} leaked")
+    if store.transactions.open_count:
+        violations.append(
+            f"{store.transactions.open_count} xenstore transactions left open")
+
+    dom0 = platform.dom0
+    live_ports = {backend.port for backend in dom0.netback.backends.values()}
+    for name, bond in dom0.bonds.items():
+        for port in bond.slaves:
+            if port not in live_ports:
+                violations.append(f"bond {name} holds dead slave {port.name}")
+    for group_id, group in dom0.ovs_groups.items():
+        for port in group.buckets:
+            if port not in live_ports:
+                violations.append(
+                    f"OVS group {group_id} holds dead bucket {port.name}")
+    return violations
+
+
+def _domain_dirs(store: Any) -> list[int]:
+    """Domids with a ``/local/domain/<id>`` directory in the store."""
+    try:
+        entries = store.directory("/local/domain")
+    except ReproError:
+        return []
+    return [int(entry) for entry in entries if entry.isdigit()]
+
+
+def run_chaos(seed: int = 0xC10E, faults: int = 100,
+              plan: FaultPlan | None = None, parents: int = 2,
+              batch: int = 3, rounds: int | None = None) -> ChaosReport:
+    """One chaos run: workload under injection, teardown, audit.
+
+    Every step that can fail is wrapped: an injected fault may abort a
+    clone batch (or a single child within one), and the workload keeps
+    going — exactly the graceful degradation the hardening promises.
+    ``rounds`` defaults to scaling with the fault budget so the workload
+    outlives the armed specs: the run must also exercise the
+    no-fault-left steady state, not just back-to-back failures.
+    Returns a :class:`ChaosReport` whose fingerprint covers all
+    deterministic outputs.
+    """
+    if rounds is None:
+        rounds = max(3, (faults * 3) // 4)
+    from repro.apps.udp_server import UdpServerApp
+    from repro.platform import Platform
+    from repro.toolstack.config import DomainConfig, VifConfig
+
+    if plan is None:
+        plan = FaultPlan.randomized(seed, faults=faults)
+    platform = Platform.create(seed=seed, fault_plan=plan)
+    report = ChaosReport(seed=seed, plan_name=plan.name)
+    rng = platform.rng.fork("chaos-workload")
+    handle = platform.dom0.handle
+
+    # The chaos target is the *clone* paths: boot the parent fleet with
+    # injection disarmed, then arm it for the workload.
+    if platform.faults.enabled:
+        platform.faults.active = False
+    roots: list[int] = []
+    for i in range(parents):
+        config = DomainConfig(name=f"chaos{i}", memory_mb=4,
+                              vifs=[VifConfig(ip=f"10.0.9.{i + 1}")],
+                              max_clones=256)
+        domain = platform.xl.create(config, app=UdpServerApp())
+        roots.append(domain.domid)
+    if platform.faults.enabled:
+        platform.faults.active = True
+
+    for round_index in range(rounds):
+        for root in roots:
+            parent = platform.hypervisor.domains.get(root)
+            if parent is None:
+                continue
+            report.clones_attempted += batch
+            try:
+                children = platform.xl.clone(root, count=batch)
+            except ReproError:
+                report.clone_errors += 1
+                children = []
+            report.clones_succeeded += len(children)
+
+            # Touch clone memory: deterministic COW writes.
+            for child_domid in children:
+                child = platform.hypervisor.domains.get(child_domid)
+                if child is None or not child.memory.segments:
+                    continue
+                try:
+                    child.memory.write_range(
+                        child.memory.segments[0].pfn_start,
+                        rng.randint(1, 4))
+                except ReproError:
+                    pass
+
+            # Transactional Xenstore update with bounded retry.
+            def _bump(h: Any, tid: int,
+                      path: str = f"/chaos/round{round_index}/d{root}") -> None:
+                h.t_write(tid, path, str(round_index))
+
+            try:
+                handle.run_transaction(_bump)
+                report.txn_attempts += 1
+            except ReproError:
+                report.clone_errors += 1
+
+            # Host traffic towards the family (exercises bond/OVS).
+            parent = platform.hypervisor.domains.get(root)
+            if parent is not None and parent.children:
+                vif = parent.frontends.get("vif")
+                if vif:
+                    try:
+                        platform.dom0.send_to_guest(
+                            vif[0].ip, 9000, payload=round_index,
+                            src_port=40000 + round_index)
+                    except ReproError:
+                        pass
+
+            # Destroy one child per round: teardown interleaved with
+            # injection must not leak either.
+            if children:
+                victim = children[rng.randint(0, len(children) - 1)]
+                try:
+                    platform.xl.destroy(victim)
+                except ReproError:
+                    report.clone_errors += 1
+
+    # Full teardown: every guest goes; the audit below must be clean.
+    for domid in sorted(platform.hypervisor.domains):
+        try:
+            platform.xl.destroy(domid)
+        except ReproError:
+            report.clone_errors += 1
+
+    report.violations = audit_platform(platform)
+    report.fault_stats = platform.faults.report() \
+        if platform.faults.enabled else {}
+    report.clock_ms = round(platform.clock.now, 6)
+    payload = report.to_dict()
+    payload.pop("fingerprint")
+    report.fingerprint = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+    return report

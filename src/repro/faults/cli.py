@@ -1,0 +1,120 @@
+"""Command-line chaos runner: ``python -m repro.faults``.
+
+Runs :func:`repro.faults.chaos.run_chaos` with a randomized (or
+file-loaded) fault plan and reports the outcome. Exit status is
+non-zero when the audit finds leaked resources or when two same-seed
+runs diverge — the exact contract the chaos-smoke CI job enforces.
+
+Examples::
+
+    python -m repro.faults --list-sites
+    python -m repro.faults --seed 0xC10E --faults 100 --runs 2
+    python -m repro.faults --plan plan.json --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.faults.chaos import run_chaos
+from repro.faults.plan import FaultPlan
+from repro.faults.sites import SITES
+
+
+def _parse_seed(text: str) -> int:
+    return int(text, 0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.faults`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Deterministic chaos runs against the Nephele "
+                    "clone paths.")
+    parser.add_argument("--seed", type=_parse_seed, default=0xC10E,
+                        help="deterministic seed (default: 0xC10E)")
+    parser.add_argument("--faults", type=int, default=100,
+                        help="fault budget for the randomized plan "
+                             "(default: 100)")
+    parser.add_argument("--plan", metavar="FILE",
+                        help="load a FaultPlan from a JSON file instead "
+                             "of randomizing one")
+    parser.add_argument("--runs", type=int, default=1,
+                        help="repeat the run N times and require "
+                             "identical fingerprints (default: 1)")
+    parser.add_argument("--parents", type=int, default=2,
+                        help="parent guests to boot (default: 2)")
+    parser.add_argument("--batch", type=int, default=3,
+                        help="clones per batch (default: 3)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="workload rounds (default: scales with "
+                             "the fault budget)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the machine-readable report")
+    parser.add_argument("--list-sites", action="store_true",
+                        help="print the injection-site registry and exit")
+    return parser
+
+
+def _load_plan(path: str) -> FaultPlan:
+    with open(path, encoding="utf-8") as handle:
+        return FaultPlan.from_dict(json.load(handle))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the exit status."""
+    args = build_parser().parse_args(argv)
+
+    if args.list_sites:
+        for name, site in sorted(SITES.items()):
+            kinds = ",".join(sorted(k.value for k in site.allowed_kinds))
+            print(f"{name:<22} {site.mode.value:<6} {kinds:<24} "
+                  f"{site.description}")
+        return 0
+
+    plan = _load_plan(args.plan) if args.plan else None
+    reports = []
+    for _ in range(max(1, args.runs)):
+        reports.append(run_chaos(
+            seed=args.seed, faults=args.faults, plan=plan,
+            parents=args.parents, batch=args.batch, rounds=args.rounds))
+
+    report = reports[0]
+    status = 0
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"chaos run: seed {args.seed:#x}, plan {report.plan_name}")
+        print(f"  clones: {report.clones_succeeded}/"
+              f"{report.clones_attempted} succeeded, "
+              f"{report.clone_errors} aborted operations")
+        print(f"  transactions committed: {report.txn_attempts}")
+        stats = report.fault_stats.get("stats", {})
+        print(f"  faults: {stats.get('injected', 0)} injected, "
+              f"{stats.get('recovered', 0)} recovered, "
+              f"{stats.get('aborted', 0)} aborted")
+        print(f"  virtual time: {report.clock_ms:.3f} ms")
+        print(f"  fingerprint: {report.fingerprint}")
+
+    if report.violations:
+        status = 1
+        print(f"LEAKS: {len(report.violations)} violations",
+              file=sys.stderr)
+        for violation in report.violations:
+            print(f"  {violation}", file=sys.stderr)
+    fingerprints = {r.fingerprint for r in reports}
+    if len(fingerprints) > 1:
+        status = 1
+        print(f"DETERMINISM DRIFT: {len(fingerprints)} distinct "
+              f"fingerprints across {len(reports)} same-seed runs",
+              file=sys.stderr)
+    elif len(reports) > 1:
+        print(f"  determinism: {len(reports)} runs, identical "
+              "fingerprints")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,210 @@
+"""The injection-site registry: where faults can be injected, and why.
+
+Each :class:`InjectionSite` names one hook threaded through a clone hot
+path, describes the real-Xen failure it models (paper §4/§5 pipeline),
+and states the recovery semantics the hardened code implements. The
+registry is the single source of truth: ``docs/FAULTS.md`` must
+document exactly this set (a test diffs the two), plans are validated
+against it, and the chaos generator draws sites from it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FaultKind(str, enum.Enum):
+    """The error mode a spec injects at its site.
+
+    Raise-mode kinds map to the *real* exception types of the layer
+    they fire in, so the hardened recovery paths are exercised exactly
+    as a genuine failure would exercise them:
+
+    - ``ENOMEM`` -> :class:`repro.xen.errors.XenNoMemoryError`
+    - ``EAGAIN`` -> :class:`repro.xenstore.transactions.TransactionConflict`
+    - ``EIO`` -> :class:`repro.faults.injector.InjectedFaultError`
+    - ``RING_FULL`` -> :class:`repro.core.notify_ring.RingFullError`
+
+    ``DROP`` is not an exception: drop-mode sites (vIRQ delivery) ask
+    the injector whether to silently lose the event instead.
+    """
+
+    ENOMEM = "enomem"
+    EAGAIN = "eagain"
+    EIO = "eio"
+    RING_FULL = "ring_full"
+    DROP = "drop"
+
+
+class SiteMode(str, enum.Enum):
+    """How a site consumes the injector: raising or dropping."""
+
+    RAISE = "raise"
+    DROP = "drop"
+
+
+@dataclass(frozen=True)
+class InjectionSite:
+    """One fault-injection hook and its failure model."""
+
+    #: Dotted site name (``layer.operation``), used in FaultSpecs.
+    name: str
+    #: Whether the hook raises an error or silently drops an event.
+    mode: SiteMode
+    #: The kind injected when a spec does not name one explicitly.
+    default_kind: FaultKind
+    #: Which error kinds a spec targeting this site may request.
+    allowed_kinds: frozenset[FaultKind]
+    #: What fails here in the simulation (one line).
+    description: str
+    #: The real-Xen failure this models (per PAPER.md / paper §4-§5).
+    analogue: str
+    #: What the hardened code does when this site fails (one line).
+    recovery: str
+
+
+def _site(name: str, mode: SiteMode, default: FaultKind,
+          allowed: tuple[FaultKind, ...], description: str, analogue: str,
+          recovery: str) -> InjectionSite:
+    """Registry construction helper (keeps the table below readable)."""
+    return InjectionSite(name=name, mode=mode, default_kind=default,
+                         allowed_kinds=frozenset(allowed),
+                         description=description, analogue=analogue,
+                         recovery=recovery)
+
+
+#: Every injection site existing in code, keyed by name. Adding a hook
+#: without registering it here (or documenting it in docs/FAULTS.md)
+#: fails the registry-diff test.
+SITES: dict[str, InjectionSite] = {
+    site.name: site for site in (
+        _site(
+            "frames.alloc", SiteMode.RAISE, FaultKind.ENOMEM,
+            (FaultKind.ENOMEM,),
+            "Machine-frame allocation fails (overhead, special pages, "
+            "paging frames, RAM populate).",
+            "Xen's domheap allocator returning NULL under memory "
+            "pressure while the first stage builds the child's private "
+            "pages (paper §4.1/§5.2).",
+            "create_domain releases the partial domain; CLONEOP unwinds "
+            "the child and resumes the parent (clone() raises ENOMEM, "
+            "parent and siblings untouched).",
+        ),
+        _site(
+            "paging.build", SiteMode.RAISE, FaultKind.ENOMEM,
+            (FaultKind.ENOMEM, FaultKind.EIO),
+            "Page-table/p2m skeleton construction fails for a new "
+            "domain or clone.",
+            "shadow/HAP pool exhaustion while rebuilding the clone's "
+            "page tables and p2m (the private memory of paper §5.2).",
+            "Same unwind as frames.alloc: partial domain released, "
+            "clone aborted with the parent resumed.",
+        ),
+        _site(
+            "grants.clone", SiteMode.RAISE, FaultKind.ENOMEM,
+            (FaultKind.ENOMEM, FaultKind.EIO),
+            "Cloning the parent's grant table into the child fails.",
+            "gnttab_init/grow failing for the child during the "
+            "first-stage grant-table copy (paper §5.2.2).",
+            "CLONEOP destroys the half-built child via the domid-diff "
+            "unwind; the parent's grant table is never mutated.",
+        ),
+        _site(
+            "events.clone", SiteMode.RAISE, FaultKind.ENOMEM,
+            (FaultKind.ENOMEM, FaultKind.EIO),
+            "Cloning the parent's event channels (incl. IDC wildcard "
+            "wiring) into the child fails.",
+            "evtchn allocation failure while replicating the parent's "
+            "ports and binding the clone to its IDC channels (§5.2.2).",
+            "Same domid-diff unwind; IDC child endpoints are only "
+            "linked after success, so siblings keep their fan-out.",
+        ),
+        _site(
+            "grants.map", SiteMode.RAISE, FaultKind.EIO,
+            (FaultKind.EIO, FaultKind.ENOMEM),
+            "Mapping a foreign grant reference fails (IDC rings, "
+            "shared buffers).",
+            "GNTTABOP_map_grant_ref returning GNTST_* errors on a "
+            "stale or exhausted grant entry.",
+            "The error propagates to the mapper; no partial mapping is "
+            "recorded, so teardown accounting stays balanced.",
+        ),
+        _site(
+            "xenstore.xs_clone", SiteMode.RAISE, FaultKind.EIO,
+            (FaultKind.EIO,),
+            "The xs_clone request fails after validation, before any "
+            "node is grafted.",
+            "oxenstored rejecting the Nephele xs_clone request (quota "
+            "exhaustion, OOM) during second-stage device-directory "
+            "cloning (paper Fig. 2, §5.2.1).",
+            "xencloned aborts that child's second stage: Xenstore "
+            "subtrees scrubbed, backends removed, CLONE_FAILED reported "
+            "-- the rest of the batch completes.",
+        ),
+        _site(
+            "xenstore.txn_commit", SiteMode.RAISE, FaultKind.EAGAIN,
+            (FaultKind.EAGAIN,),
+            "A Xenstore transaction commit fails with EAGAIN (forced "
+            "conflict).",
+            "oxenstored's optimistic concurrency aborting a commit "
+            "that raced with another client (the xs_transaction_t of "
+            "paper Fig. 2).",
+            "XsHandle.run_transaction retries with bounded, "
+            "deterministic exponential backoff charged to the virtual "
+            "clock; exhaustion re-raises EAGAIN.",
+        ),
+        _site(
+            "notify.ring", SiteMode.RAISE, FaultKind.RING_FULL,
+            (FaultKind.RING_FULL,),
+            "Pushing a clone notification reports a full ring even "
+            "when slots are free.",
+            "The shared notification ring's backpressure on the first "
+            "stage (paper §5: a full ring stalls cloning until "
+            "xencloned drains).",
+            "The existing bounded stall loop wakes xencloned and "
+            "retries up to BACKPRESSURE_STALL_LIMIT times; exhaustion "
+            "aborts the child with a full unwind.",
+        ),
+        _site(
+            "virq.deliver", SiteMode.DROP, FaultKind.DROP,
+            (FaultKind.DROP,),
+            "A vIRQ dispatch (e.g. the coalesced VIRQ_CLONED wake-up) "
+            "is silently lost.",
+            "A lost/coalesced-away upcall: the guest or daemon misses "
+            "an event because the pending bit was already set or the "
+            "handler raced (classic Xen event-channel hazard).",
+            "CLONEOP re-raises VIRQ_CLONED with bounded deterministic "
+            "backoff; if the second stage still never completes, the "
+            "un-plumbed children are unwound and clone() fails cleanly.",
+        ),
+        _site(
+            "device.attach", SiteMode.RAISE, FaultKind.EIO,
+            (FaultKind.EIO,),
+            "Second-stage device cloning fails for one device class "
+            "(console, vif, 9pfs directories, or the 9pfs QMP clone).",
+            "A backend driver/QMP error while attaching the clone's "
+            "devices in Dom0 (paper §5.2.1: netback shortcut, 9pfs fid "
+            "table cloning over QMP).",
+            "xencloned aborts that child's second stage (scrub + "
+            "CLONE_FAILED); siblings and the parent are untouched.",
+        ),
+    )
+}
+
+
+def site_names() -> list[str]:
+    """All registered site names, sorted."""
+    return sorted(SITES)
+
+
+def raise_sites() -> list[str]:
+    """Names of the raise-mode sites (chaos plans target these)."""
+    return sorted(name for name, site in SITES.items()
+                  if site.mode is SiteMode.RAISE)
+
+
+def drop_sites() -> list[str]:
+    """Names of the drop-mode sites."""
+    return sorted(name for name, site in SITES.items()
+                  if site.mode is SiteMode.DROP)

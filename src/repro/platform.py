@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from repro.core.cloneop import CloneOp
 from repro.core.xencloned import CloneSwitchMode, Xencloned
 from repro.devices.p9 import P9BackendPolicy
+from repro.faults.injector import NULL_INJECTOR, FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim import CostModel, DeterministicRNG, Engine, VirtualClock
 from repro.sim.units import GIB
@@ -51,6 +53,10 @@ class PlatformConfig:
     trace: bool = False
     #: Span ring capacity when tracing is enabled.
     trace_capacity: int = 16384
+    #: Deterministic fault injection (repro.faults). None or an empty
+    #: plan keeps every hook a no-op (the golden series stay
+    #: byte-identical).
+    fault_plan: FaultPlan | None = None
 
     @property
     def guest_pool_bytes(self) -> int:
@@ -70,13 +76,22 @@ class Platform:
         self.engine = Engine(self.clock)
         self.engine.tracer = self.tracer
         self.rng = DeterministicRNG(self.config.seed)
+        plan = self.config.fault_plan
+        #: The platform's injector: NULL_INJECTOR unless a non-empty
+        #: fault plan was configured. The RNG stream is forked so fault
+        #: draws never shift any other component's sequence.
+        self.faults = (FaultInjector(plan, clock=self.clock,
+                                     rng=self.rng.fork("faults"),
+                                     tracer=self.tracer)
+                       if plan is not None and plan.specs else NULL_INJECTOR)
 
         self.hypervisor = Hypervisor(
             self.config.guest_pool_bytes, cpus=self.config.cpus,
-            clock=self.clock, costs=self.costs, tracer=self.tracer)
+            clock=self.clock, costs=self.costs, tracer=self.tracer,
+            faults=self.faults)
         self.xenstore = XenstoreDaemon(
             self.clock, self.costs, log_enabled=self.config.xenstore_log,
-            tracer=self.tracer)
+            tracer=self.tracer, faults=self.faults)
         self.dom0 = Dom0(self.hypervisor, self.xenstore,
                          self.config.dom0_memory_bytes,
                          p9_policy=self.config.p9_policy)
@@ -123,3 +138,11 @@ class Platform:
                     raise AssertionError(
                         f"family link broken: {domain.domid} not in "
                         f"children of {domain.parent_id}")
+        for child_domid in self.cloneop._pending:
+            if child_domid not in self.hypervisor.domains:
+                raise AssertionError(
+                    f"pending second stage for dead domain {child_domid}")
+        for child_domid in self.cloneop._failed:
+            if child_domid in self.hypervisor.domains:
+                raise AssertionError(
+                    f"failure report for live domain {child_domid}")

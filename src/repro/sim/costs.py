@@ -105,6 +105,13 @@ class CostModel:
     clone_reset_fixed: float = 35.0 * USEC
     #: clone_cow explicit COW trigger, per page (fuzzer breakpoints).
     clone_cow_per_page: float = 4.0 * USEC
+    #: Fixed rollback cost of unwinding one failed clone child (scrub +
+    #: CLONE_FAILED hypercall handling). Failure paths only: never
+    #: charged when no fault fires.
+    clone_abort_fixed: float = 0.5 * MSEC
+    #: Base backoff before re-raising a lost VIRQ_CLONED wake-up
+    #: (doubles per retry). Failure paths only.
+    clone_virq_retry_backoff: float = 0.1 * MSEC
 
     # ------------------------------------------------------------------
     # Xenstore
@@ -127,6 +134,9 @@ class CostModel:
     xs_clone_base: float = 0.25 * MSEC
     #: Firing one watch callback.
     xs_watch_fire: float = 0.05 * MSEC
+    #: Client-side base backoff before retrying a conflicted (EAGAIN)
+    #: transaction commit (doubles per attempt). Failure paths only.
+    xs_txn_retry_backoff: float = 0.2 * MSEC
     #: Bytes appended to the Xenstore access log per request.
     xs_log_bytes_per_request: int = 120
     #: Access-log rotation threshold. Calibrated so cloning 1000 guests

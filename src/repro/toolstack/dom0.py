@@ -83,7 +83,12 @@ class Dom0:
     # udev hotplug for regular boots
     # ------------------------------------------------------------------
     def _hotplug(self, event: UdevEvent) -> None:
-        if event.subsystem != "net" or event.action != "add":
+        if event.subsystem != "net":
+            return
+        if event.action == "remove":
+            self._unplug(event)
+            return
+        if event.action != "add":
             return
         if event.properties.get("cloned"):
             return  # xencloned owns clone vifs
@@ -99,6 +104,20 @@ class Dom0:
         bridge.attach(backend.port)
         backend.attach_switch(bridge)
         self.clock.charge(self.costs.switch_attach)
+
+    def _unplug(self, event: UdevEvent) -> None:
+        """Release a dead vif's port from its clone-family aggregation
+        switch (bond slave / OVS bucket). Bridge detach is handled by
+        the netback driver itself; both release paths are idempotent."""
+        ip = event.properties.get("ip")
+        port = event.properties.get("port")
+        if ip is None or port is None:
+            return
+        switch = self._family_switch.get(ip)
+        if isinstance(switch, BondInterface):
+            switch.release(port)
+        elif isinstance(switch, OvsGroup):
+            switch.remove_bucket(port)
 
     def _vif_bridge(self, domid: int, index: int) -> str:
         path = f"/local/domain/0/backend/vif/{domid}/{index}/bridge"

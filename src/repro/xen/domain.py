@@ -66,6 +66,9 @@ class Domain:
         self.paging: PagingState | None = None
         self.grants = GrantTable(domid)
         self.events = EventChannelTable(domid)
+        #: Foreign grants this domain mapped, as (granter_domid, gref);
+        #: scrubbed from the granters' tables when this domain dies.
+        self.foreign_maps: list[tuple[int, int]] = []
         self.special: dict[str, Extent] = {}
         self.overhead_extent: Extent | None = None
 

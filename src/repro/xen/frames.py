@@ -20,6 +20,7 @@ import enum
 import itertools
 from dataclasses import dataclass, field
 
+from repro.faults.injector import NULL_INJECTOR
 from repro.xen.domid import DOMID_COW, DOMID_INVALID
 from repro.xen.errors import XenInvalidError, XenNoMemoryError
 
@@ -134,6 +135,9 @@ class FrameTable:
             raise XenInvalidError(f"non-positive frame count: {total_frames}")
         self.total_frames = total_frames
         self.free_frames = total_frames
+        #: Fault-injection hooks (repro.faults); the hypervisor installs
+        #: the platform injector here, everyone else gets the no-op.
+        self.faults = NULL_INJECTOR
         self._owned: dict[int, int] = {}
         #: Cumulative counters, for tests and experiment reporting.
         self.stats = {
@@ -158,6 +162,8 @@ class FrameTable:
             raise XenInvalidError(f"non-positive page count: {count}")
         if owner == DOMID_INVALID:
             raise XenInvalidError("cannot allocate for DOMID_INVALID")
+        self.faults.fire("frames.alloc", owner=owner, count=count,
+                         page_type=page_type.value, label=label)
         if count > self.free_frames:
             raise XenNoMemoryError(
                 f"requested {count} frames, {self.free_frames} free"

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.faults.injector import NULL_INJECTOR
 from repro.obs.tracer import NULL_TRACER
 from repro.sim import CostModel, VirtualClock, pages_of
 from repro.xen.domain import SPECIAL_PAGES, Domain, DomainState
@@ -37,7 +38,7 @@ class Hypervisor:
     def __init__(self, guest_pool_bytes: int, cpus: int = 4,
                  clock: VirtualClock | None = None,
                  costs: CostModel | None = None,
-                 tracer: Any = None) -> None:
+                 tracer: Any = None, faults: Any = None) -> None:
         if cpus < 1:
             raise XenInvalidError(f"need at least one CPU: {cpus}")
         self.clock = clock if clock is not None else VirtualClock()
@@ -45,8 +46,12 @@ class Hypervisor:
         #: The platform tracer (repro.obs); components hanging off the
         #: hypervisor (CLONEOP, xencloned, xl) read it from here.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: The platform fault injector (repro.faults); like the tracer,
+        #: attached components read it from here. Defaults to the no-op.
+        self.faults = faults if faults is not None else NULL_INJECTOR
         self.cpus = cpus
         self.frames = FrameTable(pages_of(guest_pool_bytes))
+        self.frames.faults = self.faults
         from repro.xen.scheduler import CreditScheduler
 
         self.scheduler = CreditScheduler(cpus)
@@ -122,6 +127,7 @@ class Hypervisor:
                 self.clock.charge(costs.page_alloc)
 
             ram_pages = domain.ram_budget_pages
+            self.faults.fire("paging.build", domid=domid, pages=ram_pages)
             domain.paging = build_paging(
                 self.frames, domid, ram_pages, label=name,
                 skeleton=self.paging_skeletons.get(ram_pages))
@@ -180,11 +186,32 @@ class Hypervisor:
             freed += self.frames.free_extent(domain.overhead_extent)
             domain.overhead_extent = None
         self.clock.charge(self.costs.page_free * freed)
-        # Unlink from the family tree.
+        # Drop this domain's foreign grant mappings from the granters'
+        # tables — a dead mapper must not pin grant entries forever.
+        for granter_domid, gref in domain.foreign_maps:
+            granter = self.domains.get(granter_domid)
+            if granter is None:
+                continue
+            try:
+                granter.grants.unmap_grant(gref, domid)
+            except XenNoEntryError:
+                pass
+        domain.foreign_maps.clear()
+        # Unlink from the family tree, including the parent's IDC
+        # wildcard endpoints pointing at this clone (send_event already
+        # skips dead domains; this keeps the endpoint lists from
+        # accumulating garbage across clone/destroy churn).
         if domain.parent_id is not None:
             parent = self.domains.get(domain.parent_id)
-            if parent is not None and domid in parent.children:
-                parent.children.remove(domid)
+            if parent is not None:
+                if domid in parent.children:
+                    parent.children.remove(domid)
+                for channel in parent.events.ports.values():
+                    if channel.child_endpoints:
+                        channel.child_endpoints[:] = [
+                            (child, port)
+                            for child, port in channel.child_endpoints
+                            if child != domid]
         domain.state = DomainState.DEAD
         self.scheduler.remove_domain(domid)
         del self.domains[domid]
@@ -246,10 +273,14 @@ class Hypervisor:
     def map_grant(self, granter_domid: int, gref: int, mapper_domid: int):
         """Map a foreign page; enforces the DOMID_CHILD family constraint."""
         granter = self.get_domain(granter_domid)
-        self.get_domain(mapper_domid)  # must exist
+        mapper = self.get_domain(mapper_domid)
+        self.faults.fire("grants.map", granter=granter_domid, gref=gref,
+                         mapper=mapper_domid)
         children = self.descendants(granter_domid)
         self.clock.charge(self.costs.grant_op)
-        return granter.grants.map_grant(gref, mapper_domid, children)
+        entry = granter.grants.map_grant(gref, mapper_domid, children)
+        mapper.foreign_maps.append((granter_domid, gref))
+        return entry
 
     # ------------------------------------------------------------------
     # events
@@ -275,6 +306,8 @@ class Hypervisor:
     def _dispatch_virq(self, virq: int) -> int:
         """Deliver a vIRQ to host handlers and guest bindings (the send
         cost must have been charged by the caller)."""
+        if self.faults.dropped("virq.deliver", virq=virq):
+            return 0
         handlers = list(self._virq_handlers.get(virq, ()))
         for handler in handlers:
             handler(virq)

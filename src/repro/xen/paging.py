@@ -133,8 +133,15 @@ def build_paging(frames: FrameTable, domid: int, guest_pages: int,
         p2m_count = p2m_pages(guest_pages)
     pt = frames.alloc(domid, pt_count, PageType.PAGE_TABLE,
                       label=f"pt:{label}")
-    p2m = frames.alloc(domid, p2m_count, PageType.P2M,
-                       label=f"p2m:{label}")
+    try:
+        p2m = frames.alloc(domid, p2m_count, PageType.P2M,
+                           label=f"p2m:{label}")
+    except Exception:
+        # ENOMEM between the two allocations: nothing references the pt
+        # extent yet (PagingState is never built), so free it here or it
+        # leaks past every domain-level unwind path.
+        frames.free_extent(pt)
+        raise
     return PagingState(guest_pages=guest_pages, pt_extent=pt, p2m_extent=p2m)
 
 

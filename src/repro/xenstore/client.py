@@ -6,8 +6,10 @@ this is what makes deep-copy cloning expensive and ``xs_clone`` cheap.
 
 from __future__ import annotations
 
+from typing import Any, Callable
+
 from repro.xenstore.clone import XsCloneOp, xs_clone
-from repro.xenstore.store import WatchCallback, XenstoreDaemon
+from repro.xenstore.store import WatchCallback, XenstoreDaemon, XenstoreError
 
 
 class XsHandle:
@@ -108,6 +110,49 @@ class XsHandle:
             manager.commit(transaction)
         else:
             manager.abort(transaction)
+
+    def run_transaction(self, build: Callable[["XsHandle", int], Any],
+                        max_attempts: int = 8) -> Any:
+        """Run ``build(handle, tid)`` inside a transaction, retrying on
+        EAGAIN with bounded exponential (virtual-time) backoff.
+
+        This is how real libxenstore clients handle oxenstored's
+        optimistic concurrency: a conflicting commit closes the
+        transaction, the client backs off and replays its operations
+        against a fresh one. Returns ``build``'s result; raises the
+        final :class:`TransactionConflict` once ``max_attempts`` commits
+        all conflicted.
+        """
+        from repro.xenstore.transactions import TransactionConflict
+
+        faults = self.daemon.faults
+        for attempt in range(max_attempts):
+            if attempt:
+                # Deterministic exponential backoff, charged to the
+                # virtual clock (failure paths only).
+                self.daemon.clock.charge(
+                    self.daemon.costs.xs_txn_retry_backoff
+                    * (2 ** (attempt - 1)))
+            tid = self.transaction_start()
+            try:
+                result = build(self, tid)
+                self.transaction_end(tid, commit=True)
+            except TransactionConflict:
+                if attempt + 1 >= max_attempts:
+                    faults.aborted("xenstore.txn_commit")
+                    raise
+                continue
+            except XenstoreError:
+                # Non-conflict failure: abort the open transaction (the
+                # commit conflict path closes it itself) and propagate.
+                manager = self.daemon.transactions
+                if tid in manager._open:
+                    self.transaction_end(tid, commit=False)
+                raise
+            if attempt:
+                faults.recovered("xenstore.txn_commit")
+            return result
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # domain management

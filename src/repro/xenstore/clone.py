@@ -105,6 +105,10 @@ def xs_clone(daemon: XenstoreDaemon, parent_domid: int, child_domid: int,
         raise XenstoreError(f"xs_clone: ENOENT {parent_path!r}")
     if daemon.exists(child_path):
         raise XenstoreError(f"xs_clone: EEXIST {child_path!r}")
+    # Injection after validation, before any mutation: a failing
+    # xs_clone request leaves the store untouched.
+    daemon.faults.fire("xenstore.xs_clone", parent=parent_domid,
+                       child=child_domid, path=parent_path)
     source = daemon._lookup(parent_path)
     created = source.count
     key = parent_path.rstrip("/").rsplit("/", 1)[-1]
@@ -150,6 +154,8 @@ def xs_clone_txn(daemon: XenstoreDaemon, transaction, parent_domid: int,
         raise XenstoreError(f"xs_clone: ENOENT {parent_path!r}")
     if daemon.exists(child_path):
         raise XenstoreError(f"xs_clone: EEXIST {child_path!r}")
+    daemon.faults.fire("xenstore.xs_clone", parent=parent_domid,
+                       child=child_domid, path=parent_path)
     rewrite = op in _DEVICE_OPS
     manager = daemon.transactions
     created = 0

@@ -14,6 +14,7 @@ import itertools
 from typing import Callable
 
 from repro.errors import ReproError
+from repro.faults.injector import NULL_INJECTOR
 from repro.obs.tracer import NULL_TRACER
 from repro.sim import CostModel, VirtualClock
 from repro.xenstore.logging import AccessLog
@@ -80,10 +81,14 @@ class XenstoreDaemon:
     """oxenstored: the store, its watches and its access log."""
 
     def __init__(self, clock: VirtualClock, costs: CostModel,
-                 log_enabled: bool = True, tracer=None) -> None:
+                 log_enabled: bool = True, tracer=None,
+                 faults=None) -> None:
         self.clock = clock
         self.costs = costs
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Fault-injection hooks (repro.faults): xs_clone and the
+        #: transaction manager fire through this. No-op by default.
+        self.faults = faults if faults is not None else NULL_INJECTOR
         self.root = Node()
         self.node_count = 0
         self.access_log = AccessLog(clock, costs, enabled=log_enabled,

@@ -104,6 +104,17 @@ class TransactionManager:
         footprint path changed since the transaction started."""
         if transaction.closed:
             raise XenstoreError(f"transaction {transaction.tid} is closed")
+        try:
+            # An injected conflict follows the exact EAGAIN contract: it
+            # counts as a conflict and closes the transaction, so the
+            # client must restart it (which is what run_transaction's
+            # bounded retry does).
+            self.daemon.faults.fire("xenstore.txn_commit",
+                                    tid=transaction.tid)
+        except TransactionConflict:
+            self.stats["conflicts"] += 1
+            self._close(transaction)
+            raise
         start = transaction.start_generation
         prefix_generation = self._prefix_generation
         for path in transaction.footprint:

@@ -1,0 +1,135 @@
+"""FaultInjector mechanics: triggers, error types, counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.notify_ring import RingFullError
+from repro.faults import NULL_INJECTOR, FaultInjector, FaultPlan, FaultSpec
+from repro.faults.injector import InjectedFaultError
+from repro.sim import DeterministicRNG, VirtualClock
+from repro.xen.errors import XenNoMemoryError
+from repro.xenstore.transactions import TransactionConflict
+
+
+def make_injector(*specs: FaultSpec, seed: int = 1) -> FaultInjector:
+    return FaultInjector(FaultPlan(specs=list(specs)),
+                         clock=VirtualClock(),
+                         rng=DeterministicRNG(seed).fork("faults"))
+
+
+def test_null_injector_is_inert():
+    assert NULL_INJECTOR.enabled is False
+    NULL_INJECTOR.fire("frames.alloc", owner=1)
+    assert NULL_INJECTOR.dropped("virq.deliver") is False
+    NULL_INJECTOR.recovered("frames.alloc")
+    NULL_INJECTOR.aborted("frames.alloc")
+
+
+def test_unarmed_site_never_fires():
+    injector = make_injector(FaultSpec(site="frames.alloc"))
+    injector.fire("grants.clone", parent=1, child=2)  # different site
+    assert injector.stats["injected"] == 0
+
+
+def test_count_bounds_injections():
+    injector = make_injector(FaultSpec(site="frames.alloc", count=2))
+    for _ in range(2):
+        with pytest.raises(XenNoMemoryError):
+            injector.fire("frames.alloc", owner=1)
+    injector.fire("frames.alloc", owner=1)  # exhausted: no raise
+    assert injector.stats["injected"] == 2
+
+
+def test_after_skips_leading_hits():
+    injector = make_injector(FaultSpec(site="frames.alloc", after=3))
+    for _ in range(3):
+        injector.fire("frames.alloc", owner=1)
+    with pytest.raises(XenNoMemoryError):
+        injector.fire("frames.alloc", owner=1)
+
+
+def test_match_filters_on_context():
+    injector = make_injector(
+        FaultSpec(site="xenstore.xs_clone", match={"parent": 7}))
+    injector.fire("xenstore.xs_clone", parent=3, child=9)
+    with pytest.raises(InjectedFaultError):
+        injector.fire("xenstore.xs_clone", parent=7, child=9)
+
+
+def test_predicate_filters_on_context():
+    injector = make_injector(
+        FaultSpec(site="frames.alloc",
+                  predicate=lambda ctx: ctx.get("count", 0) > 10))
+    injector.fire("frames.alloc", owner=1, count=5)
+    with pytest.raises(XenNoMemoryError):
+        injector.fire("frames.alloc", owner=1, count=64)
+
+
+def test_after_ms_gates_on_clock():
+    injector = make_injector(FaultSpec(site="frames.alloc", after_ms=100.0))
+    injector.fire("frames.alloc", owner=1)
+    injector.clock.charge(200.0)
+    with pytest.raises(XenNoMemoryError):
+        injector.fire("frames.alloc", owner=1)
+
+
+def test_probability_draws_are_deterministic():
+    def run(seed: int) -> list[int]:
+        injector = make_injector(
+            FaultSpec(site="frames.alloc", count=None, probability=0.5),
+            seed=seed)
+        hits = []
+        for i in range(32):
+            try:
+                injector.fire("frames.alloc", owner=1)
+            except XenNoMemoryError:
+                hits.append(i)
+        return hits
+
+    assert run(3) == run(3)
+    assert 0 < len(run(3)) < 32
+
+
+def test_error_types_match_the_layer():
+    injector = make_injector(
+        FaultSpec(site="frames.alloc"),
+        FaultSpec(site="xenstore.txn_commit"),
+        FaultSpec(site="notify.ring"),
+        FaultSpec(site="device.attach"))
+    with pytest.raises(XenNoMemoryError):
+        injector.fire("frames.alloc", owner=1)
+    with pytest.raises(TransactionConflict):
+        injector.fire("xenstore.txn_commit", tid=1)
+    with pytest.raises(RingFullError):
+        injector.fire("notify.ring", parent=1, child=2)
+    with pytest.raises(InjectedFaultError):
+        injector.fire("device.attach", device="vif")
+
+
+def test_drop_mode_site():
+    injector = make_injector(FaultSpec(site="virq.deliver", kind="drop"))
+    assert injector.dropped("virq.deliver", virq=2) is True
+    assert injector.dropped("virq.deliver", virq=2) is False  # exhausted
+
+
+def test_active_master_switch():
+    injector = make_injector(FaultSpec(site="frames.alloc", count=None))
+    injector.active = False
+    injector.fire("frames.alloc", owner=1)
+    injector.active = True
+    with pytest.raises(XenNoMemoryError):
+        injector.fire("frames.alloc", owner=1)
+
+
+def test_counters_and_report():
+    injector = make_injector(FaultSpec(site="frames.alloc", count=2))
+    with pytest.raises(XenNoMemoryError):
+        injector.fire("frames.alloc", owner=1)
+    injector.recovered("frames.alloc")
+    injector.aborted("frames.alloc")
+    report = injector.report()
+    assert report["stats"] == {"injected": 1, "recovered": 1, "aborted": 1}
+    assert report["by_site"]["frames.alloc"] == {
+        "injected": 1, "recovered": 1, "aborted": 1}
+    assert "frames.alloc" in injector.format_report()

@@ -1,0 +1,85 @@
+"""FaultPlan / FaultSpec: validation, serialization, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import EMPTY_PLAN, FaultKind, FaultPlan, FaultPlanError, FaultSpec
+from repro.faults.sites import SITES, drop_sites, raise_sites, site_names
+
+
+def test_site_registry_well_formed():
+    assert len(SITES) >= 10
+    for name, site in SITES.items():
+        assert site.name == name
+        assert site.default_kind in site.allowed_kinds
+        assert site.description and site.analogue and site.recovery
+    assert set(site_names()) == set(raise_sites()) | set(drop_sites())
+
+
+def test_spec_rejects_unknown_site():
+    with pytest.raises(FaultPlanError):
+        FaultSpec(site="no.such.site")
+
+
+def test_spec_rejects_disallowed_kind():
+    with pytest.raises(FaultPlanError):
+        FaultSpec(site="frames.alloc", kind=FaultKind.EAGAIN)
+
+
+def test_spec_coerces_string_kind():
+    spec = FaultSpec(site="xenstore.txn_commit", kind="eagain")
+    assert spec.kind is FaultKind.EAGAIN
+
+
+def test_spec_resolved_kind_defaults_to_site_default():
+    spec = FaultSpec(site="frames.alloc")
+    assert spec.resolved_kind is FaultKind.ENOMEM
+
+
+def test_spec_validation_bounds():
+    with pytest.raises(FaultPlanError):
+        FaultSpec(site="frames.alloc", probability=1.5)
+    with pytest.raises(FaultPlanError):
+        FaultSpec(site="frames.alloc", after=-1)
+    with pytest.raises(FaultPlanError):
+        FaultSpec(site="frames.alloc", count=0)
+
+
+def test_plan_round_trips_through_json_dict():
+    plan = FaultPlan(specs=[
+        FaultSpec(site="frames.alloc", count=2, after=1),
+        FaultSpec(site="xenstore.xs_clone", probability=0.5,
+                  match={"parent": 3}),
+    ], name="round-trip")
+    clone = FaultPlan.from_dict(plan.to_dict())
+    assert clone.to_dict() == plan.to_dict()
+    assert clone.name == "round-trip"
+    assert clone.specs[0].resolved_kind is FaultKind.ENOMEM
+
+
+def test_plan_with_predicate_is_not_serializable():
+    plan = FaultPlan(specs=[
+        FaultSpec(site="frames.alloc", predicate=lambda ctx: True)])
+    with pytest.raises(FaultPlanError):
+        plan.to_dict()
+
+
+def test_empty_plan():
+    assert not EMPTY_PLAN.specs
+    assert EMPTY_PLAN.budget() == 0
+
+
+def test_randomized_plan_is_deterministic():
+    one = FaultPlan.randomized(0xC10E, faults=100)
+    two = FaultPlan.randomized(0xC10E, faults=100)
+    assert one.to_dict() == two.to_dict()
+    assert one.budget() == 100
+    assert FaultPlan.randomized(0xBEEF, faults=100).to_dict() != one.to_dict()
+
+
+def test_randomized_plan_respects_site_filter():
+    plan = FaultPlan.randomized(7, faults=30, sites=["frames.alloc"],
+                                include_drops=False)
+    assert {spec.site for spec in plan.specs} == {"frames.alloc"}
+    assert plan.budget() == 30

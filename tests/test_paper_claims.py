@@ -77,8 +77,8 @@ def test_claim_single_hypercall_interface(platform):
     from repro.core.cloneop import CloneSubOp
 
     subops = {op.value for op in CloneSubOp}
-    assert subops == {"clone", "clone_completion", "clone_cow",
-                      "clone_reset", "set_global_enable"}
+    assert subops == {"clone", "clone_completion", "clone_failed",
+                      "clone_cow", "clone_reset", "set_global_enable"}
     # And the hypervisor exposes exactly one cloning entry point.
     assert platform.hypervisor.cloneop is platform.cloneop
 
