@@ -16,6 +16,8 @@ additions:
     vcpu-pin <dom> <v> <cpus>  pin a vCPU to physical CPUs
     stats                      full platform snapshot (memory, families)
     faults [sites]             fault-injection counters / site registry
+    fleet storm [hosts kills]  multi-host host-kill storm (repro.fleet)
+    fleet policies             placement policy registry
     trace [summary]            per-stage virtual-time breakdown table
     trace spans [kind]         recorded spans (optionally one kind)
     trace export <file.json>   write the machine-readable run report
@@ -72,6 +74,7 @@ class XlShell:
             "vcpu-pin": self.cmd_vcpu_pin,
             "stats": self.cmd_stats,
             "faults": self.cmd_faults,
+            "fleet": self.cmd_fleet,
             "trace": self.cmd_trace,
             "help": self.cmd_help,
         }
@@ -293,6 +296,42 @@ class XlShell:
                         "(create the platform with a fault_plan)")
             return
         self._print(faults.format_report())
+
+    def cmd_fleet(self, args: list[str]) -> None:
+        """fleet storm [hosts kills] | fleet policies"""
+        sub = args[0] if args else "storm"
+        if sub == "policies":
+            from repro.fleet import POLICIES
+
+            for name in sorted(POLICIES):
+                self._print(name)
+            return
+        if sub != "storm" or len(args) > 3:
+            raise CliError("usage: fleet storm [hosts kills] | fleet policies")
+        from repro.fleet import run_fleet_chaos
+
+        try:
+            hosts = int(args[1]) if len(args) >= 2 else 4
+            kills = int(args[2]) if len(args) >= 3 else 2
+        except ValueError as error:
+            raise CliError(f"bad hosts/kills: {error}") from error
+        # The storm runs on its own fleet (own hosts, own clock); the
+        # shell's single-host platform is untouched.
+        report = run_fleet_chaos(hosts=hosts, kills=kills)
+        self._print(f"fleet chaos seed={report.seed:#x} "
+                    f"hosts={report.hosts} policy={report.policy}")
+        self._print(f"  clones: requested={report.clones_requested} "
+                    f"placed={report.clones_placed} "
+                    f"failed={report.clones_failed}")
+        self._print(f"  hosts killed: {report.hosts_killed}  "
+                    f"replacements: {report.replacements}")
+        self._print(f"  fingerprint: {report.fingerprint}")
+        if report.violations:
+            self._print(f"  VIOLATIONS ({len(report.violations)}):")
+            for violation in report.violations:
+                self._print(f"    - {violation}")
+        else:
+            self._print("  leak audit: clean (fleet-wide)")
 
     def cmd_trace(self, args: list[str]) -> None:
         """trace [summary | spans [kind] | export <file> | reset]"""

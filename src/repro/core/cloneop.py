@@ -517,6 +517,32 @@ class CloneOp:
         self.stats["resets"] += 1
         return dirty
 
+    # ------------------------------------------------------------------
+    # host fail-stop (the fleet tier)
+    # ------------------------------------------------------------------
+    def host_shutdown(self) -> dict[str, int]:
+        """Purge all in-flight clone state when the host fail-stops.
+
+        The fleet calls this while powering off a crashed or fenced
+        host: pending second-stage records, queued ring notifications,
+        failure reports and reset baselines all die with the host.
+        Nothing is charged to the clock (the host is dead); baseline
+        extent references are dropped so the frame table balances for
+        the dead-host accounting in ``audit_fleet``. Returns the purge
+        counts.
+        """
+        purged = {"pending": len(self._pending),
+                  "failed": len(self._failed),
+                  "ring": len(self.ring),
+                  "baselines": len(self._baselines)}
+        self._pending.clear()
+        self._failed.clear()
+        self.ring.discard(lambda entry: True)
+        for domid in list(self._baselines):
+            self.release_baseline(domid)
+        self.globally_enabled = False
+        return purged
+
     def release_baseline(self, domid: int) -> None:
         """Drop a baseline's extent references (on domain teardown)."""
         baseline = self._baselines.pop(domid, None)

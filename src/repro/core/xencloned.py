@@ -60,6 +60,19 @@ class Xencloned:
         cloneop.set_global_enable(True)
 
     # ------------------------------------------------------------------
+    # host fail-stop (the fleet tier)
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """The daemon dies with its host (fleet crash/fence path).
+
+        Cloning is disabled globally — a fenced host that races its
+        power-off can no longer start new clones — and the parent-info
+        cache is dropped.
+        """
+        self.cloneop.set_global_enable(False)
+        self._parent_cache.clear()
+
+    # ------------------------------------------------------------------
     # VIRQ_CLONED handling
     # ------------------------------------------------------------------
     def _on_virq(self, virq: int) -> None:

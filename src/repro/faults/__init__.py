@@ -14,7 +14,13 @@ semantics) is documented in ``docs/FAULTS.md``; a test keeps that
 document in sync with the registry.
 """
 
-from repro.faults.chaos import ChaosReport, audit_platform, run_chaos
+from repro.faults.chaos import (
+    ChaosReport,
+    audit_kvm_platform,
+    audit_platform,
+    run_chaos,
+    run_kvm_chaos,
+)
 from repro.faults.injector import (
     NULL_INJECTOR,
     FaultInjector,
@@ -22,9 +28,17 @@ from repro.faults.injector import (
     NullFaultInjector,
 )
 from repro.faults.plan import EMPTY_PLAN, FaultPlan, FaultPlanError, FaultSpec
-from repro.faults.sites import SITES, FaultKind, InjectionSite, site_names
+from repro.faults.sites import (
+    KVM_SITES,
+    SITES,
+    FaultKind,
+    InjectionSite,
+    host_sites,
+    site_names,
+)
 
 __all__ = [
+    "KVM_SITES",
     "SITES",
     "EMPTY_PLAN",
     "NULL_INJECTOR",
@@ -37,7 +51,10 @@ __all__ = [
     "InjectedFaultError",
     "InjectionSite",
     "NullFaultInjector",
+    "audit_kvm_platform",
     "audit_platform",
+    "host_sites",
     "run_chaos",
+    "run_kvm_chaos",
     "site_names",
 ]

@@ -155,6 +155,143 @@ def _domain_dirs(store: Any) -> list[int]:
     return [int(entry) for entry in entries if entry.isdigit()]
 
 
+def audit_kvm_platform(platform: Any) -> list[str]:
+    """Leak oracle for the KVM backend, mirroring :func:`audit_platform`.
+
+    Checks frame conservation, dead VMM processes still owning frames,
+    stale child links, and dead taps left on the host bridge or
+    enslaved in a family bond.
+    """
+    violations: list[str] = []
+    host = platform.host
+
+    try:
+        host.frames.check_invariants()
+    except AssertionError as error:
+        violations.append(f"frame table: {error}")
+
+    from repro.xen.domid import DOM0, DOMID_COW, XEN_OWNER
+
+    live = set(host.vms)
+    accounted = live | {DOM0, DOMID_COW, XEN_OWNER}
+    for owner, owned in sorted(host.frames._owned.items()):
+        if owner in accounted or not owned:
+            continue
+        violations.append(
+            f"dead VMM process {owner} still owns {owned} frames")
+
+    for vm in host.vms.values():
+        for child in vm.children:
+            if child not in live:
+                violations.append(
+                    f"VM {vm.pid} still lists dead child {child}")
+
+    live_ports = {host.host_port}
+    for vm in host.vms.values():
+        if vm.net is not None:
+            live_ports.add(vm.net.port)
+    for port in host.bridge.ports:
+        if port not in live_ports:
+            violations.append(f"bridge holds dead tap {port.name}")
+    for name, bond in host.bonds.items():
+        for port in bond.slaves:
+            if port not in live_ports:
+                violations.append(f"bond {name} holds dead slave {port.name}")
+    return violations
+
+
+def run_kvm_chaos(seed: int = 0xC10E, faults: int = 100,
+                  plan: FaultPlan | None = None, parents: int = 2,
+                  batch: int = 3, rounds: int | None = None) -> ChaosReport:
+    """The chaos workload against the KVM backend.
+
+    Same shape as :func:`run_chaos` — boot parents disarmed, then clone
+    batches, COW writes, family traffic and interleaved destroys under
+    injection, full teardown, leak audit, deterministic fingerprint.
+    Randomized plans draw from :data:`repro.faults.sites.KVM_SITES`,
+    the registry slice the KVM_CLONE_VM path fires. There is no
+    Xenstore on this backend, so ``txn_attempts`` stays zero.
+    """
+    if rounds is None:
+        rounds = max(3, (faults * 3) // 4)
+    from repro.apps.udp_server import UdpServerApp
+    from repro.faults.sites import KVM_SITES
+    from repro.kvm.platform import KvmPlatform
+    from repro.sim.units import MIB
+
+    if plan is None:
+        plan = FaultPlan.randomized(seed, faults=faults,
+                                    sites=list(KVM_SITES))
+    platform = KvmPlatform(seed=seed, fault_plan=plan)
+    report = ChaosReport(seed=seed, plan_name=plan.name)
+    rng = platform.rng.fork("chaos-workload")
+
+    if platform.faults.enabled:
+        platform.faults.active = False
+    roots: list[int] = []
+    for i in range(parents):
+        vm = platform.create_vm(f"chaos{i}", 16 * MIB,
+                                ip=f"10.0.9.{i + 1}", max_clones=256,
+                                app=UdpServerApp())
+        roots.append(vm.pid)
+    if platform.faults.enabled:
+        platform.faults.active = True
+
+    for round_index in range(rounds):
+        for root in roots:
+            report.clones_attempted += batch
+            try:
+                children = platform.clone(root, count=batch)
+            except ReproError:
+                report.clone_errors += 1
+                children = []
+            report.clones_succeeded += len(children)
+
+            for child_pid in children:
+                child = platform.host.vms.get(child_pid)
+                if child is None or not child.memory.segments:
+                    continue
+                try:
+                    child.memory.write_range(
+                        child.memory.segments[0].pfn_start,
+                        rng.randint(1, 4))
+                except ReproError:
+                    pass
+
+            parent = platform.host.vms.get(root)
+            if parent is not None and parent.children \
+                    and parent.net is not None:
+                try:
+                    platform.host.send_to_guest(
+                        parent.net.ip, 9000, payload=round_index,
+                        src_port=40000 + round_index)
+                except ReproError:
+                    pass
+
+            if children:
+                victim = children[rng.randint(0, len(children) - 1)]
+                try:
+                    platform.destroy(victim)
+                except ReproError:
+                    report.clone_errors += 1
+
+    for pid in sorted(platform.host.vms):
+        try:
+            platform.destroy(pid)
+        except ReproError:
+            report.clone_errors += 1
+
+    report.violations = audit_kvm_platform(platform)
+    report.fault_stats = platform.faults.report() \
+        if platform.faults.enabled else {}
+    report.clock_ms = round(platform.clock.now, 6)
+    payload = report.to_dict()
+    payload.pop("fingerprint")
+    report.fingerprint = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+    return report
+
+
 def run_chaos(seed: int = 0xC10E, faults: int = 100,
               plan: FaultPlan | None = None, parents: int = 2,
               batch: int = 3, rounds: int | None = None) -> ChaosReport:

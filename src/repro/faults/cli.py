@@ -18,7 +18,7 @@ import argparse
 import json
 import sys
 
-from repro.faults.chaos import run_chaos
+from repro.faults.chaos import run_chaos, run_kvm_chaos
 from repro.faults.plan import FaultPlan
 from repro.faults.sites import SITES
 
@@ -35,6 +35,9 @@ def build_parser() -> argparse.ArgumentParser:
                     "clone paths.")
     parser.add_argument("--seed", type=_parse_seed, default=0xC10E,
                         help="deterministic seed (default: 0xC10E)")
+    parser.add_argument("--backend", choices=("xen", "kvm"), default="xen",
+                        help="platform to storm: the Xen reproduction or "
+                             "the KVM port (default: xen)")
     parser.add_argument("--faults", type=int, default=100,
                         help="fault budget for the randomized plan "
                              "(default: 100)")
@@ -75,9 +78,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     plan = _load_plan(args.plan) if args.plan else None
+    runner = run_kvm_chaos if args.backend == "kvm" else run_chaos
     reports = []
     for _ in range(max(1, args.runs)):
-        reports.append(run_chaos(
+        reports.append(runner(
             seed=args.seed, faults=args.faults, plan=plan,
             parents=args.parents, batch=args.batch, rounds=args.rounds))
 

@@ -52,6 +52,10 @@ class NullFaultInjector:
         """Never drops (injection is disabled)."""
         return False
 
+    def event(self, site: str, **ctx: Any) -> bool:
+        """Never fires (injection is disabled)."""
+        return False
+
     def recovered(self, site: str) -> None:
         """Discard a recovery report."""
 
@@ -119,6 +123,25 @@ class FaultInjector:
     def dropped(self, site: str, **ctx: Any) -> bool:
         """Drop-mode hook: True when the event should be silently lost."""
         return self._match(site, ctx) is not None
+
+    def event(self, site: str, **ctx: Any) -> bool:
+        """Event-mode hook: True when the armed failure happens now.
+
+        Used by control planes that *react* to a failure rather than
+        receive an exception — the host-level sites of the fleet tier.
+        """
+        return self._match(site, ctx) is not None
+
+    def arm(self, spec: FaultSpec) -> None:
+        """Arm one additional spec at runtime.
+
+        The fleet layer uses this to make a host crash take down an
+        in-flight clone batch through the existing whole-batch
+        rollback: it arms a one-shot per-operation fault on the dying
+        host just before running the batch.
+        """
+        self.plan.specs.append(spec)
+        self._armed.setdefault(spec.site, []).append(_ArmedSpec(spec))
 
     def recovered(self, site: str) -> None:
         """A hardened path survived a failure at ``site`` (retry won)."""

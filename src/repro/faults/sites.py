@@ -28,6 +28,10 @@ class FaultKind(str, enum.Enum):
 
     ``DROP`` is not an exception: drop-mode sites (vIRQ delivery) ask
     the injector whether to silently lose the event instead.
+
+    The ``HOST_*`` kinds are the fleet tier (:mod:`repro.fleet`):
+    event-mode sites polled by the fleet control plane to decide
+    whether a whole simulated host fails right now.
     """
 
     ENOMEM = "enomem"
@@ -35,13 +39,25 @@ class FaultKind(str, enum.Enum):
     EIO = "eio"
     RING_FULL = "ring_full"
     DROP = "drop"
+    HOST_CRASH = "host_crash"
+    HOST_PARTITION = "host_partition"
+    HOST_DEGRADED = "host_degraded"
 
 
 class SiteMode(str, enum.Enum):
-    """How a site consumes the injector: raising or dropping."""
+    """How a site consumes the injector.
+
+    ``RAISE`` hooks throw the failing layer's real exception type,
+    ``DROP`` hooks silently lose an event, and ``EVENT`` hooks are
+    polled (:meth:`repro.faults.injector.FaultInjector.event`) by a
+    control plane that reacts to the failure itself — the host-level
+    tier, where "the failure" is an entire host and no single call
+    site can raise on its behalf.
+    """
 
     RAISE = "raise"
     DROP = "drop"
+    EVENT = "event"
 
 
 @dataclass(frozen=True)
@@ -189,6 +205,48 @@ SITES: dict[str, InjectionSite] = {
             "xencloned aborts that child's second stage (scrub + "
             "CLONE_FAILED); siblings and the parent are untouched.",
         ),
+        _site(
+            "host.crash", SiteMode.EVENT, FaultKind.HOST_CRASH,
+            (FaultKind.HOST_CRASH,),
+            "A whole simulated host fail-stops (hypervisor, xenstored, "
+            "xencloned and every guest die at once).",
+            "A host-level failure beneath anything Xen can recover "
+            "from: power loss, hardware fault, hypervisor panic. "
+            "Single-host Xen/xl has no answer; HA toolstacks (e.g. "
+            "XenServer/xapi pools) detect it by missed heartbeats.",
+            "The fleet declares the host dead after a deterministic "
+            "heartbeat timeout, unwinds any in-flight clone batch with "
+            "the existing whole-batch rollback, accounts the dead "
+            "host's resources, and re-places affected clone requests "
+            "on surviving hosts with bounded exponential backoff.",
+        ),
+        _site(
+            "host.partition", SiteMode.EVENT, FaultKind.HOST_PARTITION,
+            (FaultKind.HOST_PARTITION,),
+            "A host becomes unreachable from the fleet control plane "
+            "while its guests keep running.",
+            "A network partition isolating the host from the "
+            "pool master — the classic split-brain hazard that makes "
+            "HA toolstacks fence (power-cycle) unreachable hosts "
+            "before re-placing their workloads.",
+            "Requests routed to the host fail immediately; after the "
+            "heartbeat timeout the fleet fences the host (its guests "
+            "are destroyed, modelling STONITH) and re-places its "
+            "instances, so no family is ever live on two hosts.",
+        ),
+        _site(
+            "host.degraded", SiteMode.EVENT, FaultKind.HOST_DEGRADED,
+            (FaultKind.HOST_DEGRADED,),
+            "A host keeps serving but slowly (failing disk, thermal "
+            "throttling, noisy neighbour).",
+            "Grey failure: the host answers heartbeats, so timeout "
+            "detection never fires, yet every operation on it is "
+            "slower — the hardest tier for real fleets to handle.",
+            "The fleet drains the host: it is excluded from new "
+            "placement, existing instances keep running with a "
+            "latency penalty charged to the fleet clock, and "
+            "``Fleet.repair_host`` restores it.",
+        ),
     )
 }
 
@@ -208,3 +266,17 @@ def drop_sites() -> list[str]:
     """Names of the drop-mode sites."""
     return sorted(name for name, site in SITES.items()
                   if site.mode is SiteMode.DROP)
+
+
+def host_sites() -> list[str]:
+    """Names of the host-level event-mode sites (the fleet tier)."""
+    return sorted(name for name, site in SITES.items()
+                  if site.mode is SiteMode.EVENT)
+
+
+#: Sites threaded through the KVM backend so far (the parity slice):
+#: frame allocation fires from the shared FrameTable, EPT rebuild from
+#: KVM_CLONE_VM, the kvmcloned wake-up from the clone loop, and device
+#: re-plumbing from kvmcloned's second stage.
+KVM_SITES: tuple[str, ...] = ("frames.alloc", "paging.build",
+                              "notify.ring", "device.attach")

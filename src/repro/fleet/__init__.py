@@ -1,0 +1,51 @@
+"""repro.fleet: multi-host placement, failover and host-level chaos.
+
+The fleet tier sits above :class:`repro.platform.Platform`: N fully
+independent simulated hosts behind one control plane that places clone
+families, routes and forwards clone requests (round-robin or
+least-loaded), detects host failures via deterministic heartbeats, and
+re-places lost clones on survivors — the ROADMAP's "natural next tier
+above per-operation faults".
+"""
+
+from repro.fleet.chaos import (
+    FleetChaosReport,
+    audit_fleet,
+    kill_plan,
+    run_fleet_chaos,
+)
+from repro.fleet.fleet import (
+    CloneResult,
+    Fleet,
+    FleetConfig,
+    FleetError,
+    FleetHost,
+    HostState,
+)
+from repro.fleet.placement import (
+    POLICIES,
+    LeastLoadedPolicy,
+    PlacementError,
+    PlacementPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "Fleet",
+    "FleetConfig",
+    "FleetError",
+    "FleetHost",
+    "HostState",
+    "CloneResult",
+    "PlacementPolicy",
+    "PlacementError",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "POLICIES",
+    "make_policy",
+    "audit_fleet",
+    "kill_plan",
+    "run_fleet_chaos",
+    "FleetChaosReport",
+]

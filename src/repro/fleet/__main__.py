@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.fleet``."""
+
+import sys
+
+from repro.fleet.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

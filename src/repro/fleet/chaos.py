@@ -1,0 +1,260 @@
+"""Fleet chaos: host-kill storms + the fleet-wide leak oracle.
+
+``run_fleet_chaos`` drives a clone workload across N hosts while a
+deterministic kill plan takes hosts down — some mid-batch (exercising
+the whole-batch rollback on the dying host), some between batches
+(exercising heartbeat-timeout detection) — then quiesces the fleet and
+audits every host, dead or alive, for leaked frames, grants, event
+endpoints and Xenstore nodes. The report fingerprint covers every
+deterministic output, so two runs at the same (seed, plan, policy) must
+be byte-identical: the property the ``fleet-chaos-smoke`` CI job pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+from repro.faults.chaos import audit_platform
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.fleet.fleet import Fleet, FleetConfig, HostState
+from repro.sim import DeterministicRNG
+from repro.sim.units import MIB
+
+
+@dataclass
+class FleetChaosReport:
+    """The deterministic outcome of one fleet chaos run."""
+
+    seed: int
+    hosts: int
+    policy: str
+    plan_name: str
+    fingerprint: str = ""
+    clones_requested: int = 0
+    clones_placed: int = 0
+    clones_failed: int = 0
+    hosts_killed: int = 0
+    replacements: int = 0
+    violations: list[str] = field(default_factory=list)
+    fleet_stats: dict[str, Any] = field(default_factory=dict)
+    clock_ms: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (what the CLI prints with --json)."""
+        return {
+            "seed": self.seed,
+            "hosts": self.hosts,
+            "policy": self.policy,
+            "plan": self.plan_name,
+            "fingerprint": self.fingerprint,
+            "clones_requested": self.clones_requested,
+            "clones_placed": self.clones_placed,
+            "clones_failed": self.clones_failed,
+            "hosts_killed": self.hosts_killed,
+            "replacements": self.replacements,
+            "violations": list(self.violations),
+            "fleet_stats": self.fleet_stats,
+            "clock_ms": self.clock_ms,
+        }
+
+
+def audit_fleet(fleet: Fleet) -> list[str]:
+    """Fleet-wide leak oracle: every violation, as strings.
+
+    Runs the single-host oracle (:func:`audit_platform`) on every
+    member — *including dead hosts*, whose power-off accounting must
+    have released every frame, grant, endpoint and store node — then
+    checks the control plane's own bookkeeping: family records must
+    reference only live hosts and live domains, and the child-count
+    conservation laws must hold (no clone silently dropped, no lost
+    clone unaccounted).
+    """
+    violations: list[str] = []
+    for host in fleet.hosts:
+        for violation in audit_platform(host.platform):
+            violations.append(f"{host.name}: {violation}")
+        if host.state is HostState.DEAD:
+            guests = host.platform.guest_count()
+            if guests:
+                violations.append(
+                    f"{host.name}: dead host still runs {guests} guests")
+            if host.platform.cloneop._pending:
+                violations.append(
+                    f"{host.name}: dead host has pending second stages")
+
+    for family in fleet.families.values():
+        for host_name, domid in family.replicas.items():
+            host = fleet.host(host_name)
+            if host.state is HostState.DEAD:
+                violations.append(
+                    f"family {family.name}: replica on dead {host_name}")
+            elif domid not in host.platform.hypervisor.domains:
+                violations.append(
+                    f"family {family.name}: replica domid {domid} "
+                    f"not live on {host_name}")
+        for host_name, domids in family.clones.items():
+            host = fleet.host(host_name)
+            if host.state is HostState.DEAD:
+                violations.append(
+                    f"family {family.name}: clones on dead {host_name}")
+                continue
+            for domid in domids:
+                if domid not in host.platform.hypervisor.domains:
+                    violations.append(
+                        f"family {family.name}: clone domid {domid} "
+                        f"not live on {host_name}")
+
+    stats = fleet.stats
+    if (stats["children_requested"]
+            != stats["children_placed"] + stats["children_failed"]):
+        violations.append(
+            f"clone conservation broken: requested "
+            f"{stats['children_requested']} != placed "
+            f"{stats['children_placed']} + failed "
+            f"{stats['children_failed']}")
+    if (stats["children_lost"]
+            != stats["children_replaced"] + stats["replace_failed"]):
+        violations.append(
+            f"failover conservation broken: lost {stats['children_lost']} "
+            f"!= replaced {stats['children_replaced']} + replace-failed "
+            f"{stats['replace_failed']}")
+    return violations
+
+
+def kill_plan(seed: int, hosts: int, kills: int,
+              degrade: bool = True) -> FaultPlan:
+    """A deterministic host-kill schedule for ``kills`` of ``hosts``.
+
+    Kills alternate between mid-batch crashes (``op="clone"`` context:
+    the spec fires while a clone request is being routed, so whichever
+    host is serving it dies inside the batch, forcing the whole-batch
+    rollback) and heartbeat-time crashes/partitions (``op="heartbeat"``:
+    detection waits for the timeout). Specs match on operation, not on
+    a host name, so every kill is guaranteed to land on a host that is
+    actually alive and in use — and since each spec fires exactly once
+    and ``kills < hosts``, at least one host always survives to take
+    re-placements. The ``after`` floors leave earlier rounds intact so
+    there are placed clones to fail over. With ``degrade``, one
+    survivor additionally goes grey during the run.
+    """
+    if kills >= hosts:
+        raise ReproError(
+            f"refusing to kill all hosts ({kills} of {hosts})")
+    rng = DeterministicRNG(seed).fork("fleet-kill-plan")
+    specs: list[FaultSpec] = []
+    for kill in range(kills):
+        if kill % 2 == 0:
+            specs.append(FaultSpec(
+                site="host.crash", match={"op": "clone"},
+                after=rng.randint(2, 6), count=1))
+        else:
+            site = "host.partition" if rng.random() < 0.5 else "host.crash"
+            specs.append(FaultSpec(
+                site=site, match={"op": "heartbeat"},
+                after=rng.randint(4, 10), count=1))
+    if degrade:
+        specs.append(FaultSpec(
+            site="host.degraded", match={"op": "heartbeat"},
+            after=rng.randint(8, 16), count=1))
+    return FaultPlan(specs=specs, name=f"fleet-kill-{seed:#x}-{kills}")
+
+
+def run_fleet_chaos(seed: int = 0xC10E, hosts: int = 4, kills: int = 2,
+                    parents: int = 2, batch: int = 3,
+                    rounds: int = 8, policy: str = "round-robin",
+                    plan: FaultPlan | None = None,
+                    host_memory_mb: int = 192,
+                    ) -> FleetChaosReport:
+    """One fleet chaos run: storm, quiesce, audit, fingerprint.
+
+    Hosts are deliberately small (``host_memory_mb``) so capacity
+    pressure — and with it cross-host forwarding — shows up at
+    clone-batch scale, not only after thousands of instances.
+    """
+    from repro.apps.udp_server import UdpServerApp
+    from repro.toolstack.config import DomainConfig, VifConfig
+
+    if plan is None:
+        plan = kill_plan(seed, hosts, kills)
+    config = FleetConfig(hosts=hosts, seed=seed, policy=policy,
+                         host_memory_bytes=host_memory_mb * MIB,
+                         host_dom0_bytes=(host_memory_mb // 3) * MIB)
+    fleet = Fleet(config, plan=plan)
+    report = FleetChaosReport(seed=seed, hosts=hosts, policy=policy,
+                              plan_name=plan.name)
+    rng = fleet.rng.fork("fleet-chaos-workload")
+
+    # Boot the parent families with host-fault polling disarmed: the
+    # storm targets the clone/failover paths, not initial placement.
+    if fleet.faults.enabled:
+        fleet.faults.active = False
+    families: list[str] = []
+    for i in range(parents):
+        domain_config = DomainConfig(
+            name=f"fam{i}", memory_mb=4,
+            vifs=[VifConfig(ip=f"10.1.{i + 1}.1")], max_clones=1024)
+        fleet.create_family(domain_config, app_factory=UdpServerApp)
+        families.append(domain_config.name)
+    if fleet.faults.enabled:
+        fleet.faults.active = True
+
+    for round_index in range(rounds):
+        for name in families:
+            result = fleet.clone_family(name, count=batch)
+            report.clones_requested += result.requested
+            report.clones_placed += len(result.placed)
+            report.clones_failed += result.failed
+
+            # Touch clone memory on its host: COW writes must behave
+            # identically whether or not the fleet is mid-failover.
+            for host_name, domid in result.placed:
+                host = fleet.host(host_name)
+                child = host.platform.hypervisor.domains.get(domid)
+                if child is None or not child.memory.segments:
+                    continue
+                try:
+                    child.memory.write_range(
+                        child.memory.segments[0].pfn_start,
+                        rng.randint(1, 4))
+                except ReproError:
+                    pass
+
+            # Destroy one placed clone per round: interleaved teardown
+            # must not confuse the failover bookkeeping either.
+            if result.placed:
+                host_name, domid = result.placed[
+                    rng.randint(0, len(result.placed) - 1)]
+                host = fleet.host(host_name)
+                if (host.alive
+                        and domid in host.platform.hypervisor.domains):
+                    host.platform.xl.destroy(domid)
+                    clones = fleet.families[name].clones.get(host_name, [])
+                    if domid in clones:
+                        clones.remove(domid)
+        # One heartbeat round per workload round: timeout-based
+        # detection interleaves deterministically with placement.
+        fleet.tick()
+
+    # Quiesce: enough extra beats to push any still-undetected failure
+    # over the timeout, then heal grey hosts and tear everything down.
+    fleet.run_heartbeats(fleet.config.heartbeat_timeout_beats + 1)
+    for host in fleet.hosts:
+        if host.state is HostState.DEGRADED:
+            fleet.repair_host(host.name)
+    fleet.shutdown()
+
+    report.hosts_killed = (fleet.stats["hosts_crashed"]
+                           + fleet.stats["hosts_fenced"])
+    report.replacements = fleet.stats["children_replaced"]
+    report.violations = audit_fleet(fleet)
+    report.fleet_stats = fleet.report()["stats"]
+    report.clock_ms = round(fleet.clock.now, 6)
+    payload = report.to_dict()
+    payload.pop("fingerprint")
+    report.fingerprint = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+    return report

@@ -34,8 +34,14 @@ class KvmCloned:
     def second_stage(self, parent: KvmVm, child: KvmVm) -> None:
         """Userspace re-plumbing: name, tap + bond, vhost reconnect."""
         costs = self.host.costs
+        # The kvmcloned wake-up: same site as the Xen notification ring,
+        # so one chaos plan storms either backend's clone-notify path.
+        self.host.faults.fire("notify.ring", parent=parent.pid,
+                              child=child.pid)
         child.name = f"{parent.name}-c{child.pid}"
         if parent.net is not None and child.net is not None:
+            self.host.faults.fire("device.attach", device="tap",
+                                  parent=parent.pid, child=child.pid)
             # Fresh tap for the clone; family aggregation behind a bond.
             ip = parent.net.ip
             first_time = ip not in self.host._family_switch
@@ -57,10 +63,16 @@ class KvmCloneOp:
     def __init__(self, host: KvmHost, daemon: KvmCloned | None = None) -> None:
         self.host = host
         self.daemon = daemon if daemon is not None else KvmCloned(host)
-        self.stats = {"clones": 0}
+        self.stats = {"clones": 0, "rollbacks": 0}
 
     def clone(self, parent_pid: int, count: int = 1) -> list[int]:
-        """Clone a VM ``count`` times; returns the children's pids."""
+        """Clone a VM ``count`` times; returns the children's pids.
+
+        All-or-nothing, matching the Xen CLONEOP semantics: a failure
+        on child k (including an injected fault) destroys the k-1
+        children already built, restores the parent's clone budget and
+        run state, and re-raises — nothing leaks.
+        """
         if count < 1:
             raise KvmCloneError(f"non-positive clone count: {count}")
         parent = self.host.get_vm(parent_pid)
@@ -71,10 +83,19 @@ class KvmCloneOp:
         parent_state = parent.state
         parent.state = VmState.PAUSED
         children = []
-        for _ in range(count):
-            children.append(self._clone_one(parent))
-            parent.clones_created += 1
-            self.stats["clones"] += 1
+        try:
+            for _ in range(count):
+                children.append(self._clone_one(parent))
+                parent.clones_created += 1
+                self.stats["clones"] += 1
+        except ReproError:
+            for child in reversed(children):
+                child.destroy()
+                parent.clones_created -= 1
+                self.stats["clones"] -= 1
+            self.stats["rollbacks"] += 1
+            parent.state = parent_state
+            raise
         parent.state = parent_state
         for vcpu in parent.vcpus:
             vcpu.registers["rax"] = 0
@@ -114,55 +135,89 @@ class KvmCloneOp:
         from repro.xen.memory import GuestMemory
 
         child.memory = GuestMemory(child.pid, host.frames)
-        shared_pages = 0
-        newly_shared = 0
-        for segment in parent.memory.shareable_segments():
-            extent = segment.extent
-            if not extent.shared:
-                host.frames.share_to_cow(extent)
-                newly_shared += segment.npages
-            host.frames.add_sharer(extent)
-            child.memory.adopt_segment(segment.pfn_start, extent,
-                                       segment.extent_offset, segment.npages,
-                                       label=segment.label)
-            shared_pages += segment.npages
-        host.clock.charge(costs.fork_base
-                          + costs.fork_pte_copy * shared_pages
-                          + costs.fork_cow_mark * newly_shared)
+        child.paging = None
+        child.vmm_extent = None
+        try:
+            shared_pages = 0
+            newly_shared = 0
+            for segment in parent.memory.shareable_segments():
+                extent = segment.extent
+                if not extent.shared:
+                    host.frames.share_to_cow(extent)
+                    newly_shared += segment.npages
+                host.frames.add_sharer(extent)
+                child.memory.adopt_segment(segment.pfn_start, extent,
+                                           segment.extent_offset,
+                                           segment.npages,
+                                           label=segment.label)
+                shared_pages += segment.npages
+            host.clock.charge(costs.fork_base
+                              + costs.fork_pte_copy * shared_pages
+                              + costs.fork_cow_mark * newly_shared)
 
-        # vCPU fds are recreated and their state copied (rax fixup).
-        index = parent.clones_created
-        child.vcpus = [vcpu.clone_for_child(index) for vcpu in parent.vcpus]
-        host.clock.charge(costs.hyp_vcpu_init * len(child.vcpus))
+            # vCPU fds are recreated and their state copied (rax fixup).
+            index = parent.clones_created
+            child.vcpus = [vcpu.clone_for_child(index)
+                           for vcpu in parent.vcpus]
+            host.clock.charge(costs.hyp_vcpu_init * len(child.vcpus))
 
-        # EPT / shadow structures are rebuilt for the child VM fd.
-        from repro.sim.units import pages_of
+            # EPT / shadow structures are rebuilt for the child VM fd.
+            from repro.sim.units import pages_of
 
-        guest_pages = pages_of(parent.memory_bytes)
-        child.paging = build_paging(host.frames, child.pid, guest_pages,
-                                    label=child.name or "kvm-clone")
-        host.clock.charge(
-            (costs.pt_entry_clone + costs.p2m_entry_clone) * guest_pages)
+            guest_pages = pages_of(parent.memory_bytes)
+            host.faults.fire("paging.build", domid=child.pid,
+                             pages=guest_pages)
+            child.paging = build_paging(host.frames, child.pid, guest_pages,
+                                        label=child.name or "kvm-clone")
+            host.clock.charge(
+                (costs.pt_entry_clone + costs.p2m_entry_clone) * guest_pages)
 
-        # VMM process resident memory: fork shares it COW too, but the
-        # runtime dirties most of it immediately; account it private.
-        child.vmm_extent = host.frames.alloc(
-            child.pid, parent.vmm_extent.count, label=f"vmm:{child.pid}")
+            # VMM process resident memory: fork shares it COW too, but
+            # the runtime dirties most of it immediately; account it
+            # private.
+            child.vmm_extent = host.frames.alloc(
+                child.pid, parent.vmm_extent.count, label=f"vmm:{child.pid}")
 
-        # Devices.
-        if parent.net is not None:
-            parent.net.clone_for(child)
-            if child.net is not None:
-                child.net.rx_handler = child.dispatch_packet
-        if parent.p9 is not None:
-            parent.p9.clone_for(child)
+            # Devices.
+            if parent.net is not None:
+                parent.net.clone_for(child)
+                if child.net is not None:
+                    child.net.rx_handler = child.dispatch_packet
+            if parent.p9 is not None:
+                parent.p9.clone_for(child)
 
-        # App state.
-        if parent.app is not None and hasattr(parent.app, "clone_for_child"):
-            child.app = parent.app.clone_for_child()
+            # App state.
+            if parent.app is not None and hasattr(parent.app,
+                                                  "clone_for_child"):
+                child.app = parent.app.clone_for_child()
 
-        child.parent_pid = parent.pid
-        parent.children.append(child.pid)
-        host.register(child)
-        self.daemon.second_stage(parent, child)
+            child.parent_pid = parent.pid
+            parent.children.append(child.pid)
+            host.register(child)
+            self.daemon.second_stage(parent, child)
+        except ReproError:
+            self._unwind_partial(parent, child)
+            raise
         return child
+
+    def _unwind_partial(self, parent: KvmVm, child: KvmVm) -> None:
+        """Release everything a half-built child acquired.
+
+        Mirrors the Xen first-stage unwind: COW sharer references,
+        EPT frames, the VMM extent, the tap and the registration are
+        each released only if the failed step reached them.
+        """
+        host = self.host
+        if child.net is not None:
+            host.detach_port(child.net.port)
+        if child.vmm_extent is not None:
+            host.frames.free_extent(child.vmm_extent)
+        if child.paging is not None:
+            from repro.xen.paging import release_paging
+
+            release_paging(host.frames, child.paging)
+        child.memory.release()
+        if child.pid in parent.children:
+            parent.children.remove(child.pid)
+        host.unregister(child.pid)
+        child.state = VmState.DEAD

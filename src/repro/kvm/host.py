@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import itertools
 
+from repro.faults.injector import NULL_INJECTOR
 from repro.net.bond import BondInterface
 from repro.net.bridge import Bridge
 from repro.sim import CostModel, VirtualClock, pages_of
@@ -23,13 +24,19 @@ class KvmHost:
 
     def __init__(self, memory_bytes: int, cpus: int = 4,
                  clock: VirtualClock | None = None,
-                 costs: CostModel | None = None) -> None:
+                 costs: CostModel | None = None,
+                 faults=NULL_INJECTOR) -> None:
         if cpus < 1:
             raise XenInvalidError(f"need at least one CPU: {cpus}")
         self.clock = clock if clock is not None else VirtualClock()
         self.costs = costs if costs is not None else CostModel()
         self.cpus = cpus
+        #: Fault-injection hooks (repro.faults): the same registry sites
+        #: the Xen backend fires, threaded through KVM_CLONE_VM so one
+        #: chaos plan can storm either backend.
+        self.faults = faults
         self.frames = FrameTable(pages_of(memory_bytes))
+        self.frames.faults = faults
         self.vms: dict[int, "object"] = {}
         self._pids = itertools.count(2000)
         # Host networking: a default bridge plus per-family bonds,
@@ -103,6 +110,17 @@ class KvmHost:
             self.bonds[bond.name] = bond
             self._family_switch[ip] = bond
         return bond
+
+    def detach_port(self, port) -> None:
+        """Unplug a tap from the bridge and from any family bond.
+
+        Safe to call for ports that were never attached (both the
+        bridge and the bonding driver treat unknown ports as no-ops),
+        which keeps VM teardown idempotent under fault unwinding.
+        """
+        self.bridge.detach(port)
+        for bond in self.bonds.values():
+            bond.release(port)
 
     @property
     def free_bytes(self) -> int:

@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 from repro.devices.hostfs import HostFS
+from repro.faults.injector import NULL_INJECTOR, FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.kvm.clone import KvmCloned, KvmCloneOp
 from repro.kvm.host import KvmHost
 from repro.kvm.vm import KvmVm
 from repro.kvm.virtio import Virtio9p, VirtioNet
-from repro.sim import CostModel, VirtualClock
+from repro.sim import CostModel, DeterministicRNG, VirtualClock
 from repro.sim.units import GIB
 
 
@@ -15,11 +17,19 @@ class KvmPlatform:
     """A Linux/KVM host with Nephele's cloning extensions ported."""
 
     def __init__(self, memory_bytes: int = 16 * GIB, cpus: int = 4,
-                 costs: CostModel | None = None) -> None:
+                 costs: CostModel | None = None, seed: int = 0xC10E,
+                 fault_plan: FaultPlan | None = None) -> None:
         self.clock = VirtualClock()
         self.costs = costs if costs is not None else CostModel()
+        self.rng = DeterministicRNG(seed)
+        #: Same off-path contract as the Xen platform: NULL_INJECTOR
+        #: unless a non-empty plan was configured.
+        self.faults = (FaultInjector(fault_plan, clock=self.clock,
+                                     rng=self.rng.fork("faults"))
+                       if fault_plan is not None and fault_plan.specs
+                       else NULL_INJECTOR)
         self.host = KvmHost(memory_bytes, cpus=cpus, clock=self.clock,
-                            costs=self.costs)
+                            costs=self.costs, faults=self.faults)
         self.hostfs = HostFS()
         self.hostfs.mkdir("/srv")
         self.kvmcloned = KvmCloned(self.host)

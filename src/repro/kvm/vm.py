@@ -114,6 +114,10 @@ class KvmVm:
 
     def destroy(self) -> None:
         """Kill the VMM process; release memory, EPT and devices."""
+        if self.net is not None:
+            # The tap goes away with the VMM: unplug it from the bridge
+            # and from the family bond so neither keeps a dead slave.
+            self.host.detach_port(self.net.port)
         freed = self.memory.release()
         from repro.xen.paging import release_paging
 

@@ -67,11 +67,13 @@ def run_report(tracer: Any, **meta: Any) -> dict[str, Any]:
     ``meta`` entries (experiment name, instance count, seed, ...) are
     embedded under ``"meta"`` next to trace bookkeeping.
     """
+    host = getattr(tracer, "host", "")
     return {
         "meta": {
             "virtual_now_ms": tracer.clock.now,
             "spans_recorded": len(tracer.ring),
             "spans_evicted": tracer.ring.evicted,
+            **({"host": host} if host else {}),
             **meta,
         },
         "summary": tracer.summary(),

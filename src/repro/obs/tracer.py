@@ -123,8 +123,13 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, clock: Any, capacity: int = 16384) -> None:
+    def __init__(self, clock: Any, capacity: int = 16384,
+                 host: str = "") -> None:
         self.clock = clock
+        #: Host identity for fleet runs: stamped into exported reports
+        #: and summaries so spans from different member hosts stay
+        #: attributable after aggregation. Empty for standalone hosts.
+        self.host = host
         self.ring = SpanRing(capacity)
         self.registry = MetricsRegistry()
         self._stack: list[Span] = []

@@ -57,6 +57,11 @@ class PlatformConfig:
     #: plan keeps every hook a no-op (the golden series stay
     #: byte-identical).
     fault_plan: FaultPlan | None = None
+    #: Host identity when this platform is one member of a
+    #: :class:`repro.fleet.Fleet`; stamped on every exported span and
+    #: trace report for per-host attribution. Empty for a standalone
+    #: host.
+    host_name: str = ""
 
     @property
     def guest_pool_bytes(self) -> int:
@@ -71,7 +76,8 @@ class Platform:
         self.config = config if config is not None else PlatformConfig()
         self.costs = costs if costs is not None else CostModel()
         self.clock = VirtualClock()
-        self.tracer = (Tracer(self.clock, capacity=self.config.trace_capacity)
+        self.tracer = (Tracer(self.clock, capacity=self.config.trace_capacity,
+                              host=self.config.host_name)
                        if self.config.trace else NULL_TRACER)
         self.engine = Engine(self.clock)
         self.engine.tracer = self.tracer
@@ -108,6 +114,24 @@ class Platform:
         """Build a platform, overriding :class:`PlatformConfig` fields."""
         costs = overrides.pop("costs", None)
         return cls(PlatformConfig(**overrides), costs=costs)
+
+    def attach_faults(self, plan: FaultPlan) -> FaultInjector:
+        """Arm (or re-arm) fault injection after construction.
+
+        Threads a fresh injector through every component that holds
+        one (hypervisor, frame table, xenstored). The fleet layer uses
+        this to give every member host a live injector — even with an
+        empty plan — so host-kill chaos can arm per-operation faults
+        on a dying host at runtime (:meth:`FaultInjector.arm`).
+        """
+        injector = FaultInjector(plan, clock=self.clock,
+                                 rng=self.rng.fork("faults"),
+                                 tracer=self.tracer)
+        self.faults = injector
+        self.hypervisor.faults = injector
+        self.hypervisor.frames.faults = injector
+        self.xenstore.faults = injector
+        return injector
 
     # ------------------------------------------------------------------
     # convenience metrics

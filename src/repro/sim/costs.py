@@ -221,6 +221,28 @@ class CostModel:
     net_tx_packet: float = 12.0 * USEC
 
     # ------------------------------------------------------------------
+    # Fleet control plane (repro.fleet; no paper anchor — the paper is
+    # single-host. Magnitudes follow xapi/XenServer HA pool defaults
+    # scaled to the simulation's millisecond clock.)
+    # ------------------------------------------------------------------
+    #: One heartbeat probe of one host by the fleet control plane.
+    fleet_heartbeat_poll: float = 0.05 * MSEC
+    #: Forwarding one clone request to a non-source host (control-plane
+    #: RPC + domain-image metadata lookup on the target).
+    fleet_forward_rpc: float = 2.0 * MSEC
+    #: Base backoff before re-placing a clone request after a host
+    #: failure (doubles per retry). Failure paths only.
+    fleet_replace_backoff: float = 5.0 * MSEC
+    #: Fixed cost of declaring a host dead once its heartbeat timeout
+    #: expires (state fan-out to surviving hosts).
+    fleet_detect_fixed: float = 1.0 * MSEC
+    #: Fencing one guest domain on an unreachable (partitioned) host —
+    #: the STONITH-style power-cycle accounting.
+    fleet_fence_per_domain: float = 0.2 * MSEC
+    #: Latency penalty per operation routed to a degraded (grey) host.
+    fleet_degraded_penalty: float = 1.0 * MSEC
+
+    # ------------------------------------------------------------------
     # Memory sizes (bytes) used by the platform model
     # ------------------------------------------------------------------
     #: Xen's minimum domain memory (paper §6.2: "the mandatory limit of

@@ -1,0 +1,90 @@
+"""docs/CALIBRATION.md must match the cost table it documents.
+
+Same contract as tests/test_faults_docs.py for docs/FAULTS.md: the
+anchor tables name constants with their calibrated values, and this
+test diffs every claim against ``repro/sim/costs.py`` so the document
+cannot silently rot when a constant is renamed or recalibrated.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.devices.vif import RX_BUFFER_PAGES
+from repro.sim.costs import CostModel
+
+REPO = Path(__file__).resolve().parent.parent
+CALIBRATION_MD = REPO / "docs" / "CALIBRATION.md"
+
+#: Named sizes documented alongside CostModel fields.
+EXTRA_CONSTANTS = {"RX_BUFFER_PAGES": RX_BUFFER_PAGES}
+
+#: Unit suffix -> factor into the model's native unit (ms for times,
+#: raw counts/bytes otherwise). Longest-match first.
+UNITS = [
+    ("ns/page", 1e-6),
+    ("ns", 1e-6),
+    ("us", 1e-3),
+    ("ms", 1.0),
+    ("KiB", 1024),
+    ("pages", 1),
+]
+
+_CLAIM = re.compile(
+    r"`([A-Za-z0-9_]+)` = ([0-9][0-9.e+-]*)\s*(ns/page|ns|us|ms|KiB|pages)?")
+
+
+def _table_cells() -> list[str]:
+    """First cell of every constants-table row in the document."""
+    text = CALIBRATION_MD.read_text(encoding="utf-8")
+    cells = []
+    for line in text.splitlines():
+        if line.startswith("| `"):
+            cells.append(line.split("|")[1].strip())
+    return cells
+
+
+def _claims() -> list[tuple[str, float]]:
+    """Every ``name = value unit`` claim, converted to model units."""
+    claims = []
+    for cell in _table_cells():
+        for name, value, unit in _CLAIM.findall(cell):
+            factor = dict(UNITS).get(unit, 1) if unit else 1
+            claims.append((name, float(value) * factor))
+    return claims
+
+
+def test_tables_are_parsed():
+    assert len(_table_cells()) >= 15
+    assert len(_claims()) >= 15
+
+
+def test_every_documented_constant_exists():
+    model = CostModel()
+    for cell in _table_cells():
+        for name in re.findall(r"`([A-Za-z0-9_]+)`", cell):
+            assert hasattr(model, name) or name in EXTRA_CONSTANTS, (
+                f"docs/CALIBRATION.md documents unknown constant {name!r}")
+
+
+def test_every_documented_value_matches_the_cost_table():
+    model = CostModel()
+    for name, documented in _claims():
+        actual = EXTRA_CONSTANTS.get(name, getattr(model, name, None))
+        assert actual is not None, name
+        assert actual == pytest.approx(documented, rel=1e-6), (
+            f"docs/CALIBRATION.md claims {name} = {documented}, "
+            f"repro/sim/costs.py has {actual}")
+
+
+def test_every_fleet_constant_is_documented():
+    text = CALIBRATION_MD.read_text(encoding="utf-8")
+    fleet_fields = [name for name in vars(CostModel()) if
+                    name.startswith("fleet_")]
+    assert fleet_fields, "CostModel lost its fleet_* constants"
+    for name in fleet_fields:
+        assert f"`{name}`" in text, (
+            f"fleet constant {name} missing from docs/CALIBRATION.md")

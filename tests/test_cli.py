@@ -237,3 +237,39 @@ def test_trace_bad_subcommand(traced_shell):
 def test_trace_in_help(traced_shell):
     traced_shell.execute("help")
     assert "trace export" in output_of(traced_shell)
+
+
+# ----------------------------------------------------------------------
+# the fleet command
+# ----------------------------------------------------------------------
+def test_fleet_policies(shell):
+    shell.execute("fleet policies")
+    text = output_of(shell)
+    assert "round-robin" in text
+    assert "least-loaded" in text
+
+
+def test_fleet_storm_runs_clean(shell, cfg_file):
+    shell.execute(f"create {cfg_file}")
+    before = shell.platform.guest_count()
+    shell.execute("fleet storm 3 1")
+    text = output_of(shell)
+    assert "hosts=3" in text
+    assert "hosts killed: 1" in text
+    assert "leak audit: clean (fleet-wide)" in text
+    # The storm is self-contained: the shell's platform is untouched.
+    assert shell.platform.guest_count() == before
+
+
+def test_fleet_bad_args(shell):
+    with pytest.raises(CliError):
+        shell.execute("fleet bogus")
+    with pytest.raises(CliError):
+        shell.execute("fleet storm three")
+    with pytest.raises(CliError):
+        shell.execute("fleet storm 3 1 extra")
+
+
+def test_fleet_in_help(shell):
+    shell.execute("help")
+    assert "fleet storm" in output_of(shell)

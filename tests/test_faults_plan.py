@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.faults import EMPTY_PLAN, FaultKind, FaultPlan, FaultPlanError, FaultSpec
-from repro.faults.sites import SITES, drop_sites, raise_sites, site_names
+from repro.faults.sites import (
+    SITES,
+    drop_sites,
+    host_sites,
+    raise_sites,
+    site_names,
+)
 
 
 def test_site_registry_well_formed():
@@ -14,7 +20,8 @@ def test_site_registry_well_formed():
         assert site.name == name
         assert site.default_kind in site.allowed_kinds
         assert site.description and site.analogue and site.recovery
-    assert set(site_names()) == set(raise_sites()) | set(drop_sites())
+    assert set(site_names()) == (set(raise_sites()) | set(drop_sites())
+                                 | set(host_sites()))
 
 
 def test_spec_rejects_unknown_site():
