@@ -8,6 +8,15 @@ EXPERIMENTS.md for paper-vs-measured results.
 
 from repro.api import NepheleSession, SessionError
 from repro.errors import ReproError
+from repro.fleet.fleet import CloneResult, FamilyPlacement
+from repro.frontdoor.results import (
+    DispatchResult,
+    DispatchTimeout,
+    FrontDoorError,
+    HostInventory,
+    NoCapacity,
+)
+from repro.frontdoor.session import FleetSession
 from repro.guest.app import GuestApp
 from repro.platform import Platform, PlatformConfig
 from repro.sim import CostModel
@@ -17,6 +26,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "NepheleSession",
+    "FleetSession",
     "Platform",
     "PlatformConfig",
     "CostModel",
@@ -24,7 +34,14 @@ __all__ = [
     "VifConfig",
     "P9Config",
     "GuestApp",
+    "CloneResult",
+    "FamilyPlacement",
+    "DispatchResult",
+    "HostInventory",
     "ReproError",
     "SessionError",
+    "FrontDoorError",
+    "DispatchTimeout",
+    "NoCapacity",
     "__version__",
 ]

@@ -50,6 +50,23 @@ class NepheleSession:
         self.platform = Platform.create(**overrides)
         self._closed = False
 
+    @staticmethod
+    def fleet(**config_kwargs: Any) -> Any:
+        """A :class:`~repro.frontdoor.session.FleetSession`: the
+        multi-host session (fleet + control plane + request-cloning
+        front door). Keyword arguments mirror
+        :class:`~repro.fleet.fleet.FleetConfig`, plus ``plan`` for a
+        host-level fault plan::
+
+            with NepheleSession.fleet(hosts=4) as session:
+                session.create_family("web", ip="10.1.1.1")
+                session.dispatch("web", "faas", requests=10_000,
+                                 arrival_rps=500.0, clone_factor=2)
+        """
+        from repro.frontdoor.session import FleetSession
+
+        return FleetSession(**config_kwargs)
+
     # ------------------------------------------------------------------
     # context manager
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ additions:
     faults [sites]             fault-injection counters / site registry
     fleet storm [hosts kills]  multi-host host-kill storm (repro.fleet)
     fleet policies             placement policy registry
+    frontdoor [reqs [d]]       request-cloning dispatch smoke (repro.frontdoor)
     trace [summary]            per-stage virtual-time breakdown table
     trace spans [kind]         recorded spans (optionally one kind)
     trace export <file.json>   write the machine-readable run report
@@ -75,6 +76,7 @@ class XlShell:
             "stats": self.cmd_stats,
             "faults": self.cmd_faults,
             "fleet": self.cmd_fleet,
+            "frontdoor": self.cmd_frontdoor,
             "trace": self.cmd_trace,
             "help": self.cmd_help,
         }
@@ -332,6 +334,34 @@ class XlShell:
                 self._print(f"    - {violation}")
         else:
             self._print("  leak audit: clean (fleet-wide)")
+
+    def cmd_frontdoor(self, args: list[str]) -> None:
+        """frontdoor [requests [clone-factor]]: dispatch smoke run."""
+        if len(args) > 2:
+            raise CliError("usage: frontdoor [requests [clone-factor]]")
+        try:
+            requests = int(args[0]) if args else 2000
+            clone_factor = int(args[1]) if len(args) >= 2 else 2
+        except ValueError as error:
+            raise CliError(f"bad requests/clone-factor: {error}") from error
+        from repro.frontdoor import FleetSession
+
+        # Like `fleet storm`, the smoke run owns its own fleet; the
+        # shell's single-host platform is untouched.
+        with FleetSession(hosts=2) as session:
+            session.create_family("front", ip="10.9.0.1")
+            session.clone("front", count=2 * clone_factor)
+            result = session.dispatch(
+                "front", "faas", requests=requests, arrival_rps=300.0,
+                clone_factor=clone_factor)
+        self._print(f"frontdoor d={result.clone_factor} "
+                    f"requests={result.requests} "
+                    f"completed={result.completed}")
+        self._print(f"  latency ms: p50={result.latency_p50_ms:.3f} "
+                    f"p99={result.latency_p99_ms:.3f} "
+                    f"max={result.latency_max_ms:.3f}")
+        self._print(f"  waste fraction: {result.waste_fraction:.4f}")
+        self._print(f"  fingerprint: {result.fingerprint}")
 
     def cmd_trace(self, args: list[str]) -> None:
         """trace [summary | spans [kind] | export <file> | reset]"""

@@ -15,6 +15,7 @@ from repro.experiments import (  # noqa: F401
     fig9_fuzzing,
     fig10_faas_memory,
     fig11_faas_reaction,
+    frontdoor_p99,
     kvm_compare,
     motivation_idle_pool,
 )

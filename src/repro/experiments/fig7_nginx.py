@@ -10,9 +10,9 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
+from repro.api import NepheleSession
 from repro.apps.nginx import NginxCloneCluster, NginxProcessCluster
 from repro.experiments.report import format_table
-from repro.platform import Platform
 from repro.sim.units import GIB
 
 
@@ -49,31 +49,36 @@ def _summarize(workers: int, runs: list[float]) -> Fig7Point:
 def run(worker_counts=(1, 2, 3, 4), repetitions: int = 30,
         duration_s: float = 5.0,
         connections_per_worker: int = 400) -> Fig7Result:
-    """Run the wrk sweeps for both deployment styles."""
-    platform = Platform.create(total_memory_bytes=32 * GIB,
-                               dom0_memory_bytes=4 * GIB)
-    rng = platform.rng.fork("fig7")
-    result = Fig7Result()
-    for workers in worker_counts:
-        cluster = NginxCloneCluster(platform, workers,
-                                    ip=f"10.0.2.{workers}")
-        clone_runs = [
-            cluster.run_wrk(rng, duration_s, connections_per_worker)
-            .throughput_rps
-            for _ in range(repetitions)
-        ]
-        cluster.destroy()
-        result.clones.append(_summarize(workers, clone_runs))
+    """Run the wrk sweeps for both deployment styles.
 
-        processes = NginxProcessCluster(platform.clock, platform.costs,
-                                        workers)
-        process_runs = [
-            processes.run_wrk(rng, duration_s, connections_per_worker)
-            .throughput_rps
-            for _ in range(repetitions)
-        ]
-        result.processes.append(_summarize(workers, process_runs))
-    platform.check_invariants()
+    Drives the host through the :class:`NepheleSession` facade (the
+    untraced session wraps the identical platform, so the figure series
+    are unchanged); the context manager runs the end-of-run invariant
+    checks the old direct-``Platform`` version called by hand.
+    """
+    result = Fig7Result()
+    with NepheleSession(trace=False, total_memory_bytes=32 * GIB,
+                        dom0_memory_bytes=4 * GIB) as session:
+        rng = session.rng.fork("fig7")
+        for workers in worker_counts:
+            cluster = NginxCloneCluster(session.platform, workers,
+                                        ip=f"10.0.2.{workers}")
+            clone_runs = [
+                cluster.run_wrk(rng, duration_s, connections_per_worker)
+                .throughput_rps
+                for _ in range(repetitions)
+            ]
+            cluster.destroy()
+            result.clones.append(_summarize(workers, clone_runs))
+
+            processes = NginxProcessCluster(session.clock, session.costs,
+                                            workers)
+            process_runs = [
+                processes.run_wrk(rng, duration_s, connections_per_worker)
+                .throughput_rps
+                for _ in range(repetitions)
+            ]
+            result.processes.append(_summarize(workers, process_runs))
     return result
 
 

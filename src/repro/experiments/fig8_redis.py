@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api import NepheleSession
 from repro.apps.redis import (
     RedisApp,
     RedisProcessBaseline,
@@ -50,43 +51,49 @@ class Fig8Result:
 
 
 def run(key_counts=DEFAULT_KEY_COUNTS) -> Fig8Result:
-    """Sweep the key counts on both Redis deployments."""
-    platform = Platform.create(total_memory_bytes=16 * GIB,
-                               dom0_memory_bytes=4 * GIB)
+    """Sweep the key counts on both Redis deployments.
 
-    # Unikraft Redis (cloning). Memory sized for the largest key count.
-    unikraft_config = redis_unikernel_config("redis-uk", memory_mb=256)
-    unikraft = platform.xl.create(unikraft_config, app=RedisApp())
-    uk_app: RedisApp = unikraft.guest.app
-    bgsave_unikernel(platform, unikraft)  # first (slow) save
-
-    # Redis process in an Alpine VM (baseline).
-    vm_config = DomainConfig(
-        name="redis-vm", memory_mb=512, kernel="alpine-linux",
-        p9fs=[P9Config(tag="data", export_root="/srv/redis-vm",
-                       mount_point="/mnt")])
-    vm = platform.xl.create(vm_config)
-    baseline = RedisProcessBaseline(platform, vm)
-    baseline.bgsave()  # first (slow) fork
-
+    Runs through the :class:`NepheleSession` facade (untraced, so the
+    platform and its figure series are identical to the old direct
+    construction); the session exit replaces the manual
+    ``check_invariants`` call.
+    """
     result = Fig8Result()
-    for keys in key_counts:
-        if keys > uk_app.keys:
-            uk_app.mass_insert(unikraft.guest.api, keys - uk_app.keys)
-        if keys > baseline.keys:
-            baseline.mass_insert(keys - baseline.keys)
-        uk = bgsave_unikernel(platform, unikraft)
-        vm_timings = baseline.bgsave()
-        userspace = _clone_userspace_ms(platform)
-        result.rows.append(Fig8Row(
-            keys=keys,
-            vm_fork_ms=vm_timings.fork_ms,
-            vm_save_ms=vm_timings.save_ms,
-            clone_ms=uk.fork_ms,
-            unikraft_save_ms=uk.save_ms,
-            userspace_ms=userspace,
-        ))
-    platform.check_invariants()
+    with NepheleSession(trace=False, total_memory_bytes=16 * GIB,
+                        dom0_memory_bytes=4 * GIB) as session:
+        platform = session.platform
+
+        # Unikraft Redis (cloning). Memory sized for the largest keys.
+        unikraft_config = redis_unikernel_config("redis-uk", memory_mb=256)
+        unikraft = session.boot(unikraft_config, app=RedisApp())
+        uk_app: RedisApp = unikraft.guest.app
+        bgsave_unikernel(platform, unikraft)  # first (slow) save
+
+        # Redis process in an Alpine VM (baseline).
+        vm_config = DomainConfig(
+            name="redis-vm", memory_mb=512, kernel="alpine-linux",
+            p9fs=[P9Config(tag="data", export_root="/srv/redis-vm",
+                           mount_point="/mnt")])
+        vm = session.boot(vm_config)
+        baseline = RedisProcessBaseline(platform, vm)
+        baseline.bgsave()  # first (slow) fork
+
+        for keys in key_counts:
+            if keys > uk_app.keys:
+                uk_app.mass_insert(unikraft.guest.api, keys - uk_app.keys)
+            if keys > baseline.keys:
+                baseline.mass_insert(keys - baseline.keys)
+            uk = bgsave_unikernel(platform, unikraft)
+            vm_timings = baseline.bgsave()
+            userspace = _clone_userspace_ms(platform)
+            result.rows.append(Fig8Row(
+                keys=keys,
+                vm_fork_ms=vm_timings.fork_ms,
+                vm_save_ms=vm_timings.save_ms,
+                clone_ms=uk.fork_ms,
+                unikraft_save_ms=uk.save_ms,
+                userspace_ms=userspace,
+            ))
     return result
 
 

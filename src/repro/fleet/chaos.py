@@ -62,7 +62,7 @@ class FleetChaosReport:
         }
 
 
-def audit_fleet(fleet: Fleet) -> list[str]:
+def audit_fleet(fleet: Fleet, frontdoor: Any = None) -> list[str]:
     """Fleet-wide leak oracle: every violation, as strings.
 
     Runs the single-host oracle (:func:`audit_platform`) on every
@@ -72,6 +72,13 @@ def audit_fleet(fleet: Fleet) -> list[str]:
     reference only live hosts and live domains, and the child-count
     conservation laws must hold (no clone silently dropped, no lost
     clone unaccounted).
+
+    Pass the fleet's :class:`~repro.frontdoor.dispatch.FrontDoor` as
+    ``frontdoor`` to additionally check the request-dispatch
+    conservation laws: every request and every clone copy ends in
+    exactly one terminal state, and the service work the replica
+    servers delivered equals the work charged to copies — request
+    cloning with cancellation must never double-count service work.
     """
     violations: list[str] = []
     for host in fleet.hosts:
@@ -122,6 +129,50 @@ def audit_fleet(fleet: Fleet) -> list[str]:
             f"failover conservation broken: lost {stats['children_lost']} "
             f"!= replaced {stats['children_replaced']} + replace-failed "
             f"{stats['replace_failed']}")
+    if frontdoor is not None:
+        violations.extend(audit_frontdoor(frontdoor))
+    return violations
+
+
+def audit_frontdoor(frontdoor: Any) -> list[str]:
+    """The front-door work-conservation laws, as violation strings.
+
+    Three invariants, all exact counts except the float work ledger:
+
+    - every request resolved exactly once:
+      ``requests == completed + failed + timed_out + in-flight``;
+    - every copy ended exactly once:
+      ``copies == won + cancelled + lost + timed_out + in-flight``;
+    - no double-counted service: the work the replica servers delivered
+      (live pools plus retired servers) equals the work charged to
+      copies (ended plus in-flight partial service), and the useful
+      work never exceeds the served work.
+    """
+    violations: list[str] = []
+    stats = frontdoor.stats
+    inflight = frontdoor.inflight_copies()
+    resolved = (stats["completed"] + stats["failed"] + stats["timed_out"])
+    if stats["requests"] < resolved:
+        violations.append(
+            f"frontdoor request conservation broken: {stats['requests']} "
+            f"requests < {resolved} resolved")
+    ended = (stats["copies_won"] + stats["copies_cancelled"]
+             + stats["copies_lost"] + stats["copies_timed_out"])
+    if stats["copies"] != ended + inflight:
+        violations.append(
+            f"frontdoor copy conservation broken: {stats['copies']} copies "
+            f"!= {ended} ended + {inflight} in flight")
+    delivered = frontdoor.live_work_ms() + frontdoor.retired_work_ms
+    charged = stats["work_served_ms"] + frontdoor.inflight_consumed_ms()
+    tolerance = 1e-6 * max(1.0, delivered)
+    if abs(delivered - charged) > tolerance:
+        violations.append(
+            f"frontdoor work conservation broken: servers delivered "
+            f"{delivered:.6f} work-ms, copies charged {charged:.6f}")
+    if stats["work_useful_ms"] > stats["work_served_ms"] + tolerance:
+        violations.append(
+            f"frontdoor useful work {stats['work_useful_ms']:.6f} exceeds "
+            f"served work {stats['work_served_ms']:.6f}")
     return violations
 
 
@@ -135,15 +186,17 @@ def kill_plan(seed: int, hosts: int, kills: int,
     rollback) and heartbeat-time crashes/partitions (``op="heartbeat"``:
     detection waits for the timeout). Specs match on operation, not on
     a host name, so every kill is guaranteed to land on a host that is
-    actually alive and in use — and since each spec fires exactly once
-    and ``kills < hosts``, at least one host always survives to take
-    re-placements. The ``after`` floors leave earlier rounds intact so
-    there are placed clones to fail over. With ``degrade``, one
-    survivor additionally goes grey during the run.
+    actually alive and in use. With ``kills < hosts`` at least one host
+    survives to take re-placements; ``kills == hosts`` is the
+    total-loss storm — every placement after the last kill simply
+    fails, conservation still holds, and the report still fingerprints.
+    The ``after`` floors leave earlier rounds intact so there are
+    placed clones to fail over. With ``degrade``, one survivor
+    additionally goes grey during the run.
     """
-    if kills >= hosts:
+    if kills > hosts:
         raise ReproError(
-            f"refusing to kill all hosts ({kills} of {hosts})")
+            f"cannot kill {kills} of only {hosts} hosts")
     rng = DeterministicRNG(seed).fork("fleet-kill-plan")
     specs: list[FaultSpec] = []
     for kill in range(kills):

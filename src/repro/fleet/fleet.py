@@ -94,22 +94,58 @@ class FleetConfig:
     use_xs_clone: bool = True
 
 
-@dataclass
+@dataclass(frozen=True)
 class CloneResult:
     """Outcome of one fleet clone request, at child granularity.
 
     ``requested == len(placed) + failed`` always holds — a child is
     either placed on a (then-)healthy host or reported failed; the
-    fleet never silently drops one.
+    fleet never silently drops one. Frozen: results are facts, not
+    scratch space.
     """
 
     family: str
     requested: int
     #: (host name, child domid) per successfully placed child.
-    placed: list[tuple[str, int]] = field(default_factory=list)
+    placed: tuple[tuple[str, int], ...] = ()
     failed: int = 0
     #: Re-placement attempts consumed (0 = first host took the batch).
     retries: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "family": self.family,
+            "requested": self.requested,
+            "placed": [[host, domid] for host, domid in self.placed],
+            "failed": self.failed,
+            "retries": self.retries,
+        }
+
+
+@dataclass(frozen=True)
+class FamilyPlacement:
+    """Where a freshly created family's first replica landed.
+
+    ``create_family`` historically returned a bare ``(host, domid)``
+    tuple; iteration and indexing keep that unpacking working as a
+    deprecation shim — new code should use the named fields.
+    """
+
+    family: str
+    host: str
+    domid: int
+
+    def __iter__(self):
+        return iter((self.host, self.domid))
+
+    def __getitem__(self, index: int):
+        return (self.host, self.domid)[index]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {"family": self.family, "host": self.host,
+                "domid": self.domid}
 
 
 @dataclass
@@ -251,8 +287,12 @@ class Fleet:
     # ------------------------------------------------------------------
     def create_family(self, config: DomainConfig,
                       app_factory: Callable[[], Any] | None = None,
-                      ) -> tuple[str, int]:
-        """Place a new cloneable parent; returns (host name, domid)."""
+                      ) -> FamilyPlacement:
+        """Place a new cloneable parent; returns its placement.
+
+        The :class:`FamilyPlacement` still unpacks as the old
+        ``(host name, domid)`` tuple.
+        """
         if config.name in self._families:
             raise FleetError(f"family {config.name!r} already exists")
         candidates = self._candidates(self._parent_frames_estimate(config))
@@ -265,7 +305,8 @@ class Fleet:
         domid = self._boot_replica(host, family)
         self._families[config.name] = family
         self.tracer.count("fleet.families")
-        return host.name, domid
+        return FamilyPlacement(family=config.name, host=host.name,
+                               domid=domid)
 
     def _boot_replica(self, host: FleetHost, family: _Family) -> int:
         """Boot a parent replica of ``family`` on ``host``."""
@@ -304,8 +345,9 @@ class Fleet:
         self.stats["children_placed"] += len(placed)
         self.stats["children_failed"] += failed
         self.tracer.count("fleet.clone_requests")
-        return CloneResult(family=name, requested=count, placed=placed,
-                           failed=failed, retries=retries)
+        return CloneResult(family=name, requested=count,
+                           placed=tuple(placed), failed=failed,
+                           retries=retries)
 
     def _require_family(self, name: str) -> _Family:
         try:

@@ -1,0 +1,120 @@
+"""``python -m repro.frontdoor``: the front-door smoke runner.
+
+Mirrors ``python -m repro.fleet``: run the CI-sized request-dispatch
+sweep (small fleet, a few thousand requests, a set of clone factors)
+one or more times at a fixed seed, print the per-factor latency table,
+and exit non-zero on any conservation-law violation, on fingerprint
+drift between runs, or on requests that went unaccounted. CI pins
+exactly this contract in the ``frontdoor-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.apps.traffic import SHAPES, as_shape
+from repro.fleet.chaos import audit_fleet
+from repro.frontdoor.session import FleetSession
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.frontdoor",
+        description="Run a deterministic request-cloning dispatch smoke.")
+    parser.add_argument("--seed", type=lambda v: int(v, 0), default=0xC10E,
+                        help="fleet seed (default 0xC10E)")
+    parser.add_argument("--hosts", type=int, default=2,
+                        help="member hosts (default 2)")
+    parser.add_argument("--replicas", type=int, default=6,
+                        help="clone replicas in the pool (default 6)")
+    parser.add_argument("--requests", type=int, default=5000,
+                        help="requests per clone factor (default 5000)")
+    parser.add_argument("--clone-factors", type=str, default="1,2",
+                        help="comma-separated clone factors (default 1,2)")
+    parser.add_argument("--workload", choices=sorted(SHAPES),
+                        default="faas", help="request shape")
+    parser.add_argument("--utilization", type=float, default=0.15,
+                        help="useful-work operating point (default 0.15)")
+    parser.add_argument("--runs", type=int, default=1,
+                        help="repeat and require byte-identical "
+                             "fingerprints (default 1)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the results as JSON")
+    return parser
+
+
+def _one_run(args: argparse.Namespace) -> tuple[list[dict], list[str]]:
+    """One sweep; returns (per-factor result dicts, violations)."""
+    shape = as_shape(args.workload)
+    factors = [int(d) for d in args.clone_factors.split(",") if d]
+    arrival_rps = args.utilization * args.replicas * shape.capacity_rps
+    results: list[dict] = []
+    violations: list[str] = []
+    for d in factors:
+        with FleetSession(hosts=args.hosts, seed=args.seed) as session:
+            session.create_family("smoke", ip="10.42.0.1")
+            session.clone("smoke", count=args.replicas - 1)
+            dispatch = session.dispatch(
+                "smoke", shape.name, requests=args.requests,
+                arrival_rps=arrival_rps, clone_factor=d,
+                label=f"smoke-d{d}")
+            violations.extend(
+                f"d={d}: {v}" for v in audit_fleet(session.fleet,
+                                                   session.frontdoor))
+            if dispatch.requests != (dispatch.completed + dispatch.failed
+                                     + dispatch.timed_out):
+                violations.append(
+                    f"d={d}: {dispatch.requests} requests but "
+                    f"{dispatch.completed}+{dispatch.failed}"
+                    f"+{dispatch.timed_out} resolved")
+            session.close(check=False)
+        results.append(dispatch.to_dict())
+    return results, violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the smoke sweep; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    fingerprints: list[str] = []
+    results: list[dict] = []
+    violations: list[str] = []
+    for _ in range(max(1, args.runs)):
+        results, violations = _one_run(args)
+        fingerprints.append("+".join(r["fingerprint"] for r in results))
+
+    if args.json:
+        print(json.dumps({"results": results, "violations": violations},
+                         indent=2, sort_keys=True))
+    else:
+        print(f"frontdoor smoke seed={args.seed:#x} hosts={args.hosts} "
+              f"replicas={args.replicas} workload={args.workload}")
+        for result in results:
+            print(f"  d={result['clone_factor']}: "
+                  f"{result['completed']}/{result['requests']} completed, "
+                  f"p50={result['latency_p50_ms']:.3f} ms "
+                  f"p99={result['latency_p99_ms']:.3f} ms "
+                  f"waste={result['waste_fraction']:.3f}")
+            print(f"    fingerprint: {result['fingerprint']}")
+        if violations:
+            print(f"  VIOLATIONS ({len(violations)}):")
+            for violation in violations:
+                print(f"    - {violation}")
+        else:
+            print("  conservation audit: clean (zero leaks)")
+
+    exit_code = 0
+    if violations:
+        print(f"FAIL: {len(violations)} conservation violations",
+              file=sys.stderr)
+        exit_code = 1
+    if len(set(fingerprints)) > 1:
+        print(f"FAIL: fingerprint drift across {len(fingerprints)} runs",
+              file=sys.stderr)
+        exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

@@ -1,0 +1,635 @@
+"""The request-dispatch load balancer: request cloning + cancellation.
+
+The front door sends simulated user traffic at the clone replicas a
+:class:`~repro.fleet.Fleet` placed across its member hosts. Every
+replica is modelled as a **processor-sharing server** on the fleet's
+virtual clock: it delivers one work-millisecond per virtual
+millisecond, shared equally among the requests it currently serves —
+the service model of "Modeling of Request Cloning in Cloud Server
+Systems using Processor Sharing" (PAPERS.md).
+
+Request cloning (that paper's subject): each incoming request is
+dispatched to ``clone_factor`` distinct replicas; all copies carry the
+*same* service demand (synchronized service). The first copy to finish
+completes the request and the remaining copies are **cancelled on the
+virtual clock**, their partially delivered service counted as waste.
+Cloning therefore buys tail latency (the winner is the copy on the
+least-contended replica) at the price of extra load — past a capacity
+knee the waste saturates the fleet and the tail blows up, which is
+exactly the trade-off the headline experiment
+(:mod:`repro.experiments.frontdoor_p99`) measures against the model's
+analytic curves.
+
+Determinism: arrivals, demands and routing each draw from their own
+forked RNG stream keyed by (family, shape, label), all events run on
+one :class:`~repro.sim.engine.Engine` bound to the fleet clock, and the
+:class:`~repro.frontdoor.results.DispatchResult` fingerprint covers the
+full per-request latency series — same seed, same bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.apps.traffic import RequestShape, as_shape
+from repro.frontdoor.results import (
+    DispatchResult,
+    DispatchTimeout,
+    FrontDoorError,
+    NoCapacity,
+)
+from repro.obs.registry import LATENCY_BUCKET_BOUNDS, MetricsRegistry
+from repro.sim.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.fleet import Fleet
+
+#: Remaining-work epsilon below which a copy counts as finished
+#: (absorbs float drift from repeated processor-sharing advances).
+EPS = 1e-9
+
+#: Network round trip through the load balancer (route + response
+#: forwarding), added to every completed request's latency. A module
+#: constant rather than a CostModel field, like the per-workload
+#: calibrations in :mod:`repro.apps` — it never touches the shared
+#: fleet clock, so control-plane charges cannot skew arrival times.
+DISPATCH_RTT_MS = 0.08
+
+#: Service-rate multiplier of a replica on a DEGRADED (grey) host.
+DEGRADED_RATE = 0.5
+
+#: Per-replica concurrency cap (listen backlog): a copy routed to a
+#: full replica is rejected at admission. Bounds the cost of one
+#: processor-sharing advance, and keeps past-the-knee runs finite.
+MAX_JOBS_PER_SERVER = 256
+
+#: Copy lifecycle states.
+_ACTIVE, _WON, _CANCELLED, _LOST, _TIMED_OUT = range(5)
+
+
+class _Copy:
+    """One clone copy of a request, in service at one replica."""
+
+    __slots__ = ("request", "server", "remaining_ms", "consumed_ms", "state")
+
+    def __init__(self, request: "_Request", server: "ReplicaServer") -> None:
+        self.request = request
+        self.server = server
+        self.remaining_ms = request.demand_ms
+        self.consumed_ms = 0.0
+        self.state = _ACTIVE
+
+
+class _Request:
+    """One user request: demand plus its live copies."""
+
+    __slots__ = ("rid", "t_arrive_ms", "demand_ms", "copies", "resolved",
+                 "timeout_event")
+
+    def __init__(self, rid: int, t_arrive_ms: float, demand_ms: float) -> None:
+        self.rid = rid
+        self.t_arrive_ms = t_arrive_ms
+        self.demand_ms = demand_ms
+        self.copies: list[_Copy] = []
+        self.resolved = False
+        self.timeout_event = None
+
+    def active_copies(self) -> list[_Copy]:
+        return [c for c in self.copies if c.state == _ACTIVE]
+
+
+class ReplicaServer:
+    """One clone replica as a processor-sharing server.
+
+    The server delivers ``rate`` work-ms per virtual ms, split equally
+    over its current jobs; ``work_done_ms`` accounts every delivered
+    work-ms exactly once (the conservation law ``audit_fleet`` checks).
+    """
+
+    __slots__ = ("host", "domid", "rate", "jobs", "last_ms",
+                 "work_done_ms", "departure_event", "alive")
+
+    def __init__(self, host: str, domid: int, now_ms: float) -> None:
+        self.host = host
+        self.domid = domid
+        self.rate = 1.0
+        self.jobs: list[_Copy] = []
+        self.last_ms = now_ms
+        self.work_done_ms = 0.0
+        self.departure_event = None
+        self.alive = True
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.host, self.domid)
+
+    def advance(self, now_ms: float) -> None:
+        """Deliver the processor-sharing service earned since last call."""
+        dt = now_ms - self.last_ms
+        self.last_ms = now_ms
+        if dt <= 0.0 or not self.jobs:
+            return
+        share = dt * self.rate / len(self.jobs)
+        for copy in self.jobs:
+            copy.remaining_ms -= share
+            copy.consumed_ms += share
+        self.work_done_ms += dt * self.rate
+
+    def next_departure_ms(self) -> float:
+        """Absolute time the soonest job finishes, given no changes."""
+        soonest = min(copy.remaining_ms for copy in self.jobs)
+        return self.last_ms + max(soonest, 0.0) * len(self.jobs) / self.rate
+
+    def remove(self, copy: _Copy) -> None:
+        """Take a copy out of service (won, cancelled or timed out)."""
+        self.jobs.remove(copy)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ReplicaServer({self.host}/{self.domid}, "
+                f"{len(self.jobs)} jobs, rate {self.rate})")
+
+
+class _Run:
+    """Mutable state of one ``run_workload`` invocation."""
+
+    __slots__ = ("requests", "latencies", "resolved", "counts")
+
+    def __init__(self, requests: int) -> None:
+        self.requests = requests
+        #: Per-rid latency (None = failed / timed out / in flight).
+        self.latencies: list[float | None] = [None] * requests
+        self.resolved = 0
+        self.counts = {
+            "completed": 0, "failed": 0, "timed_out": 0,
+            "copies": 0, "copies_won": 0, "copies_cancelled": 0,
+            "copies_lost": 0, "copies_timed_out": 0,
+        }
+
+
+class FrontDoor:
+    """The fleet's request-dispatch tier.
+
+    One front door per fleet; server pools are per clone family (every
+    parent replica and every placed clone serves requests). The front
+    door owns its own event engine bound to the fleet clock and its own
+    metrics registry, so per-request latency histograms exist even on
+    untraced fleets.
+    """
+
+    def __init__(self, fleet: "Fleet",
+                 max_jobs_per_server: int = MAX_JOBS_PER_SERVER) -> None:
+        self.fleet = fleet
+        self.engine = Engine(fleet.clock)
+        self.rng = fleet.rng.fork("frontdoor")
+        self.registry = MetricsRegistry()
+        self.max_jobs_per_server = max_jobs_per_server
+        #: family name -> ordered replica pool.
+        self._pools: dict[str, dict[tuple[str, int], ReplicaServer]] = {}
+        #: Work delivered by replicas that have since died or been
+        #: retired from a pool — keeps the conservation ledger whole.
+        self.retired_work_ms = 0.0
+        #: The in-progress ``run_workload`` bookkeeping (None between runs).
+        self._run: _Run | None = None
+        self._hist = None
+        self.stats: dict[str, Any] = {
+            "requests": 0,
+            "completed": 0,
+            "failed": 0,
+            "timed_out": 0,
+            "copies": 0,
+            "copies_won": 0,
+            "copies_cancelled": 0,
+            "copies_lost": 0,
+            "copies_timed_out": 0,
+            "rejected_no_capacity": 0,
+            "servers_retired": 0,
+            "autoscale_events": 0,
+            "work_served_ms": 0.0,
+            "work_useful_ms": 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # replica pools
+    # ------------------------------------------------------------------
+    def refresh(self, family: str) -> list[ReplicaServer]:
+        """Sync the family's server pool with the fleet's live state.
+
+        New replicas/clones join the pool; instances whose host died
+        (or which were destroyed) retire — their in-flight copies are
+        reported lost, and a request whose last copy is lost fails.
+        Hosts marked DEGRADED serve at :data:`DEGRADED_RATE`.
+        """
+        fam = self.fleet.families.get(family)
+        if fam is None:
+            raise FrontDoorError(f"unknown family {family!r}")
+        pool = self._pools.setdefault(family, {})
+        now = self.fleet.clock.now
+        live: set[tuple[str, int]] = set()
+        entries = ([(h, d) for h, d in sorted(fam.replicas.items())]
+                   + [(h, d) for h in sorted(fam.clones)
+                      for d in fam.clones[h]])
+        for host_name, domid in entries:
+            host = self.fleet.host(host_name)
+            if not host.alive or domid not in host.platform.hypervisor.domains:
+                continue
+            live.add((host_name, domid))
+            server = pool.get((host_name, domid))
+            if server is None:
+                server = pool[(host_name, domid)] = ReplicaServer(
+                    host_name, domid, now)
+            server.rate = (DEGRADED_RATE if host.state.value == "degraded"
+                           else 1.0)
+        for key in [k for k in pool if k not in live]:
+            self._retire(pool.pop(key), now)
+        return list(pool.values())
+
+    def _retire(self, server: ReplicaServer, now_ms: float) -> None:
+        """A replica left the pool (host death or destroy): orphan its
+        copies; a request with no surviving copy fails."""
+        server.advance(now_ms)
+        server.alive = False
+        self.retired_work_ms += server.work_done_ms
+        if server.departure_event is not None:
+            server.departure_event.cancel()
+            server.departure_event = None
+        self.stats["servers_retired"] += 1
+        for copy in list(server.jobs):
+            server.jobs.remove(copy)
+            copy.state = _LOST
+            self._end_copy(copy)
+            request = copy.request
+            if not request.resolved and not request.active_copies():
+                self._fail(request)
+
+    # ------------------------------------------------------------------
+    # workload runs
+    # ------------------------------------------------------------------
+    def run_workload(self, family: str, shape: "RequestShape | str", *,
+                     requests: int, arrival_rps: float,
+                     clone_factor: int = 1,
+                     timeout_ms: float | None = None,
+                     autoscale: "AutoscalePolicy | None" = None,
+                     heartbeat_every_ms: float | None = None,
+                     label: str = "") -> DispatchResult:
+        """Dispatch an open-loop Poisson request stream at the family.
+
+        Each request is cloned to ``clone_factor`` distinct replicas
+        (first response wins, the rest are cancelled). ``autoscale``
+        grows the family during the run; ``heartbeat_every_ms``
+        interleaves fleet heartbeat rounds (and pool refreshes) with
+        the traffic, which is how host-kill chaos composes with
+        dispatch. Returns a :class:`DispatchResult`.
+        """
+        shape = as_shape(shape)
+        if requests < 1:
+            raise FrontDoorError(f"non-positive request count: {requests}")
+        if clone_factor < 1:
+            raise FrontDoorError(f"non-positive clone factor: {clone_factor}")
+        if arrival_rps <= 0:
+            raise FrontDoorError(f"non-positive arrival rate: {arrival_rps}")
+        pool = self.refresh(family)
+        if len(pool) < clone_factor:
+            raise NoCapacity(
+                f"family {family!r} has {len(pool)} ready replicas, "
+                f"need clone_factor={clone_factor}")
+
+        base = self.rng.fork(f"dispatch:{family}:{shape.name}:{label}")
+        arrival_rng = base.fork("arrivals")
+        demand_rng = base.fork("demand")
+        route_rng = base.fork("route")
+        run = _Run(requests)
+        self._run = run
+        self._hist = self.registry.histogram(
+            f"frontdoor.latency.{family}.{shape.name}.d{clone_factor}",
+            bounds=LATENCY_BUCKET_BOUNDS)
+        served_before = self.stats["work_served_ms"]
+        useful_before = self.stats["work_useful_ms"]
+        t_start = self.fleet.clock.now
+        mean_gap_ms = 1000.0 / arrival_rps
+        state = {"next_rid": 0, "t_next": t_start}
+
+        def arrive() -> None:
+            rid = state["next_rid"]
+            state["next_rid"] = rid + 1
+            demand = demand_rng.expovariate(1.0 / shape.mean_service_ms)
+            self._admit(run, rid, demand, family, clone_factor,
+                        route_rng, timeout_ms)
+            if rid + 1 < requests:
+                state["t_next"] += arrival_rng.expovariate(1.0 / mean_gap_ms)
+                self.engine.schedule_at(
+                    max(state["t_next"], self.fleet.clock.now), arrive)
+
+        state["t_next"] = t_start + arrival_rng.expovariate(1.0 / mean_gap_ms)
+        self.engine.schedule_at(state["t_next"], arrive)
+
+        periodic = []
+        if heartbeat_every_ms is not None:
+            def beat() -> None:
+                self.fleet.tick()
+                self.refresh(family)
+            periodic.append(self.engine.every(heartbeat_every_ms, beat))
+        if autoscale is not None:
+            window = {"seen": 0}
+
+            def check_scale() -> None:
+                arrived = state["next_rid"] - window["seen"]
+                window["seen"] = state["next_rid"]
+                self._autoscale_check(family, autoscale, arrived)
+            periodic.append(self.engine.every(
+                autoscale.check_interval_ms, check_scale))
+
+        # Drive the engine until every request resolved. Periodic events
+        # keep the queue non-empty forever, so the loop is bounded by a
+        # drain guard rather than queue exhaustion.
+        guard = 60 * requests + 100_000
+        steps = 0
+        while run.resolved < requests:
+            if not self.engine.step():
+                raise FrontDoorError(
+                    "dispatch engine drained with "
+                    f"{requests - run.resolved} unresolved requests")
+            steps += 1
+            if steps > guard:
+                raise FrontDoorError("dispatch failed to drain "
+                                     f"(engine ran {steps} events)")
+        for handle in periodic:
+            handle.cancel()
+        self._run = None
+        self._hist = None
+        duration = self.fleet.clock.now - t_start
+        return self._finalize(
+            run, family, shape, clone_factor, arrival_rps, duration,
+            work_served=self.stats["work_served_ms"] - served_before,
+            work_useful=self.stats["work_useful_ms"] - useful_before)
+
+    def dispatch_one(self, family: str, shape: "RequestShape | str", *,
+                     clone_factor: int = 1,
+                     timeout_ms: float | None = None) -> float:
+        """Dispatch one request synchronously; returns its latency (ms).
+
+        Raises :class:`NoCapacity` when the family lacks replicas and
+        :class:`DispatchTimeout` when the request missed its deadline.
+        """
+        result = self.run_workload(
+            family, shape, requests=1, arrival_rps=1000.0,
+            clone_factor=clone_factor, timeout_ms=timeout_ms,
+            label=f"one:{self.stats['requests']}")
+        if result.timed_out:
+            raise DispatchTimeout(
+                f"request to {family!r} exceeded {timeout_ms} ms")
+        if not result.completed:
+            raise NoCapacity(f"request to {family!r} found no capacity")
+        return result.latency_mean_ms
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _admit(self, run: _Run, rid: int, demand_ms: float, family: str,
+               clone_factor: int, route_rng, timeout_ms: float | None) -> None:
+        now = self.fleet.clock.now
+        pool = list(self._pools.get(family, {}).values())
+        self.stats["requests"] += 1
+        request = _Request(rid, now, demand_ms)
+        placed: list[ReplicaServer] = []
+        if pool:
+            tried: set[int] = set()
+            want = min(clone_factor, len(pool))
+            while len(placed) < want and len(tried) < len(pool):
+                index = route_rng.randint(0, len(pool) - 1)
+                if index in tried:
+                    continue
+                tried.add(index)
+                server = pool[index]
+                if len(server.jobs) >= self.max_jobs_per_server:
+                    continue
+                placed.append(server)
+        if not placed:
+            self.stats["rejected_no_capacity"] += 1
+            self._fail(request, run)
+            return
+        for server in placed:
+            copy = _Copy(request, server)
+            request.copies.append(copy)
+            server.advance(now)
+            server.jobs.append(copy)
+            self._reschedule(server)
+            run.counts["copies"] += 1
+            self.stats["copies"] += 1
+        if timeout_ms is not None:
+            request.timeout_event = self.engine.schedule_at(
+                now + timeout_ms, lambda: self._expire(request, run))
+
+    def _reschedule(self, server: ReplicaServer) -> None:
+        if server.departure_event is not None:
+            server.departure_event.cancel()
+            server.departure_event = None
+        if server.jobs:
+            server.departure_event = self.engine.schedule_at(
+                max(server.next_departure_ms(), self.fleet.clock.now),
+                lambda: self._depart(server))
+
+    def _depart(self, server: ReplicaServer) -> None:
+        """A replica's soonest job should now be done: complete winners."""
+        server.departure_event = None
+        now = self.fleet.clock.now
+        server.advance(now)
+        finished = [c for c in server.jobs if c.remaining_ms <= EPS]
+        for copy in finished:
+            if copy.state != _ACTIVE:
+                continue
+            self._complete(copy.request, copy, now)
+        self._reschedule(server)
+
+    def _complete(self, request: _Request, winner: _Copy,
+                  now_ms: float) -> None:
+        run = self._run
+        winner.state = _WON
+        winner.server.remove(winner)
+        self._end_copy(winner)
+        self.stats["copies_won"] += 1
+        self.stats["work_useful_ms"] += request.demand_ms
+        if run is not None:
+            run.counts["copies_won"] += 1
+        for copy in request.copies:
+            if copy.state != _ACTIVE:
+                continue
+            copy.server.advance(now_ms)
+            copy.server.remove(copy)
+            copy.state = _CANCELLED
+            self._end_copy(copy)
+            self._reschedule(copy.server)
+            self.stats["copies_cancelled"] += 1
+            if run is not None:
+                run.counts["copies_cancelled"] += 1
+        if request.timeout_event is not None:
+            request.timeout_event.cancel()
+            request.timeout_event = None
+        request.resolved = True
+        latency = now_ms - request.t_arrive_ms + DISPATCH_RTT_MS
+        self.stats["completed"] += 1
+        if run is not None:
+            run.counts["completed"] += 1
+            run.resolved += 1
+            if 0 <= request.rid < run.requests:
+                run.latencies[request.rid] = latency
+        if self._hist is not None:
+            self._hist.observe(latency)
+        tracer = self.fleet.tracer
+        tracer.count("frontdoor.requests_completed")
+
+    def _expire(self, request: _Request, run: _Run) -> None:
+        if request.resolved:
+            return
+        now = self.fleet.clock.now
+        for copy in request.copies:
+            if copy.state != _ACTIVE:
+                continue
+            copy.server.advance(now)
+            copy.server.remove(copy)
+            copy.state = _TIMED_OUT
+            self._end_copy(copy)
+            self._reschedule(copy.server)
+            self.stats["copies_timed_out"] += 1
+            run.counts["copies_timed_out"] += 1
+        request.resolved = True
+        request.timeout_event = None
+        self.stats["timed_out"] += 1
+        run.counts["timed_out"] += 1
+        run.resolved += 1
+
+    def _fail(self, request: _Request, run: "_Run | None" = None) -> None:
+        if request.resolved:
+            return
+        request.resolved = True
+        if request.timeout_event is not None:
+            request.timeout_event.cancel()
+            request.timeout_event = None
+        run = run if run is not None else self._run
+        self.stats["failed"] += 1
+        if run is not None:
+            run.counts["failed"] += 1
+            run.resolved += 1
+
+    def _end_copy(self, copy: _Copy) -> None:
+        """Final work accounting for a copy leaving service."""
+        self.stats["work_served_ms"] += copy.consumed_ms
+        if copy.state == _LOST:
+            self.stats["copies_lost"] += 1
+            if self._run is not None:
+                self._run.counts["copies_lost"] += 1
+
+    def _autoscale_check(self, family: str, policy: "AutoscalePolicy",
+                         arrived: int) -> None:
+        pool = self.refresh(family)
+        if not pool:
+            return
+        interval_s = policy.check_interval_ms / 1000.0
+        rps_per_replica = arrived / interval_s / len(pool)
+        total = len(pool)
+        if (rps_per_replica > policy.threshold_rps
+                and total < policy.max_replicas):
+            step = min(policy.scale_step, policy.max_replicas - total)
+            result = self.fleet.clone_family(family, count=step)
+            if result.placed:
+                self.stats["autoscale_events"] += 1
+                self.fleet.tracer.count("frontdoor.autoscale_events")
+            self.refresh(family)
+
+    # ------------------------------------------------------------------
+    # result assembly
+    # ------------------------------------------------------------------
+    def _finalize(self, run: _Run, family: str, shape: RequestShape,
+                  clone_factor: int, arrival_rps: float, duration_ms: float,
+                  *, work_served: float, work_useful: float) -> DispatchResult:
+        counts = run.counts
+        done = sorted(lat for lat in run.latencies if lat is not None)
+
+        def quantile(q: float) -> float:
+            if not done:
+                return 0.0
+            index = min(len(done) - 1, max(0, int(q * len(done) + 0.5) - 1))
+            return done[index]
+
+        # max() absorbs float drift when every copy won (useful can land
+        # an ulp above served at d=1).
+        waste = (max(0.0, 1.0 - work_useful / work_served)
+                 if work_served > 0 else 0.0)
+        payload = {
+            "latencies": [None if lat is None else round(lat, 9)
+                          for lat in run.latencies],
+            "counts": dict(sorted(counts.items())),
+        }
+        fingerprint = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()).hexdigest()
+        return DispatchResult(
+            family=family, workload=shape.name, clone_factor=clone_factor,
+            requests=run.requests, completed=counts["completed"],
+            failed=counts["failed"], timed_out=counts["timed_out"],
+            copies=counts["copies"], copies_won=counts["copies_won"],
+            copies_cancelled=counts["copies_cancelled"],
+            copies_lost=counts["copies_lost"],
+            copies_timed_out=counts["copies_timed_out"],
+            arrival_rps=arrival_rps, duration_ms=round(duration_ms, 6),
+            throughput_rps=(counts["completed"] / (duration_ms / 1000.0)
+                            if duration_ms > 0 else 0.0),
+            latency_mean_ms=(sum(done) / len(done) if done else 0.0),
+            latency_p50_ms=quantile(0.50), latency_p95_ms=quantile(0.95),
+            latency_p99_ms=quantile(0.99),
+            latency_max_ms=(done[-1] if done else 0.0),
+            work_served_ms=work_served, work_useful_ms=work_useful,
+            waste_fraction=waste, fingerprint=fingerprint)
+
+    # ------------------------------------------------------------------
+    # introspection (the audit hooks)
+    # ------------------------------------------------------------------
+    def live_work_ms(self) -> float:
+        """Work delivered by replicas still in a pool."""
+        return sum(server.work_done_ms
+                   for pool in self._pools.values()
+                   for server in pool.values())
+
+    def inflight_copies(self) -> int:
+        """Copies currently in service across every pool."""
+        return sum(len(server.jobs)
+                   for pool in self._pools.values()
+                   for server in pool.values())
+
+    def inflight_consumed_ms(self) -> float:
+        """Partial work already delivered to in-flight copies."""
+        return sum(copy.consumed_ms
+                   for pool in self._pools.values()
+                   for server in pool.values()
+                   for copy in server.jobs)
+
+    def report(self) -> dict[str, Any]:
+        """Machine-readable front-door state (JSON-serializable)."""
+        return {
+            "stats": {k: (round(v, 6) if isinstance(v, float) else v)
+                      for k, v in sorted(self.stats.items())},
+            "pools": {family: sorted(f"{h}/{d}" for (h, d) in pool)
+                      for family, pool in sorted(self._pools.items())},
+            "histograms": {name: hist.count
+                           for name, hist in
+                           sorted(self.registry.histograms.items())},
+        }
+
+
+class AutoscalePolicy:
+    """RPS-threshold autoscaling for a dispatched family (paper §7.3
+    shape: check periodically, add ``scale_step`` replicas while the
+    per-replica request rate exceeds the threshold)."""
+
+    __slots__ = ("threshold_rps", "check_interval_ms", "max_replicas",
+                 "scale_step")
+
+    def __init__(self, threshold_rps: float = 10.0,
+                 check_interval_ms: float = 11_000.0,
+                 max_replicas: int = 16, scale_step: int = 1) -> None:
+        if max_replicas < 1:
+            raise FrontDoorError(f"non-positive max_replicas: {max_replicas}")
+        self.threshold_rps = threshold_rps
+        self.check_interval_ms = check_interval_ms
+        self.max_replicas = max_replicas
+        self.scale_step = scale_step

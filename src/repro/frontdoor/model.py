@@ -1,0 +1,107 @@
+"""Analytic processor-sharing model of request cloning.
+
+The closed forms the headline experiment validates the simulator
+against, following "Modeling of Request Cloning in Cloud Server Systems
+using Processor Sharing" (PAPERS.md). Under synchronized service —
+every copy of a request carries the *same* exponential demand, which is
+exactly what :mod:`repro.frontdoor.dispatch` simulates — a cluster of
+``n`` processor-sharing servers fed cloned traffic behaves like an
+M/M/1-PS system whose *effective* utilization includes the wasted
+partial work of cancelled copies:
+
+    rho_eff(d) = rho * (1 + (d - 1) * waste_per_extra_copy)
+
+where ``rho`` is the useful-work utilization and the waste per extra
+copy is the mean fraction of its demand a losing copy has received when
+the winner finishes. Cloning helps the tail because the winning copy
+effectively samples the *least* loaded of ``d`` servers; it hurts the
+whole system once rho_eff approaches 1 — the **capacity knee**. In
+M/M/1-PS the sojourn time is exponential with mean S/(1 - rho), so the
+tail quantile has the closed form used below.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.frontdoor.results import FrontDoorError
+
+
+def effective_utilization(rho: float, d: int, waste_fraction: float) -> float:
+    """Utilization including cloning overhead.
+
+    ``waste_fraction`` is the *measured* overall waste (1 - useful/served)
+    of a run at clone factor ``d``; the served work already contains the
+    cancelled copies' partial service, so rho_eff is simply the useful
+    utilization scaled back up by the waste.
+    """
+    if not 0.0 <= waste_fraction < 1.0:
+        raise FrontDoorError(f"waste fraction out of range: {waste_fraction}")
+    del d  # the measured waste already folds in the clone factor
+    return rho / (1.0 - waste_fraction)
+
+
+def mean_sojourn_ms(mean_service_ms: float, rho_eff: float,
+                    d: int = 1) -> float:
+    """Mean request sojourn time in the cloned M/M/1-PS approximation.
+
+    The winner is the first of ``d`` synchronized copies: its service
+    completes at rate ``d`` times a single server's share when the
+    copies sit on independently loaded servers, so the baseline PS
+    sojourn ``S / (1 - rho)`` shrinks by the clone factor while the
+    utilization penalty enters through ``rho_eff``.
+    """
+    if rho_eff >= 1.0:
+        return math.inf
+    if d < 1:
+        raise FrontDoorError(f"non-positive clone factor: {d}")
+    return mean_service_ms / (d * (1.0 - rho_eff))
+
+
+def quantile_sojourn_ms(mean_service_ms: float, rho_eff: float,
+                        q: float = 0.99, d: int = 1) -> float:
+    """The ``q`` sojourn-time quantile (P99 by default).
+
+    M/M/1-PS sojourn is exponentially distributed, so the quantile is
+    ``-ln(1 - q)`` mean sojourns; ln(100) ~ 4.6 of them for P99.
+    """
+    if not 0.0 < q < 1.0:
+        raise FrontDoorError(f"quantile out of range: {q}")
+    mean = mean_sojourn_ms(mean_service_ms, rho_eff, d)
+    if math.isinf(mean):
+        return math.inf
+    return -math.log(1.0 - q) * mean
+
+
+def predicted_p99_curve(mean_service_ms: float, rho: float,
+                        clone_factors: list[int],
+                        waste_by_d: dict[int, float]) -> dict[int, float]:
+    """P99 prediction per clone factor, from measured waste fractions.
+
+    Returns ``{d: predicted P99 ms}``; infinity marks clone factors past
+    the capacity knee (rho_eff >= 1), where the open-loop simulation's
+    tail grows without bound with run length.
+    """
+    curve: dict[int, float] = {}
+    for d in clone_factors:
+        rho_eff = effective_utilization(rho, d, waste_by_d.get(d, 0.0))
+        curve[d] = quantile_sojourn_ms(mean_service_ms, rho_eff, d=d)
+    return curve
+
+
+def knee_clone_factor(rho: float, waste_per_extra_copy: float,
+                      max_d: int = 64) -> int:
+    """Smallest clone factor whose effective utilization reaches 1.
+
+    Uses the first-order waste model ``rho_eff = rho * (1 + (d-1) * w)``
+    to locate the capacity knee a priori; returns ``max_d`` when the
+    knee lies beyond it.
+    """
+    if rho >= 1.0:
+        return 1
+    if waste_per_extra_copy <= 0.0:
+        return max_d
+    for d in range(1, max_d + 1):
+        if rho * (1.0 + (d - 1) * waste_per_extra_copy) >= 1.0:
+            return d
+    return max_d

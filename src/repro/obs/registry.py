@@ -37,6 +37,12 @@ class Counter:
 #: bucket is open-ended. Powers of four cover 1 us .. ~70 s.
 DEFAULT_BUCKET_BOUNDS = tuple(0.001 * (4 ** i) for i in range(13))
 
+#: Fine-grained bounds for per-request latency distributions (the
+#: front-door P99 curves): a 1.25x geometric ladder from 10 us to ~7 s.
+#: The power-of-four default is fine for per-stage breakdowns but far
+#: too coarse to resolve a tail quantile.
+LATENCY_BUCKET_BOUNDS = tuple(0.01 * (1.25 ** i) for i in range(60))
+
 
 class Histogram:
     """A fixed-bucket histogram of observed values (virtual ms).
@@ -125,11 +131,18 @@ class MetricsRegistry:
             counter = self.counters[name] = Counter(name)
         return counter
 
-    def histogram(self, name: str) -> Histogram:
-        """The histogram called ``name`` (created on first use)."""
+    def histogram(self, name: str,
+                  bounds: Iterable[float] | None = None) -> Histogram:
+        """The histogram called ``name`` (created on first use).
+
+        ``bounds`` only applies on creation; an existing histogram
+        keeps the buckets it was born with.
+        """
         histogram = self.histograms.get(name)
         if histogram is None:
-            histogram = self.histograms[name] = Histogram(name)
+            histogram = self.histograms[name] = (
+                Histogram(name) if bounds is None
+                else Histogram(name, bounds))
         return histogram
 
     def clear(self) -> None:

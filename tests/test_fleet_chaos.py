@@ -26,9 +26,13 @@ def test_kill_plan_is_deterministic_and_bounded():
     assert all(spec.count == 1 for spec in a.specs)
 
 
-def test_kill_plan_refuses_to_kill_every_host():
+def test_kill_plan_refuses_more_kills_than_hosts():
     with pytest.raises(ReproError):
-        kill_plan(SMOKE_SEED, hosts=3, kills=3)
+        kill_plan(SMOKE_SEED, hosts=3, kills=4)
+    # kills == hosts is the legal total-loss storm (the `fleet storm
+    # N N` regression): it must build a plan (one spec per kill plus
+    # the degrade spec), not raise.
+    assert len(kill_plan(SMOKE_SEED, hosts=3, kills=3).specs) == 4
 
 
 def test_smoke_storm_fingerprint_is_byte_identical():
