@@ -29,12 +29,18 @@ import argparse
 import cProfile
 import gc
 import json
+import os
 import platform as host_platform
 import pstats
 import time
 from pathlib import Path
 
 OUTPUT_PATH = Path(__file__).resolve().parents[2] / "BENCH_wallclock.json"
+
+#: Payload layout version. Bump when the shape of BENCH_wallclock.json
+#: changes; the perf gate (:mod:`benchmarks.perf.gate`) refuses to
+#: compare against a payload of a different major shape.
+SCHEMA_VERSION = 2
 
 #: Same-harness measurements of the tree at the parent commit (see
 #: module docstring): scenario -> {scale -> (seconds, function calls)}.
@@ -47,6 +53,44 @@ BASELINES: dict[str, dict[str, tuple[float, int]]] = {
                     "quick": (0.104, 531_597)},
     "xenstore_deep_clone": {"full": (0.460, 1_588_219),
                             "quick": (0.035, 116_289)},
+}
+
+#: Per-scenario regression floors, enforced by the perf gate.
+#:
+#: ``work_reduction`` floors are tight: the profiled call count is
+#: bit-stable for a fixed seed, so any drop is a real regression.
+#: ``speedup`` floors are set below the robustly-achieved wall-clock
+#: ratio (best-of-N over several processes) because wall seconds on a
+#: shared CI box swing by 20-30%. The fig5 floor meets the issue's
+#: 1.8x target; clone_fleet robustly achieves ~1.6x against its 2.0x
+#: target — the remaining profile is flat (no frame above 4%), so the
+#: floor pins what is actually held rather than the aspiration.
+#:
+#: ``fleet_parallel`` is gated on fingerprint equality (serial vs
+#: process-parallel, always) and on barrier overhead (the serial-storm
+#: wall-clock per epoch staying sane); its wall-clock ``scaling`` is
+#: recorded but only enforced when the host actually has at least as
+#: many CPUs as workers — a 1-CPU container cannot speed anything up
+#: by adding processes. ``kvm_clone_burst`` is gated on same-seed
+#: determinism next to the Xen golden guard.
+#: Floors are per scale: the wins scale with event count, so quick
+#: runs (CI smoke) sit much closer to the seed than full runs.
+FLOORS: dict[str, dict[str, dict[str, float]]] = {
+    "fig5_density": {
+        "full": {"speedup": 1.8, "work_reduction": 3.5},
+        "quick": {"speedup": 1.1, "work_reduction": 1.6}},
+    "fig4_instantiation_1000": {
+        "full": {"speedup": 1.1, "work_reduction": 1.9},
+        "quick": {"speedup": 0.9, "work_reduction": 1.05}},
+    "clone_fleet": {
+        "full": {"speedup": 1.25, "work_reduction": 2.1},
+        "quick": {"speedup": 1.2, "work_reduction": 2.0}},
+    "xenstore_deep_clone": {
+        "full": {"speedup": 8.0, "work_reduction": 12.0},
+        "quick": {"speedup": 4.0, "work_reduction": 3.5}},
+    "fleet_parallel": {
+        "full": {"scaling": 0.9},
+        "quick": {"scaling": 0.9}},
 }
 
 
@@ -141,11 +185,109 @@ def _xenstore_deep_clone(quick: bool):
     return scenario
 
 
+def _kvm_clone_burst(quick: bool):
+    """KVM_CLONE_VM burst: boot a VM, clone it in batches, tear down.
+
+    The KVM twin of ``clone_fleet``: exercises the fork-based clone
+    path (including the shared clone.* tracing spans) so the parity
+    slice has a pinned timing + determinism scenario alongside Xen.
+    """
+    sessions = 2 if quick else 10
+    batches = 4 if quick else 8
+
+    def scenario():
+        from repro.kvm import KvmPlatform
+
+        for _ in range(sessions):
+            platform = KvmPlatform(trace=True)
+            parent = platform.create_vm("bench-kvm", memory_bytes=8 << 20,
+                                        ip="10.0.8.1", max_clones=256)
+            for _ in range(batches):
+                platform.clone(parent.pid, count=8)
+            for pid in sorted(platform.host.vms):
+                platform.destroy(pid)
+
+    return scenario
+
+
+def kvm_fingerprint() -> str:
+    """sha256 over the deterministic observables of one KVM burst.
+
+    Covers the virtual clock, the per-kind span aggregates (count and
+    total virtual ms) and the surviving-VM census — everything the
+    clone path touches. Two same-seed runs must agree byte-for-byte.
+    """
+    import hashlib
+
+    from repro.kvm import KvmPlatform
+
+    platform = KvmPlatform(trace=True)
+    parent = platform.create_vm("det-kvm", memory_bytes=8 << 20,
+                                ip="10.0.8.1", max_clones=64)
+    clones = [platform.clone(parent.pid, count=4) for _ in range(3)]
+    observables = {
+        "clock_ms": round(platform.clock.now, 9),
+        "clones": clones,
+        "vms": sorted(platform.host.vms),
+        "spans": {kind: [entry["count"], round(entry["total_ms"], 9)]
+                  for kind, entry in platform.tracer.summary().items()},
+    }
+    payload = json.dumps(observables, sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def fleet_parallel_entry(quick: bool, repeat: int = 1) -> dict:
+    """Time the epoch-barrier storm serial vs process-parallel.
+
+    Byte-identical fingerprints between the two executors are this
+    scenario's hard invariant (the determinism guard for the parallel
+    fleet runner). Wall-clock ``scaling`` (serial / parallel seconds)
+    is recorded together with the host CPU count; on a single-CPU
+    host the parallel run necessarily loses to the serial one (same
+    work plus pipe traffic), so the gate only enforces the scaling
+    floor when ``cpus >= workers``.
+    """
+    from repro.fleet.parallel import run_parallel_storm
+
+    workers = 2 if quick else 4
+    params = dict(hosts=4, parents=2, batch=2, epochs=3, kills=1) \
+        if quick else dict(hosts=4, parents=3, batch=3, epochs=8, kills=1)
+
+    def run(n_workers: int):
+        return run_parallel_storm(workers=n_workers, **params)
+
+    serial_best = float("inf")
+    parallel_best = float("inf")
+    serial_print = parallel_print = ""
+    for _ in range(max(1, repeat)):
+        gc.collect()
+        start = time.perf_counter()
+        report = run(0)
+        serial_best = min(serial_best, time.perf_counter() - start)
+        serial_print = report.fingerprint
+        start = time.perf_counter()
+        report = run(workers)
+        parallel_best = min(parallel_best, time.perf_counter() - start)
+        parallel_print = report.fingerprint
+    return {
+        "seconds": round(serial_best, 3),
+        "parallel_seconds": round(parallel_best, 3),
+        "scaling": round(serial_best / parallel_best, 2),
+        "workers": workers,
+        "hosts": params["hosts"],
+        "epochs": params["epochs"],
+        "cpus": os.cpu_count(),
+        "fingerprint_match": serial_print == parallel_print,
+        "fingerprint": serial_print,
+    }
+
+
 SCENARIOS = {
     "fig5_density": _fig5,
     "fig4_instantiation_1000": _fig4,
     "clone_fleet": _clone_fleet,
     "xenstore_deep_clone": _xenstore_deep_clone,
+    "kvm_clone_burst": _kvm_clone_burst,
 }
 
 
@@ -206,10 +348,14 @@ def run_harness(quick: bool = False, repeat: int = 1,
                                if base_calls and calls else None),
         }
         results[name] = entry
+    results["fleet_parallel"] = fleet_parallel_entry(quick, repeat=repeat)
     payload = {
+        "schema_version": SCHEMA_VERSION,
         "scale": scale,
         "repeat": repeat,
         "python": host_platform.python_version(),
+        "cpus": os.cpu_count(),
+        "floors": FLOORS,
         "scenarios": results,
     }
     if check_determinism:
@@ -221,6 +367,11 @@ def run_harness(quick: bool = False, repeat: int = 1,
             name: ("ok" if reference.get(name) == value else "drift")
             for name, value in sorted(prints.items())
         }
+        # KVM parity: same-seed determinism next to the Xen golden
+        # guard — two fresh platforms, one clone burst each, must
+        # produce byte-identical observable fingerprints.
+        payload["determinism"]["kvm_clone_burst"] = (
+            "ok" if kvm_fingerprint() == kvm_fingerprint() else "drift")
     return payload
 
 
@@ -231,6 +382,14 @@ def format_wallclock(payload: dict) -> str:
     width = max(len(name) for name in payload["scenarios"])
     for name, entry in payload["scenarios"].items():
         line = f"  {name:<{width}}  {entry['seconds']:>8.3f}s"
+        if name == "fleet_parallel":
+            line += (f"  (parallel {entry['parallel_seconds']:.3f}s, "
+                     f"{entry['scaling']:.2f}x over {entry['workers']} "
+                     f"workers on {entry['cpus']} cpus, fingerprints "
+                     + ("match)" if entry["fingerprint_match"]
+                        else "DIFFER)"))
+            lines.append(line)
+            continue
         if entry.get("baseline_seconds"):
             line += (f"  (baseline {entry['baseline_seconds']:.3f}s, "
                      f"{entry['speedup']:.2f}x)")

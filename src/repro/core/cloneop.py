@@ -143,7 +143,12 @@ class CloneOp:
             children: list[Domain] = []
             for i in range(count):
                 child_index = parent.clones_created
-                known = set(hyp.domains)
+                # Domids are allocated monotonically, so "domains that
+                # appeared during this first stage" is just "domid >=
+                # the allocator's current value" — snapshotting the
+                # whole domain set per child would be O(fleet) on the
+                # success path.
+                known_mark = hyp._next_domid
                 try:
                     with tracer.span("clone.first_stage",
                                      parent=parent.domid) as span:
@@ -159,7 +164,8 @@ class CloneOp:
                     self._abort_unplumbed_children(parent, children,
                                                    previous_state,
                                                    resume=False)
-                    self._abort_partial_clone(parent, known, previous_state)
+                    self._abort_partial_clone(parent, known_mark,
+                                              previous_state)
                     raise
                 parent.clones_created += 1
                 self._pending[child.domid] = parent.domid
@@ -177,7 +183,8 @@ class CloneOp:
                     self._abort_unplumbed_children(parent, children,
                                                    previous_state,
                                                    resume=False)
-                    self._abort_partial_clone(parent, known, previous_state)
+                    self._abort_partial_clone(parent, known_mark,
+                                              previous_state)
                     raise
                 children.append(child)
                 self.stats["clones"] += 1
@@ -255,10 +262,13 @@ class CloneOp:
         return {child.domid: self._failed.pop(child.domid)
                 for child in children if child.domid in self._failed}
 
-    def _abort_partial_clone(self, parent: Domain, known: set[int],
+    def _abort_partial_clone(self, parent: Domain, known_mark: int,
                              previous_state: DomainState) -> None:
+        """Destroy every domain allocated at or after ``known_mark``
+        (the domid allocator's value when the failed first stage
+        began); only runs on the failure path."""
         hyp = self.hypervisor
-        for domid in set(hyp.domains) - known:
+        for domid in [d for d in hyp.domains if d >= known_mark]:
             orphan = hyp.domains[domid]
             if domid in parent.children:
                 parent.children.remove(domid)
@@ -284,8 +294,9 @@ class CloneOp:
         stalled = False
         for _ in range(BACKPRESSURE_STALL_LIMIT):
             try:
-                hyp.faults.fire("notify.ring", parent=parent.domid,
-                                child=child.domid)
+                if hyp.faults.enabled:
+                    hyp.faults.fire("notify.ring", parent=parent.domid,
+                                    child=child.domid)
                 self.ring.push(entry)
                 break
             except RingFullError:

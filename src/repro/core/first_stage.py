@@ -76,12 +76,14 @@ def clone_domain(hypervisor: Hypervisor, parent: Domain,
 
     # Grant table and event channels.
     with tracer.span("first_stage.grants_events"):
-        hypervisor.faults.fire("grants.clone", parent=parent.domid,
-                               child=child.domid)
+        if hypervisor.faults.enabled:
+            hypervisor.faults.fire("grants.clone", parent=parent.domid,
+                                   child=child.domid)
         child.grants = parent.grants.clone_for_child(child.domid)
         clock.charge(costs.grant_entry_clone * len(parent.grants))
-        hypervisor.faults.fire("events.clone", parent=parent.domid,
-                               child=child.domid)
+        if hypervisor.faults.enabled:
+            hypervisor.faults.fire("events.clone", parent=parent.domid,
+                                   child=child.domid)
         child.events = parent.events.clone_for_child(child.domid)
         clock.charge(costs.evtchn_op * len(parent.events))
         hypervisor.connect_idc_child(parent, child)

@@ -186,13 +186,17 @@ class Xencloned:
         p, c = parent.domid, child.domid
         faults = self.hypervisor.faults
         if parent.frontends.get("console"):
-            faults.fire("device.attach", device="console", parent=p, child=c)
+            if faults.enabled:
+                faults.fire("device.attach", device="console",
+                            parent=p, child=c)
             self.handle.clone(p, c, XsCloneOp.DEV_CONSOLE,
                               console_frontend_path(p), console_frontend_path(c))
             self.handle.clone(p, c, XsCloneOp.DEV_CONSOLE,
                               console_backend_path(p), console_backend_path(c))
         if parent.frontends.get("vif"):
-            faults.fire("device.attach", device="vif", parent=p, child=c)
+            if faults.enabled:
+                faults.fire("device.attach", device="vif",
+                            parent=p, child=c)
             self.handle.clone(p, c, XsCloneOp.DEV_VIF,
                               f"/local/domain/{p}/device/vif",
                               f"/local/domain/{c}/device/vif")
@@ -200,7 +204,9 @@ class Xencloned:
                               f"/local/domain/0/backend/vif/{p}",
                               f"/local/domain/0/backend/vif/{c}")
         if parent.frontends.get("9pfs"):
-            faults.fire("device.attach", device="9pfs", parent=p, child=c)
+            if faults.enabled:
+                faults.fire("device.attach", device="9pfs",
+                            parent=p, child=c)
             self.handle.clone(p, c, XsCloneOp.DEV_9PFS,
                               p9_frontend_path(p), p9_frontend_path(c))
             self.handle.clone(p, c, XsCloneOp.DEV_9PFS,
@@ -213,19 +219,25 @@ class Xencloned:
         p, c = parent.domid, child.domid
         faults = self.hypervisor.faults
         if parent.frontends.get("console"):
-            faults.fire("device.attach", device="console", parent=p, child=c)
+            if faults.enabled:
+                faults.fire("device.attach", device="console",
+                            parent=p, child=c)
             self.handle.deep_copy(p, c, console_frontend_path(p),
                                   console_frontend_path(c))
             self.handle.deep_copy(p, c, console_backend_path(p),
                                   console_backend_path(c))
         if parent.frontends.get("vif"):
-            faults.fire("device.attach", device="vif", parent=p, child=c)
+            if faults.enabled:
+                faults.fire("device.attach", device="vif",
+                            parent=p, child=c)
             self.handle.deep_copy(p, c, f"/local/domain/{p}/device/vif",
                                   f"/local/domain/{c}/device/vif")
             self.handle.deep_copy(p, c, f"/local/domain/0/backend/vif/{p}",
                                   f"/local/domain/0/backend/vif/{c}")
         if parent.frontends.get("9pfs"):
-            faults.fire("device.attach", device="9pfs", parent=p, child=c)
+            if faults.enabled:
+                faults.fire("device.attach", device="9pfs",
+                            parent=p, child=c)
             self.handle.deep_copy(p, c, p9_frontend_path(p), p9_frontend_path(c))
             self.handle.deep_copy(p, c, p9_backend_path(p), p9_backend_path(c))
 

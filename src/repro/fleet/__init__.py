@@ -22,6 +22,14 @@ from repro.fleet.fleet import (
     FleetHost,
     HostState,
 )
+from repro.fleet.parallel import (
+    HostSpec,
+    ParallelStormReport,
+    ProcessHostExecutor,
+    SerialHostExecutor,
+    audit_parallel_report,
+    run_parallel_storm,
+)
 from repro.fleet.placement import (
     POLICIES,
     LeastLoadedPolicy,
@@ -32,6 +40,12 @@ from repro.fleet.placement import (
 )
 
 __all__ = [
+    "HostSpec",
+    "ParallelStormReport",
+    "ProcessHostExecutor",
+    "SerialHostExecutor",
+    "audit_parallel_report",
+    "run_parallel_storm",
     "Fleet",
     "FleetConfig",
     "FleetError",

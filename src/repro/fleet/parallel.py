@@ -1,0 +1,698 @@
+"""Process-parallel fleet execution with epoch barriers.
+
+The serial :class:`~repro.fleet.fleet.Fleet` interleaves every host's
+virtual work on one Python thread; a chaos storm over N hosts therefore
+costs N hosts' worth of wall-clock time. This module runs the same
+style of storm with each member host's :class:`~repro.platform.Platform`
+owned by a worker process, synchronized in *epochs*:
+
+1. The control plane (always in the parent process) plans an epoch from
+   the host snapshots collected at the previous barrier: clone
+   placements, forwards, COW touches, destroys, and the kill schedule.
+2. Every host executes its command batch independently — this is the
+   part that parallelizes, because member platforms share no state.
+3. At the barrier the control plane collects per-command results,
+   advances the fleet :class:`~repro.sim.clock.VirtualClock` to the
+   epoch boundary, detects host deaths, and defers re-placement of lost
+   children to the *next* epoch.
+
+Cross-host interactions (clone forwards, heartbeat accounting,
+re-placements) happen only at barriers, so the command batches — and
+with them every host platform's trajectory — are identical whether the
+batches run in worker processes or sequentially in the parent. That is
+the determinism contract: ``run_parallel_storm(seed, workers=0)`` and
+``run_parallel_storm(seed, workers=4)`` produce byte-identical
+fingerprints (pinned by ``tests/test_fleet_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.devices.vif import RX_BUFFER_PAGES
+from repro.errors import ReproError
+from repro.faults.chaos import audit_platform
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.fleet.placement import make_policy
+from repro.platform import Platform
+from repro.sim import CostModel, DeterministicRNG, VirtualClock
+from repro.sim.units import MIB, pages_of
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Everything a worker process needs to build one member host.
+
+    Plain picklable data: the spec crosses the process boundary once at
+    executor start-up; the platform itself is built *inside* the worker
+    and never leaves it.
+    """
+
+    name: str
+    index: int
+    seed: int
+    memory_bytes: int
+    dom0_bytes: int
+    cpus: int = 4
+    use_xs_clone: bool = True
+
+
+@dataclass(frozen=True)
+class _Snapshot:
+    """One host's barrier-time state, as the control plane sees it.
+
+    Quacks like :class:`~repro.fleet.fleet.FleetHost` just enough for
+    the placement policies (``free_frames`` + ``index``).
+    """
+
+    name: str
+    index: int
+    guests: int
+    free_frames: int
+    clock_ms: float
+    alive: bool
+
+
+class _HostEngine:
+    """One member host: a Platform plus the epoch command interpreter.
+
+    Commands arrive as plain tuples and produce one result tuple each,
+    in order — the control plane attributes results by zipping them
+    with the batch it sent. Mutating commands on a dead host answer
+    ``("fenced",)``; read-only commands (``status``, ``audit``,
+    ``advance``) always execute, so a fenced host still reports its
+    post-power-off state.
+    """
+
+    def __init__(self, spec: HostSpec) -> None:
+        self.spec = spec
+        self.platform = Platform.create(
+            total_memory_bytes=spec.memory_bytes,
+            dom0_memory_bytes=spec.dom0_bytes,
+            cpus=spec.cpus,
+            seed=spec.seed,
+            use_xs_clone=spec.use_xs_clone,
+            trace=False,
+            host_name=spec.name)
+        # Live injector with an empty plan, mirroring Fleet: the control
+        # plane arms one-shot kills at runtime via ``arm_kill``.
+        self.platform.attach_faults(FaultPlan(name=f"{spec.name}-armed"))
+        self.alive = True
+        self.dying = False
+        #: family name -> replica domid on this host.
+        self.replicas: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def execute(self, commands: list[tuple]) -> list[tuple]:
+        """Run one epoch's command batch; one result tuple per command."""
+        results = []
+        for command in commands:
+            op = command[0]
+            if op == "status":
+                results.append(self._status())
+            elif op == "audit":
+                results.append(("audit",
+                                tuple(audit_platform(self.platform))))
+            elif op == "advance":
+                if self.platform.clock.now < command[1]:
+                    self.platform.clock.advance_to(command[1])
+                results.append(("ok",))
+            elif not self.alive:
+                results.append(("fenced",))
+            elif op == "boot":
+                results.append(self._boot(command))
+            elif op == "clone":
+                results.append(self._clone(command))
+            elif op == "touch":
+                results.append(self._touch(command))
+            elif op == "destroy":
+                results.append(self._destroy(command))
+            elif op == "arm_kill":
+                self.dying = True
+                self.platform.faults.arm(FaultSpec(
+                    site="frames.alloc", count=1, after=command[1]))
+                results.append(("ok",))
+            elif op == "kill":
+                self._power_off()
+                results.append(("host_died", "kill"))
+            else:
+                raise ReproError(f"unknown epoch command {op!r}")
+        return results
+
+    # ------------------------------------------------------------------
+    def _status(self) -> tuple:
+        return ("status", self.platform.guest_count(),
+                self.platform.hypervisor.frames.free_frames,
+                round(self.platform.clock.now, 6), self.alive)
+
+    def _boot(self, command: tuple) -> tuple:
+        from repro.apps.udp_server import UdpServerApp
+        from repro.toolstack.config import DomainConfig, VifConfig
+
+        family, ip, memory_mb, max_clones = command[1:5]
+        config = DomainConfig(
+            name=f"{family}.{self.spec.name}", memory_mb=memory_mb,
+            vifs=[VifConfig(ip=ip)], max_clones=max_clones)
+        try:
+            domain = self.platform.xl.create(config, app=UdpServerApp())
+        except ReproError as exc:
+            if self.dying:
+                self._power_off()
+                return ("host_died", type(exc).__name__)
+            return ("boot_failed", type(exc).__name__)
+        self.replicas[family] = domain.domid
+        return ("booted", domain.domid)
+
+    def _clone(self, command: tuple) -> tuple:
+        family, count = command[1], command[2]
+        replica = self.replicas.get(family)
+        if replica is None:
+            return ("clone_failed", "no-replica")
+        try:
+            domids = self.platform.xl.clone(replica, count=count)
+        except ReproError as exc:
+            if self.dying:
+                self._power_off()
+                return ("host_died", type(exc).__name__)
+            return ("clone_failed", type(exc).__name__)
+        return ("cloned", tuple(domids))
+
+    def _touch(self, command: tuple) -> tuple:
+        domid, pages = command[1], command[2]
+        domain = self.platform.hypervisor.domains.get(domid)
+        if domain is None or not domain.memory.segments:
+            return ("ok",)
+        try:
+            domain.memory.write_range(domain.memory.segments[0].pfn_start,
+                                      pages)
+        except ReproError as exc:
+            if self.dying:
+                self._power_off()
+                return ("host_died", type(exc).__name__)
+            # The serial chaos storm swallows COW-touch errors too.
+        return ("ok",)
+
+    def _destroy(self, command: tuple) -> tuple:
+        domid = command[1]
+        if domid in self.platform.hypervisor.domains:
+            try:
+                self.platform.xl.destroy(domid)
+            except ReproError:
+                pass
+        for family, replica in list(self.replicas.items()):
+            if replica == domid:
+                del self.replicas[family]
+        return ("ok",)
+
+    def _power_off(self) -> None:
+        """Fail-stop: release every guest, mirroring ``_declare_dead``."""
+        platform = self.platform
+        platform.xencloned.shutdown()
+        for domid in sorted(platform.hypervisor.domains):
+            if domid not in platform.hypervisor.domains:
+                continue
+            try:
+                platform.xl.destroy(domid)
+            except ReproError:
+                platform.hypervisor.destroy_domain(domid)
+        platform.cloneop.host_shutdown()
+        self.alive = False
+        self.dying = False
+        self.replicas.clear()
+
+
+# ----------------------------------------------------------------------
+# executors: where the epoch batches actually run
+# ----------------------------------------------------------------------
+class SerialHostExecutor:
+    """Run every host's batch in the parent process, in index order."""
+
+    workers = 0
+
+    def __init__(self, specs: list[HostSpec]) -> None:
+        self.engines = {spec.index: _HostEngine(spec) for spec in specs}
+
+    def run_epoch(self, batches: dict[int, list[tuple]],
+                  ) -> dict[int, list[tuple]]:
+        """Execute the batches; the return is the barrier."""
+        return {index: self.engines[index].execute(commands)
+                for index, commands in sorted(batches.items())}
+
+    def close(self) -> None:
+        """Nothing to tear down in-process."""
+
+
+def _worker_main(conn, specs: list[HostSpec]) -> None:
+    """Worker process loop: recv batches, execute, send results."""
+    engines = {spec.index: _HostEngine(spec) for spec in specs}
+    while True:
+        try:
+            batches = conn.recv()
+        except EOFError:
+            break
+        if batches is None:
+            break
+        conn.send({index: engines[index].execute(commands)
+                   for index, commands in sorted(batches.items())})
+    conn.close()
+
+
+class ProcessHostExecutor:
+    """Shard the hosts over N worker processes; barrier on all replies.
+
+    Hosts are assigned round-robin by index, so host counts that do not
+    divide evenly still balance. The pipes carry only command/result
+    tuples — platforms never cross the process boundary.
+    """
+
+    def __init__(self, specs: list[HostSpec], workers: int) -> None:
+        self.workers = max(1, min(workers, len(specs)))
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        shards: list[list[HostSpec]] = [[] for _ in range(self.workers)]
+        for spec in specs:
+            shards[spec.index % self.workers].append(spec)
+        self._shard_of = {spec.index: shard_index
+                          for shard_index, shard in enumerate(shards)
+                          for spec in shard}
+        self._pipes = []
+        self._procs = []
+        for shard in shards:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main,
+                               args=(child_conn, shard), daemon=True)
+            proc.start()
+            child_conn.close()
+            self._pipes.append(parent_conn)
+            self._procs.append(proc)
+
+    def run_epoch(self, batches: dict[int, list[tuple]],
+                  ) -> dict[int, list[tuple]]:
+        """Send each shard its batches; collect all replies (barrier)."""
+        per_shard: list[dict[int, list[tuple]]] = [
+            {} for _ in self._pipes]
+        for index, commands in batches.items():
+            per_shard[self._shard_of[index]][index] = commands
+        for pipe, shard_batches in zip(self._pipes, per_shard):
+            if shard_batches:
+                pipe.send(shard_batches)
+        merged: dict[int, list[tuple]] = {}
+        for pipe, shard_batches in zip(self._pipes, per_shard):
+            if shard_batches:
+                merged.update(pipe.recv())
+        return merged
+
+    def close(self) -> None:
+        """Shut the workers down and reap them."""
+        for pipe in self._pipes:
+            try:
+                pipe.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=10)
+        for pipe in self._pipes:
+            pipe.close()
+
+
+# ----------------------------------------------------------------------
+# the epoch-structured storm
+# ----------------------------------------------------------------------
+@dataclass
+class ParallelStormReport:
+    """Outcome of one parallel storm run, with its fingerprint.
+
+    ``workers`` is excluded from the fingerprint payload: the whole
+    point of the epoch-barrier design is that the executor choice does
+    not change the simulation.
+    """
+
+    seed: int
+    hosts: int
+    workers: int
+    policy: str
+    epochs: int
+    epoch_window_ms: float
+    clones_requested: int = 0
+    clones_placed: int = 0
+    clones_failed: int = 0
+    children_lost: int = 0
+    children_replaced: int = 0
+    replace_failed: int = 0
+    hosts_killed: int = 0
+    forwards: int = 0
+    fenced_commands: int = 0
+    clock_ms: float = 0.0
+    per_host: list = field(default_factory=list)
+    violations: list = field(default_factory=list)
+    fingerprint: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (CLI ``--json``, fingerprinting)."""
+        return {
+            "seed": self.seed,
+            "hosts": self.hosts,
+            "workers": self.workers,
+            "policy": self.policy,
+            "epochs": self.epochs,
+            "epoch_window_ms": self.epoch_window_ms,
+            "clones_requested": self.clones_requested,
+            "clones_placed": self.clones_placed,
+            "clones_failed": self.clones_failed,
+            "children_lost": self.children_lost,
+            "children_replaced": self.children_replaced,
+            "replace_failed": self.replace_failed,
+            "hosts_killed": self.hosts_killed,
+            "forwards": self.forwards,
+            "fenced_commands": self.fenced_commands,
+            "clock_ms": self.clock_ms,
+            "per_host": list(self.per_host),
+            "violations": list(self.violations),
+            "fingerprint": self.fingerprint,
+        }
+
+
+def audit_parallel_report(report: ParallelStormReport) -> list[str]:
+    """The storm's conservation laws, as audit-style violation strings.
+
+    Mirrors ``audit_fleet``: every requested child is placed or failed,
+    every lost child is replaced or accounted as a failed replacement.
+    """
+    violations = []
+    resolved = report.clones_placed + report.clones_failed
+    if report.clones_requested != resolved:
+        violations.append(
+            f"storm: {report.clones_requested} children requested but "
+            f"{report.clones_placed}+{report.clones_failed} resolved")
+    replaced = report.children_replaced + report.replace_failed
+    if report.children_lost != replaced:
+        violations.append(
+            f"storm: {report.children_lost} children lost but "
+            f"{report.children_replaced}+{report.replace_failed} "
+            f"re-placement outcomes")
+    return violations
+
+
+def run_parallel_storm(seed: int = 0xC10E, hosts: int = 4,
+                       workers: int = 0, parents: int = 2,
+                       batch: int = 3, epochs: int = 8, kills: int = 1,
+                       policy: str = "round-robin",
+                       epoch_window_ms: float = 50.0,
+                       host_memory_mb: int = 192,
+                       ) -> ParallelStormReport:
+    """Run one epoch-structured fleet storm; see the module docstring.
+
+    ``workers=0`` executes every host in the parent process;
+    ``workers>=1`` shards the hosts over that many worker processes.
+    Both produce byte-identical reports for the same arguments.
+    """
+    rng = DeterministicRNG(seed)
+    host_rng = rng.fork("host-seeds")
+    specs = [HostSpec(name=f"host{i}", index=i,
+                      seed=host_rng.fork(f"host{i}").seed,
+                      memory_bytes=host_memory_mb * MIB,
+                      dom0_bytes=(host_memory_mb // 3) * MIB)
+             for i in range(hosts)]
+    executor = (ProcessHostExecutor(specs, workers) if workers >= 1
+                else SerialHostExecutor(specs))
+    try:
+        return _run_storm(executor, specs, seed=seed, parents=parents,
+                          batch=batch, epochs=epochs, kills=kills,
+                          policy=policy, epoch_window_ms=epoch_window_ms,
+                          rng=rng)
+    finally:
+        executor.close()
+
+
+def _run_storm(executor, specs: list[HostSpec], *, seed: int,
+               parents: int, batch: int, epochs: int, kills: int,
+               policy: str, epoch_window_ms: float,
+               rng: DeterministicRNG) -> ParallelStormReport:
+    hosts = len(specs)
+    costs = CostModel()
+    fleet_clock = VirtualClock()
+    policy_obj = make_policy(policy)
+    wrng = rng.fork("parallel-storm-workload")
+    krng = rng.fork("parallel-storm-kills")
+
+    report = ParallelStormReport(
+        seed=seed, hosts=hosts, workers=getattr(executor, "workers", 0),
+        policy=policy, epochs=epochs, epoch_window_ms=epoch_window_ms)
+
+    families = [f"fam{i}" for i in range(parents)]
+    family_ip = {f"fam{i}": f"10.1.{i + 1}.1" for i in range(parents)}
+    memory_mb, max_clones = 4, 1024
+    clone_need = costs.hyp_per_clone_overhead_pages + RX_BUFFER_PAGES + 16
+    parent_need = (pages_of(memory_mb * MIB)
+                   + costs.hyp_per_domain_overhead_pages
+                   + RX_BUFFER_PAGES + 16)
+
+    # Kill schedule: distinct victims, one mid-epoch arm each. Drawn up
+    # front from a dedicated stream so the schedule is independent of
+    # how the workload unfolds.
+    kill_epochs: dict[int, list[tuple[int, int]]] = {}
+    victims = list(range(hosts))
+    for _ in range(max(0, min(kills, hosts))):
+        victim = victims.pop(krng.randint(0, len(victims) - 1))
+        epoch = krng.randint(1, max(1, epochs))
+        kill_epochs.setdefault(epoch, []).append(
+            (victim, krng.randint(0, 6)))
+
+    alive = set(range(hosts))
+    snapshots: dict[int, _Snapshot] = {}
+    #: family -> host index set holding a replica (control-plane mirror).
+    replicas: dict[str, set[int]] = {name: set() for name in families}
+    replica_domids: dict[tuple[str, int], int] = {}
+    #: family -> host index -> live clone domids.
+    placements: dict[str, dict[int, list[int]]] = {
+        name: {} for name in families}
+    #: Clones placed at the previous barrier (touched next epoch).
+    last_placed: list[tuple[str, int, int]] = []
+    pending_replace: list[tuple[str, int]] = []
+
+    def barrier(batches: dict[int, list[tuple]],
+                ) -> dict[int, list[tuple]]:
+        results = executor.run_epoch(batches)
+        # Heartbeat accounting + epoch boundary on the fleet clock.
+        fleet_clock.charge(costs.fleet_heartbeat_poll * len(alive))
+        return results
+
+    def host_died(index: int) -> None:
+        if index not in alive:
+            return
+        alive.discard(index)
+        report.hosts_killed += 1
+        fleet_clock.charge(costs.fleet_detect_fixed)
+        for name in families:
+            replicas[name].discard(index)
+            replica_domids.pop((name, index), None)
+            lost = placements[name].pop(index, None)
+            if lost:
+                report.children_lost += len(lost)
+                pending_replace.append((name, len(lost)))
+
+    #: Forwards queued in the epoch being planned: a second request for
+    #: the same family must reuse the queued replica, not boot another.
+    epoch_forwards: set[tuple[str, int]] = set()
+
+    def place_request(name: str, count: int, kind: str,
+                      batches: dict[int, list[tuple]]) -> bool:
+        """Queue one clone request; False when no host can take it."""
+        holder_indices = sorted(
+            replicas[name] | {i for (n, i) in epoch_forwards if n == name})
+        holders = [snapshots[i] for i in holder_indices
+                   if i in alive
+                   and snapshots[i].free_frames >= clone_need * count]
+        if holders:
+            target = policy_obj.choose(holders)
+        else:
+            fresh = [snapshots[i] for i in sorted(alive)
+                     if snapshots[i].free_frames
+                     >= parent_need + clone_need * count]
+            if not fresh:
+                return False
+            target = policy_obj.choose(fresh)
+            batches.setdefault(target.index, []).append(
+                ("boot", name, family_ip[name], memory_mb, max_clones))
+            epoch_forwards.add((name, target.index))
+            fleet_clock.charge(costs.fleet_forward_rpc)
+            report.forwards += 1
+        batches.setdefault(target.index, []).append(
+            ("clone", name, count, kind))
+        return True
+
+    def process_results(batches: dict[int, list[tuple]],
+                        results: dict[int, list[tuple]]) -> None:
+        last_placed.clear()
+        for index in sorted(results):
+            for command, result in zip(batches[index], results[index]):
+                op, tag = command[0], result[0]
+                if tag == "status":
+                    snapshots[index] = _Snapshot(
+                        name=specs[index].name, index=index,
+                        guests=result[1], free_frames=result[2],
+                        clock_ms=result[3], alive=result[4])
+                    continue
+                if tag == "host_died":
+                    host_died(index)
+                if tag == "fenced":
+                    report.fenced_commands += 1
+                if op == "boot":
+                    if tag == "booted":
+                        replicas[command[1]].add(index)
+                        replica_domids[(command[1], index)] = result[1]
+                elif op == "clone":
+                    name, count, kind = command[1], command[2], command[3]
+                    if tag == "cloned":
+                        domids = list(result[1])
+                        placements[name].setdefault(index, []).extend(
+                            domids)
+                        last_placed.extend(
+                            (name, index, domid) for domid in domids)
+                        if kind == "batch":
+                            report.clones_placed += len(domids)
+                        else:
+                            report.children_replaced += len(domids)
+                    else:
+                        if kind == "batch":
+                            report.clones_failed += count
+                        else:
+                            report.replace_failed += count
+
+    # Barrier -1: attach — collect the initial capacity snapshots.
+    prologue = {i: [("status",)] for i in range(hosts)}
+    process_results(prologue, barrier(prologue))
+
+    # Epoch 0: boot the parent families (no kills are scheduled here,
+    # mirroring the serial storm's disarmed boot phase).
+    boot_batches: dict[int, list[tuple]] = {}
+    for name in families:
+        candidates = [snapshots[i] for i in sorted(alive)
+                      if snapshots[i].free_frames >= parent_need]
+        if not candidates:
+            raise ReproError(f"no host can boot family {name!r}")
+        target = policy_obj.choose(candidates)
+        boot_batches.setdefault(target.index, []).append(
+            ("boot", name, family_ip[name], memory_mb, max_clones))
+    for i in range(hosts):
+        boot_batches.setdefault(i, []).append(("status",))
+    process_results(boot_batches, barrier(boot_batches))
+    if fleet_clock.now < epoch_window_ms:
+        fleet_clock.advance_to(epoch_window_ms)
+
+    # Workload epochs.
+    for epoch in range(1, epochs + 1):
+        epoch_forwards.clear()
+        batches = {i: [("advance", round(fleet_clock.now, 6))]
+                   for i in range(hosts)}
+        for victim, after in kill_epochs.get(epoch, []):
+            if victim in alive:
+                batches[victim].append(("arm_kill", after))
+        for name, count in pending_replace:
+            if not place_request(name, count, "replace", batches):
+                report.replace_failed += count
+        pending_replace.clear()
+        for name in families:
+            report.clones_requested += batch
+            if not place_request(name, batch, "batch", batches):
+                report.clones_failed += batch
+        # COW-touch the clones placed at the previous barrier. The page
+        # counts are drawn unconditionally so the workload stream does
+        # not depend on which hosts happen to be alive.
+        for name, index, domid in last_placed:
+            pages = wrng.randint(1, 4)
+            if index in alive:
+                batches[index].append(("touch", domid, pages))
+        # Destroy one live clone per family per epoch.
+        for name in families:
+            flat = [(i, domid)
+                    for i in sorted(placements[name])
+                    for domid in placements[name][i]]
+            if not flat:
+                continue
+            index, domid = flat[wrng.randint(0, len(flat) - 1)]
+            batches[index].append(("destroy", domid))
+            placements[name][index].remove(domid)
+        # A victim whose epoch batch allocates nothing would never trip
+        # its armed ``frames.alloc`` fault: fail-stop it at the barrier
+        # instead, so the kill schedule always lands.
+        for victim, _after in kill_epochs.get(epoch, []):
+            if victim in alive and not any(
+                    cmd[0] in ("boot", "clone", "touch")
+                    for cmd in batches[victim]):
+                batches[victim].append(("kill",))
+        for i in range(hosts):
+            batches[i].append(("status",))
+        process_results(batches, barrier(batches))
+        target_ms = (epoch + 1) * epoch_window_ms
+        if fleet_clock.now < target_ms:
+            fleet_clock.advance_to(target_ms)
+
+    # Drain epoch: one deferred re-placement attempt for children lost
+    # at the final barrier; leftovers are accounted failed.
+    if pending_replace:
+        epoch_forwards.clear()
+        batches = {i: [("advance", round(fleet_clock.now, 6))]
+                   for i in sorted(alive)}
+        for name, count in pending_replace:
+            if not place_request(name, count, "replace", batches):
+                report.replace_failed += count
+        pending_replace.clear()
+        for i in range(hosts):
+            batches.setdefault(i, []).append(("status",))
+        process_results(batches, barrier(batches))
+        for name, count in pending_replace:
+            report.replace_failed += count
+        pending_replace.clear()
+
+    # Teardown: destroy every surviving clone and replica, then audit
+    # every host — dead ones included; power-off must have left them
+    # clean.
+    teardown: dict[int, list[tuple]] = {}
+    for name in families:
+        for index in sorted(placements[name]):
+            if index not in alive:
+                continue
+            for domid in placements[name][index]:
+                teardown.setdefault(index, []).append(("destroy", domid))
+    for (name, index), domid in sorted(replica_domids.items(),
+                                       key=lambda kv: (kv[0][1], kv[1])):
+        if index in alive:
+            teardown.setdefault(index, []).append(("destroy", domid))
+    for i in range(hosts):
+        teardown.setdefault(i, []).append(("audit",))
+        teardown[i].append(("status",))
+    results = barrier(teardown)
+    for index in sorted(results):
+        for command, result in zip(teardown[index], results[index]):
+            if result[0] == "audit":
+                report.violations.extend(
+                    f"{specs[index].name}: {v}" for v in result[1])
+    process_results(teardown, results)
+
+    for index in sorted(snapshots):
+        snap = snapshots[index]
+        if snap.alive and snap.guests:
+            report.violations.append(
+                f"{snap.name}: {snap.guests} guests survived teardown")
+        report.per_host.append({
+            "host": snap.name, "alive": snap.alive,
+            "guests": snap.guests, "free_frames": snap.free_frames,
+            "clock_ms": snap.clock_ms})
+    report.violations.extend(audit_parallel_report(report))
+    report.clock_ms = round(fleet_clock.now, 6)
+
+    payload = report.to_dict()
+    payload.pop("fingerprint")
+    payload.pop("workers")
+    report.fingerprint = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+    return report

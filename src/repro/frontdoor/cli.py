@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import sys
 
 from repro.apps.traffic import SHAPES, as_shape
@@ -40,37 +41,67 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--runs", type=int, default=1,
                         help="repeat and require byte-identical "
                              "fingerprints (default 1)")
+    parser.add_argument("--parallel", type=int, default=0, metavar="N",
+                        help="run the clone factors in up to N worker "
+                             "processes (default 0 = serial); each "
+                             "factor is an isolated deterministic "
+                             "simulation, so results are byte-identical "
+                             "either way")
     parser.add_argument("--json", action="store_true",
                         help="print the results as JSON")
     return parser
 
 
+def _run_factor(params: dict, d: int) -> tuple[dict, list[str]]:
+    """One clone factor's dispatch run.
+
+    Takes and returns only plain data so the sweep can fan factors out
+    to worker processes — the ``--parallel`` path — without the session
+    objects ever crossing the process boundary.
+    """
+    shape = as_shape(params["workload"])
+    arrival_rps = (params["utilization"] * params["replicas"]
+                   * shape.capacity_rps)
+    violations: list[str] = []
+    with FleetSession(hosts=params["hosts"],
+                      seed=params["seed"]) as session:
+        session.create_family("smoke", ip="10.42.0.1")
+        session.clone("smoke", count=params["replicas"] - 1)
+        dispatch = session.dispatch(
+            "smoke", shape.name, requests=params["requests"],
+            arrival_rps=arrival_rps, clone_factor=d,
+            label=f"smoke-d{d}")
+        violations.extend(
+            f"d={d}: {v}" for v in audit_fleet(session.fleet,
+                                               session.frontdoor))
+        if dispatch.requests != (dispatch.completed + dispatch.failed
+                                 + dispatch.timed_out):
+            violations.append(
+                f"d={d}: {dispatch.requests} requests but "
+                f"{dispatch.completed}+{dispatch.failed}"
+                f"+{dispatch.timed_out} resolved")
+        session.close(check=False)
+    return dispatch.to_dict(), violations
+
+
 def _one_run(args: argparse.Namespace) -> tuple[list[dict], list[str]]:
     """One sweep; returns (per-factor result dicts, violations)."""
-    shape = as_shape(args.workload)
     factors = [int(d) for d in args.clone_factors.split(",") if d]
-    arrival_rps = args.utilization * args.replicas * shape.capacity_rps
-    results: list[dict] = []
-    violations: list[str] = []
-    for d in factors:
-        with FleetSession(hosts=args.hosts, seed=args.seed) as session:
-            session.create_family("smoke", ip="10.42.0.1")
-            session.clone("smoke", count=args.replicas - 1)
-            dispatch = session.dispatch(
-                "smoke", shape.name, requests=args.requests,
-                arrival_rps=arrival_rps, clone_factor=d,
-                label=f"smoke-d{d}")
-            violations.extend(
-                f"d={d}: {v}" for v in audit_fleet(session.fleet,
-                                                   session.frontdoor))
-            if dispatch.requests != (dispatch.completed + dispatch.failed
-                                     + dispatch.timed_out):
-                violations.append(
-                    f"d={d}: {dispatch.requests} requests but "
-                    f"{dispatch.completed}+{dispatch.failed}"
-                    f"+{dispatch.timed_out} resolved")
-            session.close(check=False)
-        results.append(dispatch.to_dict())
+    params = {"workload": args.workload, "utilization": args.utilization,
+              "replicas": args.replicas, "hosts": args.hosts,
+              "seed": args.seed, "requests": args.requests}
+    if args.parallel > 0 and len(factors) > 1:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        with ctx.Pool(min(args.parallel, len(factors))) as pool:
+            outcomes = pool.starmap(_run_factor,
+                                    [(params, d) for d in factors])
+    else:
+        outcomes = [_run_factor(params, d) for d in factors]
+    results = [result for result, _ in outcomes]
+    violations = [v for _, factor_violations in outcomes
+                  for v in factor_violations]
     return results, violations
 
 

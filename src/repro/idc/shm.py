@@ -8,6 +8,7 @@ dom_cow but the pages remain writable by every family member (paper
 
 from __future__ import annotations
 
+from repro.sim.units import pages_of
 from repro.xen.domid import DOMID_CHILD
 from repro.xen.domain import Domain
 from repro.xen.frames import PageType
@@ -58,8 +59,6 @@ class IdcSharedArea:
 
     def write(self, writer: Domain, nbytes: int) -> None:
         """Account a write by a family member; shared-writable, no COW."""
-        from repro.sim.units import pages_of
-
         pages = min(self.npages, max(1, pages_of(nbytes)))
         stats = writer.memory.write_range(self.segment.pfn_start, pages) \
             if writer is self.owner else None

@@ -36,25 +36,31 @@ class KvmCloned:
         costs = self.host.costs
         # The kvmcloned wake-up: same site as the Xen notification ring,
         # so one chaos plan storms either backend's clone-notify path.
-        self.host.faults.fire("notify.ring", parent=parent.pid,
-                              child=child.pid)
-        child.name = f"{parent.name}-c{child.pid}"
-        if parent.net is not None and child.net is not None:
-            self.host.faults.fire("device.attach", device="tap",
-                                  parent=parent.pid, child=child.pid)
-            # Fresh tap for the clone; family aggregation behind a bond.
-            ip = parent.net.ip
-            first_time = ip not in self.host._family_switch
-            bond = self.host.family_bond(ip)
-            if first_time:
-                self.host.bridge.detach(parent.net.port)
-                bond.enslave(parent.net.port)
-                parent.net.attach(self.host.bridge)
-            bond.enslave(child.net.port)
-            child.net.attach(self.host.bridge)
-            self.host.clock.charge(costs.switch_attach + costs.udev_dispatch)
-        # virtio-9p: nothing to do (fork inherited the fids).
-        self.clones_completed += 1
+        if self.host.faults.enabled:
+            self.host.faults.fire("notify.ring", parent=parent.pid,
+                                  child=child.pid)
+        with self.host.tracer.span("clone.second_stage", parent=parent.pid,
+                                   child=child.pid):
+            child.name = f"{parent.name}-c{child.pid}"
+            if parent.net is not None and child.net is not None:
+                if self.host.faults.enabled:
+                    self.host.faults.fire("device.attach", device="tap",
+                                          parent=parent.pid, child=child.pid)
+                # Fresh tap for the clone; family aggregation behind a
+                # bond.
+                ip = parent.net.ip
+                first_time = ip not in self.host._family_switch
+                bond = self.host.family_bond(ip)
+                if first_time:
+                    self.host.bridge.detach(parent.net.port)
+                    bond.enslave(parent.net.port)
+                    parent.net.attach(self.host.bridge)
+                bond.enslave(child.net.port)
+                child.net.attach(self.host.bridge)
+                self.host.clock.charge(costs.switch_attach
+                                       + costs.udev_dispatch)
+            # virtio-9p: nothing to do (fork inherited the fids).
+            self.clones_completed += 1
 
 
 class KvmCloneOp:
@@ -83,27 +89,31 @@ class KvmCloneOp:
         parent_state = parent.state
         parent.state = VmState.PAUSED
         children = []
-        try:
-            for _ in range(count):
-                children.append(self._clone_one(parent))
-                parent.clones_created += 1
-                self.stats["clones"] += 1
-        except ReproError:
-            for child in reversed(children):
-                child.destroy()
-                parent.clones_created -= 1
-                self.stats["clones"] -= 1
-            self.stats["rollbacks"] += 1
+        with self.host.tracer.span("clone.op", caller=parent_pid,
+                                   count=count):
+            try:
+                for _ in range(count):
+                    children.append(self._clone_one(parent))
+                    parent.clones_created += 1
+                    self.stats["clones"] += 1
+            except ReproError:
+                for child in reversed(children):
+                    child.destroy()
+                    parent.clones_created -= 1
+                    self.stats["clones"] -= 1
+                self.stats["rollbacks"] += 1
+                parent.state = parent_state
+                raise
             parent.state = parent_state
-            raise
-        parent.state = parent_state
-        for vcpu in parent.vcpus:
-            vcpu.registers["rax"] = 0
-        for child in children:
-            child.state = VmState.RUNNING
-            if child.app is not None:
-                rax = child.vcpus[0].registers["rax"]
-                child.app.on_cloned(child.api, rax - 1)
+            for vcpu in parent.vcpus:
+                vcpu.registers["rax"] = 0
+            with self.host.tracer.span("clone.resume",
+                                       count=len(children)):
+                for child in children:
+                    child.state = VmState.RUNNING
+                    if child.app is not None:
+                        rax = child.vcpus[0].registers["rax"]
+                        child.app.on_cloned(child.api, rax - 1)
         return [child.pid for child in children]
 
     def _clone_one(self, parent: KvmVm) -> KvmVm:
@@ -137,64 +147,73 @@ class KvmCloneOp:
         child.memory = GuestMemory(child.pid, host.frames)
         child.paging = None
         child.vmm_extent = None
+        tracer = host.tracer
         try:
-            shared_pages = 0
-            newly_shared = 0
-            for segment in parent.memory.shareable_segments():
-                extent = segment.extent
-                if not extent.shared:
-                    host.frames.share_to_cow(extent)
-                    newly_shared += segment.npages
-                host.frames.add_sharer(extent)
-                child.memory.adopt_segment(segment.pfn_start, extent,
-                                           segment.extent_offset,
-                                           segment.npages,
-                                           label=segment.label)
-                shared_pages += segment.npages
-            host.clock.charge(costs.fork_base
-                              + costs.fork_pte_copy * shared_pages
-                              + costs.fork_cow_mark * newly_shared)
+            with tracer.span("clone.first_stage", parent=parent.pid,
+                             child=child.pid) as span:
+                shared_pages = 0
+                newly_shared = 0
+                for segment in parent.memory.shareable_segments():
+                    extent = segment.extent
+                    if not extent.shared:
+                        host.frames.share_to_cow(extent)
+                        newly_shared += segment.npages
+                    host.frames.add_sharer(extent)
+                    child.memory.adopt_segment(segment.pfn_start, extent,
+                                               segment.extent_offset,
+                                               segment.npages,
+                                               label=segment.label)
+                    shared_pages += segment.npages
+                host.clock.charge(costs.fork_base
+                                  + costs.fork_pte_copy * shared_pages
+                                  + costs.fork_cow_mark * newly_shared)
+                span.set(shared_pages=shared_pages)
 
-            # vCPU fds are recreated and their state copied (rax fixup).
-            index = parent.clones_created
-            child.vcpus = [vcpu.clone_for_child(index)
-                           for vcpu in parent.vcpus]
-            host.clock.charge(costs.hyp_vcpu_init * len(child.vcpus))
+                # vCPU fds are recreated, their state copied (rax fixup).
+                index = parent.clones_created
+                child.vcpus = [vcpu.clone_for_child(index)
+                               for vcpu in parent.vcpus]
+                host.clock.charge(costs.hyp_vcpu_init * len(child.vcpus))
 
-            # EPT / shadow structures are rebuilt for the child VM fd.
-            from repro.sim.units import pages_of
+                # EPT / shadow structures are rebuilt for the child fd.
+                from repro.sim.units import pages_of
 
-            guest_pages = pages_of(parent.memory_bytes)
-            host.faults.fire("paging.build", domid=child.pid,
-                             pages=guest_pages)
-            child.paging = build_paging(host.frames, child.pid, guest_pages,
-                                        label=child.name or "kvm-clone")
-            host.clock.charge(
-                (costs.pt_entry_clone + costs.p2m_entry_clone) * guest_pages)
+                guest_pages = pages_of(parent.memory_bytes)
+                if host.faults.enabled:
+                    host.faults.fire("paging.build", domid=child.pid,
+                                     pages=guest_pages)
+                child.paging = build_paging(host.frames, child.pid,
+                                            guest_pages,
+                                            label=child.name or "kvm-clone")
+                host.clock.charge((costs.pt_entry_clone
+                                   + costs.p2m_entry_clone) * guest_pages)
 
-            # VMM process resident memory: fork shares it COW too, but
-            # the runtime dirties most of it immediately; account it
-            # private.
-            child.vmm_extent = host.frames.alloc(
-                child.pid, parent.vmm_extent.count, label=f"vmm:{child.pid}")
+                # VMM process resident memory: fork shares it COW too,
+                # but the runtime dirties most of it immediately;
+                # account it private.
+                child.vmm_extent = host.frames.alloc(
+                    child.pid, parent.vmm_extent.count,
+                    label=f"vmm:{child.pid}")
 
-            # Devices.
-            if parent.net is not None:
-                parent.net.clone_for(child)
-                if child.net is not None:
-                    child.net.rx_handler = child.dispatch_packet
-            if parent.p9 is not None:
-                parent.p9.clone_for(child)
+                # Devices.
+                if parent.net is not None:
+                    parent.net.clone_for(child)
+                    if child.net is not None:
+                        child.net.rx_handler = child.dispatch_packet
+                if parent.p9 is not None:
+                    parent.p9.clone_for(child)
 
-            # App state.
-            if parent.app is not None and hasattr(parent.app,
-                                                  "clone_for_child"):
-                child.app = parent.app.clone_for_child()
+                # App state.
+                if parent.app is not None and hasattr(parent.app,
+                                                      "clone_for_child"):
+                    child.app = parent.app.clone_for_child()
 
-            child.parent_pid = parent.pid
-            parent.children.append(child.pid)
-            host.register(child)
-            self.daemon.second_stage(parent, child)
+                child.parent_pid = parent.pid
+                parent.children.append(child.pid)
+                host.register(child)
+            with tracer.span("clone.handoff", parent=parent.pid,
+                             child=child.pid):
+                self.daemon.second_stage(parent, child)
         except ReproError:
             self._unwind_partial(parent, child)
             raise

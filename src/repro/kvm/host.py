@@ -14,6 +14,7 @@ import itertools
 from repro.faults.injector import NULL_INJECTOR
 from repro.net.bond import BondInterface
 from repro.net.bridge import Bridge
+from repro.obs.tracer import NULL_TRACER
 from repro.sim import CostModel, VirtualClock, pages_of
 from repro.xen.errors import XenInvalidError, XenNoEntryError
 from repro.xen.frames import FrameTable
@@ -25,7 +26,7 @@ class KvmHost:
     def __init__(self, memory_bytes: int, cpus: int = 4,
                  clock: VirtualClock | None = None,
                  costs: CostModel | None = None,
-                 faults=NULL_INJECTOR) -> None:
+                 faults=NULL_INJECTOR, tracer=NULL_TRACER) -> None:
         if cpus < 1:
             raise XenInvalidError(f"need at least one CPU: {cpus}")
         self.clock = clock if clock is not None else VirtualClock()
@@ -35,6 +36,10 @@ class KvmHost:
         #: the Xen backend fires, threaded through KVM_CLONE_VM so one
         #: chaos plan can storm either backend.
         self.faults = faults
+        #: Tracing probes (repro.obs): the same clone-path span
+        #: vocabulary the Xen backend records, so per-stage breakdown
+        #: tables diff across backends.
+        self.tracer = tracer
         self.frames = FrameTable(pages_of(memory_bytes))
         self.frames.faults = faults
         self.vms: dict[int, "object"] = {}

@@ -9,6 +9,7 @@ from repro.kvm.clone import KvmCloned, KvmCloneOp
 from repro.kvm.host import KvmHost
 from repro.kvm.vm import KvmVm
 from repro.kvm.virtio import Virtio9p, VirtioNet
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim import CostModel, DeterministicRNG, VirtualClock
 from repro.sim.units import GIB
 
@@ -18,7 +19,8 @@ class KvmPlatform:
 
     def __init__(self, memory_bytes: int = 16 * GIB, cpus: int = 4,
                  costs: CostModel | None = None, seed: int = 0xC10E,
-                 fault_plan: FaultPlan | None = None) -> None:
+                 fault_plan: FaultPlan | None = None,
+                 trace: bool = False) -> None:
         self.clock = VirtualClock()
         self.costs = costs if costs is not None else CostModel()
         self.rng = DeterministicRNG(seed)
@@ -28,8 +30,13 @@ class KvmPlatform:
                                      rng=self.rng.fork("faults"))
                        if fault_plan is not None and fault_plan.specs
                        else NULL_INJECTOR)
+        #: Same off-path contract for observability: NULL_TRACER unless
+        #: tracing was requested, so benchmarks stay unaffected.
+        self.tracer = (Tracer(self.clock, host="kvm") if trace
+                       else NULL_TRACER)
         self.host = KvmHost(memory_bytes, cpus=cpus, clock=self.clock,
-                            costs=self.costs, faults=self.faults)
+                            costs=self.costs, faults=self.faults,
+                            tracer=self.tracer)
         self.hostfs = HostFS()
         self.hostfs.mkdir("/srv")
         self.kvmcloned = KvmCloned(self.host)

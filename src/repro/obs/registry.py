@@ -10,6 +10,7 @@ registry shape for every run, so reports diff cleanly.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Any, Iterable
 
 
@@ -74,11 +75,9 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.buckets[i] += 1
-                return
-        self.buckets[-1] += 1
+        # First bound >= value, or len(bounds) for the open-ended last
+        # bucket — which is exactly buckets[len(bounds)].
+        self.buckets[bisect_left(self.bounds, value)] += 1
 
     @property
     def mean(self) -> float:

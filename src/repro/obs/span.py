@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One finished (or still-open) timed region of virtual time.
 

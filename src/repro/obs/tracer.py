@@ -87,17 +87,20 @@ class _OpenSpan:
         # The body of Tracer._open, inlined: spans bracket the hottest
         # simulated paths, so entering one must cost a fixed handful of
         # calls. ``clock._now`` is the VirtualClock backing field (the
-        # tracer is documented as keyed to a VirtualClock).
+        # tracer is documented as keyed to a VirtualClock), and the Span
+        # is built by direct slot assignment to skip the dataclass
+        # ``__init__``'s keyword plumbing.
         tracer = self._tracer
         stack = tracer._stack
-        span = self._span = Span(
-            kind=self._kind,
-            start_ms=tracer.clock._now,
-            span_id=tracer._next_id,
-            parent_id=stack[-1].span_id if stack else None,
-            depth=len(stack),
-            attrs=self._attrs,
-        )
+        span = self._span = Span.__new__(Span)
+        span.kind = self._kind
+        span.start_ms = tracer.clock._now
+        span.span_id = tracer._next_id
+        span.parent_id = stack[-1].span_id if stack else None
+        span.depth = len(stack)
+        span.end_ms = None
+        span.children_ms = 0.0
+        span.attrs = self._attrs
         tracer._next_id += 1
         stack.append(span)
         return span
@@ -208,11 +211,17 @@ class Tracer:
 
     def event(self, kind: str, **attrs: Any) -> None:
         """Record an instantaneous (zero-duration) span."""
-        now = self.clock.now
-        parent = self._stack[-1] if self._stack else None
-        span = Span(kind=kind, start_ms=now, span_id=self._next_id,
-                    parent_id=parent.span_id if parent is not None else None,
-                    depth=len(self._stack), end_ms=now, attrs=attrs)
+        now = self.clock._now
+        stack = self._stack
+        span = Span.__new__(Span)
+        span.kind = kind
+        span.start_ms = now
+        span.span_id = self._next_id
+        span.parent_id = stack[-1].span_id if stack else None
+        span.depth = len(stack)
+        span.end_ms = now
+        span.children_ms = 0.0
+        span.attrs = attrs
         self._next_id += 1
         self._record(span)
 

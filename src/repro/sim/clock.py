@@ -17,6 +17,8 @@ class ClockError(ReproError):
 class VirtualClock:
     """Monotonic virtual clock, in milliseconds."""
 
+    __slots__ = ("_now",)
+
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
 

@@ -142,30 +142,73 @@ class Engine:
 
     def step(self) -> bool:
         """Run the next event. Returns False when the queue is empty."""
-        while self._queue:
-            t_ms, _, event = heapq.heappop(self._queue)
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            t_ms, _, event = pop(queue)
             event._enqueued = False
             if event.cancelled:
                 self._cancelled -= 1
                 continue
-            self.clock.advance_to(max(t_ms, self.clock.now))
-            with self.tracer.span("sim.event"):
+            clock = self.clock
+            if t_ms > clock._now:
+                clock._now = t_ms
+            tracer = self.tracer
+            if tracer.enabled:
+                with tracer.span("sim.event"):
+                    event.callback()
+            else:
                 event.callback()
             return True
         return False
 
     def run_until(self, t_ms: float) -> None:
-        """Run all events scheduled strictly before ``t_ms``, then advance."""
-        while self._queue:
-            head_time = self._queue[0][0]
-            if head_time >= t_ms:
-                break
-            self.step()
-        self.clock.advance_to(max(t_ms, self.clock.now))
+        """Run all events scheduled strictly before ``t_ms``, then advance.
+
+        The dispatch loop is flattened (no per-event :meth:`step` call):
+        the heap, clock and tracer are bound to locals and every ready
+        event — including batches sharing one timestamp — is popped and
+        dispatched in a single tight loop.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        clock = self.clock
+        while queue and queue[0][0] < t_ms:
+            head, _, event = pop(queue)
+            event._enqueued = False
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            if head > clock._now:
+                clock._now = head
+            tracer = self.tracer
+            if tracer.enabled:
+                with tracer.span("sim.event"):
+                    event.callback()
+            else:
+                event.callback()
+        if t_ms > clock._now:
+            clock._now = t_ms
 
     def run(self, max_events: int = 1_000_000) -> int:
         """Drain the queue; returns how many events ran."""
         ran = 0
-        while ran < max_events and self.step():
+        queue = self._queue
+        pop = heapq.heappop
+        clock = self.clock
+        while ran < max_events and queue:
+            t_ms, _, event = pop(queue)
+            event._enqueued = False
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            if t_ms > clock._now:
+                clock._now = t_ms
+            tracer = self.tracer
+            if tracer.enabled:
+                with tracer.span("sim.event"):
+                    event.callback()
+            else:
+                event.callback()
             ran += 1
         return ran

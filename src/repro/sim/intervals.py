@@ -36,6 +36,12 @@ class IntervalSet:
         end = start + length
         # Find all intervals overlapping or adjacent to [start, end).
         lo = bisect.bisect_left(self._ends, start)
+        # Fast path: the range sits entirely inside one existing
+        # interval — the steady state for repeated writes to the same
+        # buffer (IDC areas, clone COW touches). No list surgery.
+        if (lo < len(self._starts) and self._starts[lo] <= start
+                and end <= self._ends[lo]):
+            return 0
         hi = bisect.bisect_right(self._starts, end)
         new_start, new_end = start, end
         removed = 0

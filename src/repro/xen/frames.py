@@ -61,7 +61,7 @@ PRIVATE_PAGE_TYPES = frozenset(
 _extent_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Extent:
     """A run of machine pages in identical ownership state."""
 
@@ -162,8 +162,9 @@ class FrameTable:
             raise XenInvalidError(f"non-positive page count: {count}")
         if owner == DOMID_INVALID:
             raise XenInvalidError("cannot allocate for DOMID_INVALID")
-        self.faults.fire("frames.alloc", owner=owner, count=count,
-                         page_type=page_type.value, label=label)
+        if self.faults.enabled:
+            self.faults.fire("frames.alloc", owner=owner, count=count,
+                             page_type=page_type.value, label=label)
         if count > self.free_frames:
             raise XenNoMemoryError(
                 f"requested {count} frames, {self.free_frames} free"

@@ -127,7 +127,9 @@ class Hypervisor:
                 self.clock.charge(costs.page_alloc)
 
             ram_pages = domain.ram_budget_pages
-            self.faults.fire("paging.build", domid=domid, pages=ram_pages)
+            if self.faults.enabled:
+                self.faults.fire("paging.build", domid=domid,
+                                 pages=ram_pages)
             domain.paging = build_paging(
                 self.frames, domid, ram_pages, label=name,
                 skeleton=self.paging_skeletons.get(ram_pages))
@@ -274,8 +276,9 @@ class Hypervisor:
         """Map a foreign page; enforces the DOMID_CHILD family constraint."""
         granter = self.get_domain(granter_domid)
         mapper = self.get_domain(mapper_domid)
-        self.faults.fire("grants.map", granter=granter_domid, gref=gref,
-                         mapper=mapper_domid)
+        if self.faults.enabled:
+            self.faults.fire("grants.map", granter=granter_domid, gref=gref,
+                             mapper=mapper_domid)
         children = self.descendants(granter_domid)
         self.clock.charge(self.costs.grant_op)
         entry = granter.grants.map_grant(gref, mapper_domid, children)

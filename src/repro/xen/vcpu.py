@@ -17,7 +17,7 @@ USER_REGISTERS = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class VCPU:
     """One virtual CPU of a domain."""
 
@@ -38,15 +38,19 @@ class VCPU:
         CLONEOP return value: 0 in the parent, 1 + child index in the
         child (paper §5.2: "on success it is zero for the parent and one
         for any child"; the index lets tests tell children apart).
+
+        The parent's register file is already complete (all 18 keys),
+        so the child is built directly, skipping ``__post_init__``'s
+        default fill — this runs once per vCPU per clone.
         """
         registers = dict(self.registers)
         registers["rax"] = 1 + child_index
-        return VCPU(
-            vcpu_id=self.vcpu_id,
-            online=self.online,
-            affinity=self.affinity,
-            registers=registers,
-        )
+        child = object.__new__(VCPU)
+        child.vcpu_id = self.vcpu_id
+        child.online = self.online
+        child.affinity = self.affinity
+        child.registers = registers
+        return child
 
     def pin(self, cpus: frozenset[int] | set[int]) -> None:
         """Restrict this vCPU to the given physical CPUs."""

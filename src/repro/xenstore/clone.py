@@ -30,6 +30,10 @@ class XsCloneOp(enum.Enum):
 _DEVICE_OPS = frozenset({XsCloneOp.DEV_CONSOLE, XsCloneOp.DEV_VIF,
                          XsCloneOp.DEV_9PFS})
 
+#: ``site_cache`` miss sentinel (``None`` is a valid cached value: it
+#: means the scan found no rewrite sites).
+_UNSCANNED = object()
+
 
 #: Keys whose value is a bare domid reference.
 DOMID_KEYS = frozenset({"frontend-id", "backend-id", "domid"})
@@ -107,8 +111,9 @@ def xs_clone(daemon: XenstoreDaemon, parent_domid: int, child_domid: int,
         raise XenstoreError(f"xs_clone: EEXIST {child_path!r}")
     # Injection after validation, before any mutation: a failing
     # xs_clone request leaves the store untouched.
-    daemon.faults.fire("xenstore.xs_clone", parent=parent_domid,
-                       child=child_domid, path=parent_path)
+    if daemon.faults.enabled:
+        daemon.faults.fire("xenstore.xs_clone", parent=parent_domid,
+                           child=child_domid, path=parent_path)
     source = daemon._lookup(parent_path)
     created = source.count
     key = parent_path.rstrip("/").rsplit("/", 1)[-1]
@@ -118,10 +123,10 @@ def xs_clone(daemon: XenstoreDaemon, parent_domid: int, child_domid: int,
         if cache is None:
             cache = source.site_cache = {}
         cache_key = (parent_domid, key)
-        sites = cache.get(cache_key)
-        if sites is None:
+        sites = cache.get(cache_key, _UNSCANNED)
+        if sites is _UNSCANNED:
             sites = cache[cache_key] = _scan_sites(key, source, parent_domid)
-        if sites:
+        if sites is not None:
             graft_root = _materialize(source, key, sites, parent_domid,
                                       child_domid)
     parent_norm = parent_path.rstrip("/")
@@ -154,8 +159,9 @@ def xs_clone_txn(daemon: XenstoreDaemon, transaction, parent_domid: int,
         raise XenstoreError(f"xs_clone: ENOENT {parent_path!r}")
     if daemon.exists(child_path):
         raise XenstoreError(f"xs_clone: EEXIST {child_path!r}")
-    daemon.faults.fire("xenstore.xs_clone", parent=parent_domid,
-                       child=child_domid, path=parent_path)
+    if daemon.faults.enabled:
+        daemon.faults.fire("xenstore.xs_clone", parent=parent_domid,
+                           child=child_domid, path=parent_path)
     rewrite = op in _DEVICE_OPS
     manager = daemon.transactions
     created = 0
@@ -188,41 +194,41 @@ def _needs_rewrite(key: str, value: str, parent: str) -> bool:
     return False
 
 
-def _scan_sites(key: str, source: Node,
-                parent_domid: int) -> tuple[tuple[str, ...], ...]:
-    """Relative paths (as name tuples; ``()`` is the root) of every
-    node in ``source`` whose value the device heuristics rewrite."""
+def _scan_sites(key: str, source: Node, parent_domid: int):
+    """Site tree of ``source``: ``(is_site, {name: subtree})`` nesting
+    that covers every node whose value the device heuristics rewrite.
+
+    Returned pre-nested (rather than as flat relative paths) so
+    :func:`_materialize` — which runs once per *clone*, while this scan
+    runs once per clone *source* — never regroups paths per call. An
+    empty tree is returned as ``None`` branches all the way down;
+    callers treat a root of ``(False, {})`` as "no sites".
+    """
     parent = str(parent_domid)
-    sites: list[tuple[str, ...]] = []
-    stack: list[tuple[tuple[str, ...], str, Node]] = [((), key, source)]
-    while stack:
-        rel, node_key, node = stack.pop()
-        value = node.value
-        if value and _needs_rewrite(node_key, value, parent):
-            sites.append(rel)
-        for name, child in node.children.items():
-            # Node names under a device directory are indices, never
-            # domids (the domid sits in the cloned root, chosen by the
-            # caller).
-            stack.append(((*rel, name), name, child))
-    return tuple(sites)
+    value = source.value
+    is_site = bool(value) and _needs_rewrite(key, value, parent)
+    branches = {}
+    for name, child in source.children.items():
+        # Node names under a device directory are indices, never
+        # domids (the domid sits in the cloned root, chosen by the
+        # caller).
+        sub = _scan_sites(name, child, parent_domid)
+        if sub is not None:
+            branches[name] = sub
+    if not is_site and not branches:
+        return None
+    return (is_site, branches)
 
 
-def _materialize(node: Node, key: str, sites, parent_domid: int,
+def _materialize(node: Node, key: str, site_tree, parent_domid: int,
                  child_domid: int) -> Node:
-    """Copy ``node`` along the given rewrite-site paths only.
+    """Copy ``node`` along the cached rewrite-site tree only.
 
     Site nodes get their value rewritten for this child; every subtree
     hanging off the copied spine is aliased by reference and marked
     shared (it is now reachable from both the source and the copy).
     """
-    heads: dict[str, list] = {}
-    is_site = False
-    for rel in sites:
-        if rel:
-            heads.setdefault(rel[0], []).append(rel[1:])
-        else:
-            is_site = True
+    is_site, branches = site_tree
     value = node.value
     if is_site and value:
         value = _rewrite_value(key, value, parent_domid, child_domid)
@@ -230,10 +236,10 @@ def _materialize(node: Node, key: str, sites, parent_domid: int,
     copy.count = node.count
     children = dict(node.children)
     copy.children = children
-    for name, child in node.children.items():
-        subsites = heads.get(name)
-        if subsites is not None:
-            children[name] = _materialize(child, name, subsites,
+    for name, child in children.items():
+        sub = branches.get(name)
+        if sub is not None:
+            children[name] = _materialize(child, name, sub,
                                           parent_domid, child_domid)
         else:
             child.shared = True

@@ -9,7 +9,6 @@ request, which is what makes boot times in Fig 4 grow from 160 ms to
 
 from __future__ import annotations
 
-import functools
 import itertools
 from typing import Callable
 
@@ -20,6 +19,10 @@ from repro.sim import CostModel, VirtualClock
 from repro.xenstore.logging import AccessLog
 
 WatchCallback = Callable[[str, str], None]  # (fired path, token)
+
+#: Upper bound on the read-path memo in :meth:`XenstoreDaemon._lookup`;
+#: reached, the memo is dropped wholesale (paths are cheap to re-walk).
+_PATH_CACHE_MAX = 8192
 
 
 class XenstoreError(ReproError):
@@ -59,11 +62,13 @@ class Node:
         self.site_cache = None
 
 
-@functools.lru_cache(maxsize=None)
-def _split(path: str) -> tuple[str, ...]:
-    if not path.startswith("/"):
+def _split(path: str) -> list[str]:
+    # Deliberately uncached: store paths are dominated by per-domain
+    # one-shot strings (/local/domain/<domid>/...), so an lru_cache here
+    # never amortizes — it just adds a hash probe + unbounded growth.
+    if path[:1] != "/":
         raise XenstoreError(f"path must be absolute: {path!r}")
-    return tuple(filter(None, path.split("/")))
+    return [part for part in path.split("/") if part]
 
 
 class Watch:
@@ -93,6 +98,9 @@ class XenstoreDaemon:
         self.node_count = 0
         self.access_log = AccessLog(clock, costs, enabled=log_enabled,
                                     tracer=self.tracer)
+        #: path -> resolved Node memo for the non-creating read path;
+        #: see :meth:`_lookup` for the (narrow) invalidation contract.
+        self._path_cache: dict[str, Node] = {}
         self._watches: dict[int, Watch] = {}
         #: Watch path -> {watch id -> watch}: firing a path consults its
         #: O(depth) prefixes instead of scanning every watch.
@@ -112,15 +120,25 @@ class XenstoreDaemon:
     # request accounting
     # ------------------------------------------------------------------
     def charge_request(self, extra: float = 0.0) -> None:
-        """Account one client request (cost + access log)."""
+        """Account one client request (cost + access log).
+
+        This is the single hottest accounting call in the instantiation
+        experiments, so it advances the clock directly (the summed cost
+        is non-negative by construction: all cost constants are positive
+        and callers only pass non-negative ``extra``) and skips the
+        tracer/log calls when those sinks are disabled.
+        """
         self.stats["requests"] += 1
-        self.tracer.count("xenstore.requests")
-        self.clock.charge(
-            self.costs.xs_request_base
-            + self.costs.xs_request_per_node * self.node_count
-            + extra
-        )
-        self.access_log.record_request()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.count("xenstore.requests")
+        costs = self.costs
+        self.clock._now += (costs.xs_request_base
+                            + costs.xs_request_per_node * self.node_count
+                            + extra)
+        log = self.access_log
+        if log.enabled:
+            log.record_request()
 
     def resident_bytes(self) -> int:
         """Approximate oxenstored resident memory (Dom0 accounting)."""
@@ -132,19 +150,38 @@ class XenstoreDaemon:
     def _lookup(self, path: str, create: bool = False) -> Node:
         if create:
             return self._lookup_create(path)
+        cache = self._path_cache
+        entry = cache.get(path)
+        if entry is not None:
+            return entry[0]
         node = self.root
+        write_safe = True
         try:
             for part in _split(path):
                 node = node.children[part]
+                if node.shared:
+                    write_safe = False
         except KeyError:
             raise XenstoreError(f"ENOENT: {path!r}") from None
+        # Path memo: value writes mutate the resolved Node in place, so
+        # a cached path -> Node mapping stays truthful until a node
+        # object on some path is *replaced* or newly *shared* — un-share,
+        # subtree removal, graft (every xs_clone grafts) — at which
+        # point the whole memo is dropped (see ``_unshare`` /
+        # ``remove_node`` / ``graft``). ``write_safe`` records whether
+        # the walk crossed a shared node: only an all-private path may
+        # satisfy a mutating lookup (see ``_lookup_create``).
+        if len(cache) >= _PATH_CACHE_MAX:
+            cache.clear()
+        cache[path] = (node, write_safe)
         return node
 
-    @staticmethod
-    def _unshare(node: Node) -> Node:
+    def _unshare(self, node: Node) -> Node:
         """Private copy of a shared node: alias its children (marking
         them shared so the laziness recurses) and return the copy. The
         caller re-links it into the (already private) parent."""
+        if self._path_cache:
+            self._path_cache.clear()
         copy = Node(node.value)
         copy.count = node.count
         children = dict(node.children)
@@ -154,6 +191,13 @@ class XenstoreDaemon:
         return copy
 
     def _lookup_create(self, path: str) -> Node:
+        cache = self._path_cache
+        entry = cache.get(path)
+        if entry is not None and entry[1]:
+            # Write-safe hit: the whole path is private, so the node
+            # may be handed out for mutation without re-walking (and
+            # without any count/unshare bookkeeping — nothing changes).
+            return entry[0]
         parts = _split(path)
         node = self.root
         trail = [node]
@@ -171,21 +215,35 @@ class XenstoreDaemon:
                     node.children[parts[j]] = child
                     node = child
                 self.node_count += created
+                cache = self._path_cache  # _unshare may have cleared it
+                if len(cache) >= _PATH_CACHE_MAX:
+                    cache.clear()
+                cache[path] = (node, True)
                 return node
             if child.shared:
                 child = self._unshare(child)
                 node.children[part] = child
             trail.append(child)
             node = child
+        # The walk above un-shared every node on the path: write-safe.
+        cache = self._path_cache
+        if len(cache) >= _PATH_CACHE_MAX:
+            cache.clear()
+        cache[path] = (node, True)
         return node
 
     def exists(self, path: str) -> bool:
-        """Does ``path`` exist?"""
-        try:
-            self._lookup(path)
+        """Does ``path`` exist? (Non-raising: probing for absent nodes
+        is the common case during device negotiation, so this walks
+        with ``dict.get`` instead of paying exception dispatch.)"""
+        if path in self._path_cache:
             return True
-        except XenstoreError:
-            return False
+        node = self.root
+        for part in _split(path):
+            node = node.children.get(part)
+            if node is None:
+                return False
+        return True
 
     def write_node(self, path: str, value: str, fire: bool = True) -> None:
         """Create/overwrite a node (creating intermediate directories)."""
@@ -226,6 +284,8 @@ class XenstoreDaemon:
             raise XenstoreError(f"ENOENT: {path!r}")
         removed = target.count
         del parent.children[parts[-1]]
+        if self._path_cache:
+            self._path_cache.clear()
         for ancestor in trail:
             ancestor.count -= removed
         self.node_count -= removed
@@ -274,6 +334,8 @@ class XenstoreDaemon:
             node = child
         if parts[-1] in node.children:
             raise XenstoreError(f"EEXIST: {path!r}")
+        if self._path_cache:
+            self._path_cache.clear()
         node.children[parts[-1]] = subtree
         added = subtree.count
         for ancestor in trail:

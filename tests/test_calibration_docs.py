@@ -8,6 +8,7 @@ cannot silently rot when a constant is renamed or recalibrated.
 
 from __future__ import annotations
 
+import dataclasses
 import re
 from pathlib import Path
 
@@ -82,9 +83,43 @@ def test_every_documented_value_matches_the_cost_table():
 
 def test_every_fleet_constant_is_documented():
     text = CALIBRATION_MD.read_text(encoding="utf-8")
-    fleet_fields = [name for name in vars(CostModel()) if
-                    name.startswith("fleet_")]
+    fleet_fields = [f.name for f in dataclasses.fields(CostModel) if
+                    f.name.startswith("fleet_")]
     assert fleet_fields, "CostModel lost its fleet_* constants"
     for name in fleet_fields:
         assert f"`{name}`" in text, (
             f"fleet constant {name} missing from docs/CALIBRATION.md")
+
+
+def test_fleet_constants_derive_from_the_lan_rtt_anchor():
+    """The fleet_* table is anchored, not hand-tuned: every time
+    constant is the documented multiple of the published 0.5 ms
+    intra-datacenter RTT (Dean & Barroso, CACM 2013), exactly as
+    docs/CALIBRATION.md derives them."""
+    from repro.sim.costs import FLEET_LAN_RTT
+
+    assert FLEET_LAN_RTT == pytest.approx(0.5)  # ms; the published anchor
+    model = CostModel()
+    derivations = {
+        "fleet_heartbeat_poll": FLEET_LAN_RTT / 10,
+        "fleet_forward_rpc": 4 * FLEET_LAN_RTT,
+        "fleet_replace_backoff": 10 * FLEET_LAN_RTT,
+        "fleet_detect_fixed": 2 * FLEET_LAN_RTT,
+        "fleet_fence_per_domain": 4 * (FLEET_LAN_RTT / 10),
+        "fleet_degraded_penalty": 2 * FLEET_LAN_RTT,
+    }
+    fleet_fields = {f.name for f in dataclasses.fields(CostModel)
+                    if f.name.startswith("fleet_")}
+    assert derivations.keys() == fleet_fields, (
+        "a fleet_* constant was added without a documented derivation")
+    for name, derived in derivations.items():
+        assert getattr(model, name) == pytest.approx(derived), (
+            f"{name} no longer matches its docs/CALIBRATION.md "
+            f"derivation ({derived} ms)")
+
+
+def test_fleet_anchor_sources_are_cited():
+    text = CALIBRATION_MD.read_text(encoding="utf-8")
+    assert "FLEET_LAN_RTT" in text
+    assert "Tail at Scale" in text
+    assert "SWIM" in text

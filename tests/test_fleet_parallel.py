@@ -1,0 +1,115 @@
+"""Epoch-barrier parallel fleet runner: determinism + edge cases.
+
+The contract under test (DESIGN.md "Parallel fleet execution"): the
+control plane plans every epoch from barrier-time snapshots, hosts
+execute identical command batches whatever executor runs them, so the
+serial executor and the process-parallel executor must produce
+byte-identical sha256 fingerprints for the same seed — including
+through host kills mid-epoch, clone-forwards that land on freshly
+fenced hosts, and total-loss storms.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.parallel import audit_parallel_report, run_parallel_storm
+
+PINNED_SEED = 0xC10E
+
+
+def test_serial_and_parallel_fingerprints_match_at_pinned_seed():
+    serial = run_parallel_storm(seed=PINNED_SEED, workers=0)
+    parallel = run_parallel_storm(seed=PINNED_SEED, workers=2)
+    assert serial.violations == []
+    assert parallel.violations == []
+    assert serial.fingerprint == parallel.fingerprint
+    assert serial.hosts_killed == 1
+    # The executor choice is the *only* thing allowed to differ.
+    serial_dict, parallel_dict = serial.to_dict(), parallel.to_dict()
+    assert serial_dict.pop("workers") == 0
+    assert parallel_dict.pop("workers") == 2
+    assert serial_dict == parallel_dict
+
+
+def test_same_executor_reruns_are_byte_identical():
+    first = run_parallel_storm(seed=PINNED_SEED, workers=0)
+    second = run_parallel_storm(seed=PINNED_SEED, workers=0)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_host_killed_mid_epoch_fences_remaining_batch():
+    """A kill armed on an allocation mid-batch leaves the rest of that
+    host's batch fenced; the storm still balances its books."""
+    report = run_parallel_storm(seed=PINNED_SEED, hosts=4, workers=0,
+                                parents=4, batch=4, epochs=10, kills=2)
+    assert report.hosts_killed == 2
+    assert report.fenced_commands > 0
+    assert report.violations == []
+    assert report.clones_requested == (report.clones_placed
+                                       + report.clones_failed)
+
+
+def test_forward_to_replacement_host_after_kill():
+    """Losing a replica host forces clone-forwards (replica boots on a
+    fresh host) and re-placement of the lost children."""
+    report = run_parallel_storm(seed=PINNED_SEED, hosts=4, workers=0,
+                                parents=4, batch=4, epochs=10, kills=2)
+    assert report.forwards > 0
+    assert report.children_lost > 0
+    assert report.children_lost == (report.children_replaced
+                                    + report.replace_failed)
+
+
+def test_total_loss_storm_accounts_every_child():
+    """Killing every host leaves nowhere to re-place; once the last
+    survivor dies the books must close on the replace_failed side
+    instead of leaking. (Kills land in different epochs, so children
+    lost to the *first* kill may still be re-placed before the second
+    lands — only the post-total-loss children must fail over to
+    replace_failed.)"""
+    report = run_parallel_storm(seed=PINNED_SEED, hosts=2, workers=0,
+                                kills=2)
+    assert report.hosts_killed == 2
+    assert report.children_lost > 0
+    assert report.replace_failed > 0
+    assert report.children_lost == (report.children_replaced
+                                    + report.replace_failed)
+    assert report.violations == []
+
+
+def test_parallel_executor_handles_kills_and_forwards():
+    serial = run_parallel_storm(seed=PINNED_SEED, hosts=4, workers=0,
+                                parents=4, batch=4, epochs=10, kills=2)
+    parallel = run_parallel_storm(seed=PINNED_SEED, hosts=4, workers=4,
+                                  parents=4, batch=4, epochs=10, kills=2)
+    assert serial.fingerprint == parallel.fingerprint
+    assert parallel.violations == []
+
+
+def test_audit_is_part_of_the_report_violations():
+    report = run_parallel_storm(seed=PINNED_SEED, workers=0)
+    assert audit_parallel_report(report) == []
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       hosts=st.integers(min_value=2, max_value=4),
+       kills=st.integers(min_value=0, max_value=2),
+       batch=st.integers(min_value=1, max_value=3))
+def test_parallel_storms_never_leak(seed, hosts, kills, batch):
+    """audit_fleet-style conservation holds under the parallel runner
+    for arbitrary (seed, hosts, kills, batch) — same generator ranges
+    as the serial fleet storm property."""
+    kills = min(kills, hosts)
+    report = run_parallel_storm(seed=seed, hosts=hosts, workers=0,
+                                parents=1, batch=batch, epochs=6,
+                                kills=kills)
+    assert report.violations == []
+    assert report.clones_requested == (report.clones_placed
+                                       + report.clones_failed)
+    assert report.children_lost == (report.children_replaced
+                                    + report.replace_failed)
+    assert audit_parallel_report(report) == []

@@ -1,11 +1,14 @@
 """Unit tests: cost model."""
 
+from dataclasses import fields
+
 from repro.sim.costs import CostModel
 
 
 def test_defaults_are_positive():
     costs = CostModel()
-    for name, value in vars(costs).items():
+    for name, value in ((f.name, getattr(costs, f.name))
+                        for f in fields(costs)):
         if isinstance(value, (int, float)) and name != "extras":
             assert value > 0, f"{name} must be positive"
 

@@ -196,3 +196,41 @@ def test_events_scheduled_during_run_are_processed():
     engine.run()
     assert fired == ["first", "second"]
     assert engine.clock.now == 6.0
+
+
+def test_heap_stays_bounded_under_cancel_churn():
+    """Heavy cancel churn (the frontdoor's cancellation-on-first-
+    response pattern) must not grow the heap without bound: lazy
+    compaction keeps stale entries below ``2 * live + 1`` once the
+    queue passes the compaction threshold."""
+    from repro.sim.engine import _COMPACT_MIN
+
+    engine = Engine()
+    live = [engine.schedule_at(1e9 + i, lambda: None) for i in range(20)]
+    max_pending = 0
+    for round_ in range(200):
+        # A hedged request: N speculative events, all but the winner
+        # cancelled as soon as the first response lands.
+        hedges = [engine.schedule_at(1000.0 + round_ + i / 16.0,
+                                     lambda: None)
+                  for i in range(16)]
+        for event in hedges[1:]:
+            event.cancel()
+        hedges[0].cancel()
+        max_pending = max(max_pending, engine.pending)
+        # The bound: at most one uncompacted dead entry per live one
+        # (plus the threshold below which compaction never bothers).
+        assert engine.pending <= 2 * (len(live) + 1) + _COMPACT_MIN
+        # The _note_cancelled postcondition: below the threshold the
+        # engine never bothers; above it dead entries never reach a
+        # majority of the heap.
+        assert (engine.pending < _COMPACT_MIN
+                or engine.cancelled_pending * 2 <= engine.pending)
+    # 3200 cancels against 20 live events: compaction must have run
+    # many times, and the heap never came close to 3200 entries.
+    assert engine.compactions >= 10
+    assert max_pending <= 2 * (20 + 16) + _COMPACT_MIN
+    for event in live:
+        event.cancel()
+    engine.run()
+    assert engine.pending == 0
