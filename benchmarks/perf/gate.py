@@ -34,8 +34,43 @@ from pathlib import Path
 from benchmarks.perf.harness import (
     OUTPUT_PATH,
     SCHEMA_VERSION,
+    SCENARIOS,
     run_harness,
 )
+
+#: Hot frames reported per scenario by ``--profile``.
+PROFILE_TOP = 25
+
+
+def write_profile(path: Path, quick: bool) -> str:
+    """cProfile one run of every timed scenario; write the top
+    :data:`PROFILE_TOP` frames (by internal time) per scenario to
+    ``path`` as a plain-text CI artifact, and return the text.
+
+    Wall seconds on a shared box swing too much to read a regression's
+    *shape* from the gate table alone; the profile artifact is the
+    thing to diff when a speedup floor trips.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    sections: list[str] = []
+    for name, factory in SCENARIOS.items():
+        runner = factory(quick)
+        profile = cProfile.Profile()
+        profile.enable()
+        try:
+            runner()
+        finally:
+            profile.disable()
+        stream = io.StringIO()
+        pstats.Stats(profile, stream=stream).sort_stats(
+            "tottime").print_stats(PROFILE_TOP)
+        sections.append(f"=== {name} ===\n{stream.getvalue().strip()}\n")
+    text = "\n".join(sections)
+    path.write_text(text)
+    return text
 
 
 def load_reference(path: Path) -> dict:
@@ -137,6 +172,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", default=None,
                         help="also write the fresh payload here "
                              "(CI artifact)")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="also cProfile one run per scenario and "
+                             f"write the top-{PROFILE_TOP} hot frames "
+                             "to PATH (CI artifact)")
     args = parser.parse_args(argv)
 
     reference = load_reference(Path(args.reference))
@@ -154,6 +193,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"perf gate ({payload['scale']} scale, best of {args.repeat}, "
           f"{payload['cpus']} cpus)")
     print(format_table(rows, reference=same_scale))
+    if args.profile:
+        write_profile(Path(args.profile), args.quick)
+        print(f"profile artifact written to {args.profile}")
     if violations:
         print(f"\nFAIL: {len(violations)} floor violations:",
               file=sys.stderr)

@@ -53,6 +53,21 @@ BASELINES: dict[str, dict[str, tuple[float, int]]] = {
                     "quick": (0.104, 531_597)},
     "xenstore_deep_clone": {"full": (0.460, 1_588_219),
                             "quick": (0.035, 116_289)},
+    # The pre-virtual-time front door (per-job-decrement PS servers,
+    # engine-event departures), measured on the same 1,071,875-request
+    # megascale sweep / CI-sized quick sweep as the scenario below.
+    "frontdoor_p99": {"full": (146.404, 877_760_639),
+                      "quick": (0.269, 1_415_983)},
+}
+
+#: DispatchResult sweep fingerprints the frontdoor scenario must
+#: reproduce byte-for-byte: a faster dispatcher that perturbs a single
+#: latency by an ulp is a correctness regression, not a win. The full
+#: pin was captured from the pre-rewrite dispatcher; the quick pin
+#: guards run-to-run determinism at CI scale.
+FRONTDOOR_FINGERPRINTS = {
+    "full": "6d55565467eb66bea7d4c3b7edfa7e17596dcd4589e4e2c54630525895cef474",
+    "quick": "35c31ef94ab2eed3d717955da4aaf3752f4c1e948a5d8c1ee05b20d60ba19553",
 }
 
 #: Per-scenario regression floors, enforced by the perf gate.
@@ -88,6 +103,16 @@ FLOORS: dict[str, dict[str, dict[str, float]]] = {
     "xenstore_deep_clone": {
         "full": {"speedup": 8.0, "work_reduction": 12.0},
         "quick": {"speedup": 4.0, "work_reduction": 3.5}},
+    # The issue's megascale target is >= 3x wall clock; the full run
+    # robustly measures 3.4-3.6x so the floor pins the target itself.
+    # Full-scale profiled calls measure 154.6M vs the 877.8M baseline
+    # (5.68x, bit-stable) — the floor sits just under the measurement.
+    # The quick sweep is too small for a meaningful wall-clock floor
+    # (sub-second, noise-dominated): its speedup floor only catches a
+    # return to the seed, while the call-count floor is tight.
+    "frontdoor_p99": {
+        "full": {"speedup": 3.0, "work_reduction": 5.5},
+        "quick": {"speedup": 0.9, "work_reduction": 1.25}},
     "fleet_parallel": {
         "full": {"scaling": 0.9},
         "quick": {"scaling": 0.9}},
@@ -181,6 +206,35 @@ def _xenstore_deep_clone(quick: bool):
                 domid = 100 + child
                 handle.clone(5, domid, XsCloneOp.DEV_9PFS, base,
                              f"/local/domain/0/backend/9pfs/{domid}")
+
+    return scenario
+
+
+def _frontdoor(quick: bool):
+    """The front-door P99-vs-d sweep (megascale dispatch hot loop).
+
+    Full scale is the headline 1,071,875-request sweep across clone
+    factors 1-8 plus the composed autoscale + host-kill run; quick is
+    the CI-sized variant. The sweep fingerprint is asserted against
+    :data:`FRONTDOOR_FINGERPRINTS` inside the timed region — the
+    virtual-time fast path is only admissible while it reproduces the
+    per-job-decrement latency series byte for byte — and the audit
+    ledgers must come back clean.
+    """
+    from repro.experiments import frontdoor_p99
+
+    expected = FRONTDOOR_FINGERPRINTS["quick" if quick else "full"]
+
+    def scenario():
+        result = (frontdoor_p99.run_quick() if quick
+                  else frontdoor_p99.run())
+        if result.fingerprint != expected:
+            raise AssertionError(
+                "frontdoor sweep fingerprint drift: "
+                f"{result.fingerprint} != {expected}")
+        if result.violations:
+            raise AssertionError(
+                f"frontdoor conservation violations: {result.violations}")
 
     return scenario
 
@@ -288,6 +342,7 @@ SCENARIOS = {
     "clone_fleet": _clone_fleet,
     "xenstore_deep_clone": _xenstore_deep_clone,
     "kvm_clone_burst": _kvm_clone_burst,
+    "frontdoor_p99": _frontdoor,
 }
 
 

@@ -37,7 +37,7 @@ from repro.experiments.report import format_table
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.fleet.chaos import audit_fleet
 from repro.frontdoor.dispatch import AutoscalePolicy
-from repro.frontdoor.model import quantile_sojourn_ms
+from repro.frontdoor.model import measured_rho_eff, quantile_sojourn_ms
 from repro.frontdoor.results import DispatchResult
 from repro.frontdoor.session import FleetSession
 
@@ -137,9 +137,8 @@ def _measure(session: FleetSession, family: str, shape_name: str, *,
     result = session.dispatch(
         family, shape_name, requests=requests, arrival_rps=arrival_rps,
         clone_factor=clone_factor, label=f"p99-d{clone_factor}")
-    capacity_ms = result.duration_ms * replicas
-    rho_eff = (result.work_served_ms / capacity_ms
-               if capacity_ms > 0 else 0.0)
+    rho_eff = measured_rho_eff(result.work_served_ms, result.duration_ms,
+                               replicas)
     return result, rho_eff
 
 

@@ -231,6 +231,15 @@ class Fleet:
             self.hosts.append(FleetHost(name, index, platform))
         self._by_name = {host.name: host for host in self.hosts}
         self._families: dict[str, _Family] = {}
+        #: Monotonic counter bumped on every change that can alter which
+        #: (host, domid) instances serve traffic: replica boots, clone
+        #: placements, host state transitions, fencing, repairs and
+        #: family teardown. Consumers (the front door's ``refresh``)
+        #: cache derived pool views keyed on this epoch instead of
+        #: re-deriving them per call. Direct platform-level destroys
+        #: that bypass the fleet verbs (the chaos harness tearing down
+        #: domains through ``platform.xl``) do not bump it.
+        self.topology_epoch = 0
         self.beats = 0
         self.stats = {
             "clone_requests": 0,
@@ -325,6 +334,7 @@ class Fleet:
         app = family.app_factory() if family.app_factory is not None else None
         domain = host.platform.xl.create(config, app=app)
         family.replicas[host.name] = domain.domid
+        self.topology_epoch += 1
         self.stats["replicas_booted"] += 1
         return domain.domid
 
@@ -430,6 +440,7 @@ class Fleet:
             self._arm_midbatch_kill(host)
         if self.faults.event("host.partition", host=host.name, op="clone"):
             host.state = HostState.PARTITIONED
+            self.topology_epoch += 1
             return None
         if host.state is HostState.DEGRADED:
             self.clock.charge(self.costs.fleet_degraded_penalty)
@@ -470,6 +481,7 @@ class Fleet:
             self._declare_dead(host)
             return None
         family.clones.setdefault(host.name, []).extend(children)
+        self.topology_epoch += 1
         self.tracer.count("fleet.children_placed", len(children))
         return children
 
@@ -501,13 +513,16 @@ class Fleet:
                 if self.faults.event("host.crash", host=host.name,
                                      op="heartbeat"):
                     host.state = HostState.CRASHED
+                    self.topology_epoch += 1
                 elif self.faults.event("host.partition", host=host.name,
                                        op="heartbeat"):
                     host.state = HostState.PARTITIONED
+                    self.topology_epoch += 1
                 elif (host.state is HostState.UP
                       and self.faults.event("host.degraded", host=host.name,
                                             op="heartbeat")):
                     host.state = HostState.DEGRADED
+                    self.topology_epoch += 1
                     self.stats["degraded_marked"] += 1
             if host.state in (HostState.CRASHED, HostState.PARTITIONED):
                 host.missed_beats += 1
@@ -528,6 +543,7 @@ class Fleet:
             raise FleetError(
                 f"host {name} is {host.state.value}, not degraded")
         host.state = HostState.UP
+        self.topology_epoch += 1
         self.stats["repairs"] += 1
 
     def _declare_dead(self, host: FleetHost) -> None:
@@ -551,6 +567,7 @@ class Fleet:
             self.stats["hosts_crashed"] += 1
         host.state = HostState.DEAD
         host.dying = False
+        self.topology_epoch += 1
         # Power-off accounting: every guest's frames/grants/backends are
         # released, and all in-flight clone-plumbing state dies with the
         # host — audit_fleet verifies nothing survives.
@@ -590,6 +607,7 @@ class Fleet:
         family = self._families.pop(name, None)
         if family is None:
             raise FleetError(f"unknown family {name!r}")
+        self.topology_epoch += 1
         for host_name in sorted(set(family.clones) | set(family.replicas)):
             host = self._by_name[host_name]
             if host.state is HostState.DEAD:

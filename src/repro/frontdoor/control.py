@@ -199,6 +199,10 @@ class ControlPlane:
             "replicas": dict(sorted(family.replicas.items())),
             "clones": {host: sorted(domids) for host, domids
                        in sorted(family.clones.items())},
+            # Placement-change counter the front door keys its pool
+            # cache on: a poller can skip re-reading the placement
+            # whenever the epoch has not moved.
+            "topology_epoch": self.fleet.topology_epoch,
         })
 
     def _route_create(self, body: dict[str, Any]) -> Response:

@@ -20,6 +20,21 @@ exactly the trade-off the headline experiment
 (:mod:`repro.experiments.frontdoor_p99`) measures against the model's
 analytic curves.
 
+The PS servers use **virtual-time (attained-service) accounting**: each
+server keeps a virtual clock ``V`` that advances by ``rate / n`` per
+wall millisecond with ``n`` jobs in service, each copy records its
+finish virtual time ``V_admit + demand`` once at admission, and
+departures come from a per-server min-heap keyed on finish-V — so
+advancing the server is O(1) in the number of resident jobs and finding
+the next departure is a heap peek, instead of the O(n) decrement/scan
+of the naive formulation. Because float subtraction is not associative,
+the heap keys are treated as *hints* only: every remaining-work value
+that feeds a simulation decision is reproduced by lazily replaying the
+server's exact per-advance share history against the copy (see
+``ReplicaServer.exact_remaining``), which keeps the latency series
+byte-identical to the sequential per-job-decrement formulation the
+equivalence suite keeps as an oracle.
+
 Determinism: arrivals, demands and routing each draw from their own
 forked RNG stream keyed by (family, shape, label), all events run on
 one :class:`~repro.sim.engine.Engine` bound to the fleet clock, and the
@@ -30,7 +45,10 @@ full per-request latency series — same seed, same bytes.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
+from array import array
+from functools import partial
 from typing import TYPE_CHECKING, Any
 
 from repro.apps.traffic import RequestShape, as_shape
@@ -61,18 +79,36 @@ DISPATCH_RTT_MS = 0.08
 DEGRADED_RATE = 0.5
 
 #: Per-replica concurrency cap (listen backlog): a copy routed to a
-#: full replica is rejected at admission. Bounds the cost of one
-#: processor-sharing advance, and keeps past-the-knee runs finite.
+#: full replica is rejected at admission. Bounds the per-departure
+#: candidate set, and keeps past-the-knee runs finite.
 MAX_JOBS_PER_SERVER = 256
 
 #: Copy lifecycle states.
 _ACTIVE, _WON, _CANCELLED, _LOST, _TIMED_OUT = range(5)
 
+#: Departure heaps smaller than this are never compacted (the engine's
+#: ``_COMPACT_MIN`` discipline): popping past a handful of dead entries
+#: is cheaper than rebuilding.
+_HEAP_COMPACT_MIN = 64
+
+#: Share-history length at which the server considers dropping the
+#: prefix every resident job has already replayed.
+_HIST_COMPACT = 4096
+
 
 class _Copy:
-    """One clone copy of a request, in service at one replica."""
+    """One clone copy of a request, in service at one replica.
 
-    __slots__ = ("request", "server", "remaining_ms", "consumed_ms", "state")
+    ``remaining_ms`` is exact *as of* ``sync_idx`` advances of the
+    server's share history; ``ReplicaServer.exact_remaining`` replays
+    the missed shares in order before the value is trusted. ``vkey``
+    (finish virtual time) is the departure-heap hint and is never used
+    for a simulation decision directly.
+    """
+
+    __slots__ = ("request", "server", "remaining_ms", "consumed_ms",
+                 "state", "in_service", "seq", "vkey", "v_admit",
+                 "sync_idx", "job_idx")
 
     def __init__(self, request: "_Request", server: "ReplicaServer") -> None:
         self.request = request
@@ -80,6 +116,12 @@ class _Copy:
         self.remaining_ms = request.demand_ms
         self.consumed_ms = 0.0
         self.state = _ACTIVE
+        self.in_service = False
+        self.seq = 0
+        self.vkey = 0.0
+        self.v_admit = 0.0
+        self.sync_idx = 0
+        self.job_idx = -1
 
 
 class _Request:
@@ -106,10 +148,18 @@ class ReplicaServer:
     The server delivers ``rate`` work-ms per virtual ms, split equally
     over its current jobs; ``work_done_ms`` accounts every delivered
     work-ms exactly once (the conservation law ``audit_fleet`` checks).
+
+    Accounting is virtual-time: ``advance`` appends one share to the
+    history and bumps ``vclock`` — O(1) — while each copy's exact
+    remaining work is recovered on demand by replaying the shares it
+    has not yet seen, in order, reproducing the naive formulation's
+    float subtraction chain bit for bit.
     """
 
     __slots__ = ("host", "domid", "rate", "jobs", "last_ms",
-                 "work_done_ms", "departure_event", "alive")
+                 "work_done_ms", "departure_event", "depart_cb", "alive",
+                 "vclock", "hint_seq", "_hist", "_hist_base", "_heap",
+                 "_heap_dead", "_seq", "_compact_at")
 
     def __init__(self, host: str, domid: int, now_ms: float) -> None:
         self.host = host
@@ -119,32 +169,279 @@ class ReplicaServer:
         self.last_ms = now_ms
         self.work_done_ms = 0.0
         self.departure_event = None
+        self.depart_cb = None
         self.alive = True
+        #: Cumulative per-job service (virtual time), in work-ms.
+        self.vclock = 0.0
+        #: Token of this server's single *live* departure hint in the
+        #: dispatcher's hint heap. Every push bumps it, superseding
+        #: all earlier hints for the server — a popped entry whose
+        #: token no longer matches is dead and drops for free.
+        self.hint_seq = 0
+        #: Exact share of each advance since ``_hist_base``.
+        self._hist: list[float] = []
+        self._hist_base = 0
+        #: Departure heap of (finish-V hint, admission seq, copy).
+        self._heap: list[tuple[float, int, _Copy]] = []
+        self._heap_dead = 0
+        self._seq = 0
+        self._compact_at = _HIST_COMPACT
 
     @property
     def key(self) -> tuple[str, int]:
         return (self.host, self.domid)
 
+    def admit(self, copy: _Copy) -> None:
+        """Put a copy in service (does not advance the clock)."""
+        copy.seq = self._seq
+        self._seq += 1
+        copy.v_admit = self.vclock
+        copy.sync_idx = self._hist_base + len(self._hist)
+        copy.remaining_ms = copy.request.demand_ms
+        copy.vkey = self.vclock + copy.request.demand_ms
+        copy.in_service = True
+        copy.job_idx = len(self.jobs)
+        self.jobs.append(copy)
+        heapq.heappush(self._heap, (copy.vkey, copy.seq, copy))
+
     def advance(self, now_ms: float) -> None:
         """Deliver the processor-sharing service earned since last call."""
         dt = now_ms - self.last_ms
         self.last_ms = now_ms
-        if dt <= 0.0 or not self.jobs:
+        jobs = self.jobs
+        if dt <= 0.0 or not jobs:
             return
-        share = dt * self.rate / len(self.jobs)
-        for copy in self.jobs:
-            copy.remaining_ms -= share
-            copy.consumed_ms += share
+        share = dt * self.rate / len(jobs)
+        hist = self._hist
+        hist.append(share)
+        self.vclock += share
         self.work_done_ms += dt * self.rate
+        if len(hist) >= self._compact_at:
+            self._compact_history()
+
+    def _compact_history(self) -> None:
+        """Drop the share prefix every resident job has replayed."""
+        floor = min(copy.sync_idx for copy in self.jobs)
+        cut = floor - self._hist_base
+        if cut > 0:
+            del self._hist[:cut]
+            self._hist_base = floor
+        self._compact_at = len(self._hist) + _HIST_COMPACT
+
+    def exact_remaining(self, copy: _Copy) -> float:
+        """Remaining work of ``copy``, bit-identical to the naive chain.
+
+        Replays the shares appended since the copy's last sync, in
+        order — the same sequence of float subtractions the per-job
+        decrement formulation would have applied.
+        """
+        start = copy.sync_idx - self._hist_base
+        hist = self._hist
+        end = len(hist)
+        if start < end:
+            remaining = copy.remaining_ms
+            for share in hist[start:end]:
+                remaining -= share
+            copy.remaining_ms = remaining
+            copy.sync_idx = self._hist_base + end
+        return copy.remaining_ms
+
+    def consumed_of(self, copy: _Copy) -> float:
+        """Service delivered to ``copy`` so far (as of the last advance)."""
+        return self.vclock - copy.v_admit
+
+    def _margin(self) -> float:
+        """Bound on |heap hint − exact remaining| float drift.
+
+        Each replayed share perturbs the exact chain by at most an ulp;
+        the hint ``vkey − vclock`` accumulates the same scale of error.
+        Jobs resident for the entire megascale run see ~1e4 shares of
+        magnitude ≤ vclock, so 1e-9 · vclock (plus an absolute floor)
+        over-covers the worst case by several orders of magnitude.
+        """
+        return 1e-6 + 1e-9 * self.vclock
+
+    def _prune_heap(self) -> None:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and not heap[0][2].in_service:
+            pop(heap)
+            self._heap_dead -= 1
+
+    def soonest_remaining(self) -> float:
+        """Exact minimum remaining work over resident jobs.
+
+        The heap orders jobs by finish-V hint; every live entry within
+        the drift margin of the top is synced exactly and the exact
+        minimum taken, so the result equals the naive ``min()`` scan
+        bit for bit while touching O(candidates) jobs instead of all.
+        """
+        self._prune_heap()
+        heap = self._heap
+        top = heap[0]
+        limit = top[0] + self._margin()
+        n = len(heap)
+        if n > 1:
+            second = heap[1][0]
+            if n > 2 and heap[2][0] < second:
+                second = heap[2][0]
+            if second <= limit:
+                return self._soonest_among(limit)
+        return self.exact_remaining(top[2])
+
+    def _soonest_among(self, limit: float) -> float:
+        """Exact min over the (rare) multi-candidate margin window."""
+        heap = self._heap
+        pop = heapq.heappop
+        push = heapq.heappush
+        popped = []
+        best = None
+        while heap and heap[0][0] <= limit:
+            entry = pop(heap)
+            copy = entry[2]
+            if not copy.in_service:
+                self._heap_dead -= 1
+                continue
+            popped.append(entry)
+            remaining = self.exact_remaining(copy)
+            if best is None or remaining < best:
+                best = remaining
+        for entry in popped:
+            push(heap, entry)
+        return best
 
     def next_departure_ms(self) -> float:
-        """Absolute time the soonest job finishes, given no changes."""
-        soonest = min(copy.remaining_ms for copy in self.jobs)
-        return self.last_ms + max(soonest, 0.0) * len(self.jobs) / self.rate
+        """Absolute time the soonest job finishes, given no changes.
+
+        Flattened :meth:`soonest_remaining`: this runs once per admit,
+        cancel and departure — the single hottest call in a megascale
+        dispatch — so the prune / margin-check / history-sync steps are
+        inlined for the overwhelmingly common single-candidate case.
+        """
+        heap = self._heap
+        entry = heap[0]
+        if not entry[2].in_service:
+            pop = heapq.heappop
+            dead = self._heap_dead
+            while True:
+                pop(heap)
+                dead -= 1
+                entry = heap[0]
+                if entry[2].in_service:
+                    break
+            self._heap_dead = dead
+        limit = entry[0] + 1e-6 + 1e-9 * self.vclock
+        n = len(heap)
+        if n > 1:
+            second = heap[1][0]
+            if n > 2 and heap[2][0] < second:
+                second = heap[2][0]
+            if second <= limit:
+                soonest = self._soonest_among(limit)
+                if soonest < 0.0:
+                    soonest = 0.0
+                return self.last_ms + soonest * len(self.jobs) / self.rate
+        copy = entry[2]
+        start = copy.sync_idx - self._hist_base
+        hist = self._hist
+        end = len(hist)
+        remaining = copy.remaining_ms
+        if start < end:
+            for share in hist[start:end]:
+                remaining -= share
+            copy.remaining_ms = remaining
+            copy.sync_idx = self._hist_base + end
+        if remaining < 0.0:
+            remaining = 0.0
+        return self.last_ms + remaining * len(self.jobs) / self.rate
+
+    def bound_departure_ms(self) -> float:
+        """Cheap lower bound on :meth:`next_departure_ms`.
+
+        The heap-top finish-V hint understates the exact minimum
+        remaining work by at most the drift margin, so subtracting the
+        margin gives a sound early bound without replaying any share
+        history. Departure hints pushed at this time pop just before
+        the true departure and recompute it exactly, once — the eager
+        exact computation on every reschedule was mostly wasted work,
+        since under load the hint goes stale before it ever pops.
+        """
+        heap = self._heap
+        entry = heap[0]
+        if not entry[2].in_service:
+            pop = heapq.heappop
+            dead = self._heap_dead
+            while True:
+                pop(heap)
+                dead -= 1
+                entry = heap[0]
+                if entry[2].in_service:
+                    break
+            self._heap_dead = dead
+        remaining = entry[0] - self.vclock - (1e-6 + 1e-9 * self.vclock)
+        if remaining < 0.0:
+            remaining = 0.0
+        return self.last_ms + remaining * len(self.jobs) / self.rate
+
+    def finished_jobs(self) -> list[_Copy]:
+        """Jobs whose exact remaining work is ≤ EPS, in admission order."""
+        self._prune_heap()
+        heap = self._heap
+        if not heap:
+            return []
+        limit = self.vclock + EPS + self._margin()
+        if heap[0][0] > limit:
+            return []
+        pop = heapq.heappop
+        push = heapq.heappush
+        popped = []
+        finished: list[_Copy] = []
+        while heap and heap[0][0] <= limit:
+            entry = pop(heap)
+            copy = entry[2]
+            if not copy.in_service:
+                self._heap_dead -= 1
+                continue
+            popped.append(entry)
+            if self.exact_remaining(copy) <= EPS:
+                finished.append(copy)
+        for entry in popped:
+            push(heap, entry)
+        if len(finished) > 1:
+            finished.sort(key=lambda c: c.seq)
+        return finished
 
     def remove(self, copy: _Copy) -> None:
-        """Take a copy out of service (won, cancelled or timed out)."""
-        self.jobs.remove(copy)
+        """Take a copy out of service (won, cancelled or timed out).
+
+        The heap entry is left behind as garbage (lazy deletion) and
+        reclaimed either when it surfaces or when dead entries come to
+        outnumber live ones — the engine's compaction discipline.
+
+        ``jobs`` is an unordered bag (swap-remove keeps departures
+        O(1) instead of scanning up to ``MAX_JOBS_PER_SERVER`` slots):
+        nothing simulation-visible reads its order — departures come
+        out of :meth:`finished_jobs` sorted by admission ``seq``.
+        """
+        jobs = self.jobs
+        idx = copy.job_idx
+        last = jobs.pop()
+        if last is not copy:
+            jobs[idx] = last
+            last.job_idx = idx
+        copy.job_idx = -1
+        copy.in_service = False
+        self._heap_dead += 1
+        heap = self._heap
+        if self._heap_dead * 2 > len(heap) and len(heap) >= _HEAP_COMPACT_MIN:
+            rebuilt = [(c.vkey, c.seq, c) for c in self.jobs]
+            heapq.heapify(rebuilt)
+            self._heap = rebuilt
+            self._heap_dead = 0
+        if not self.jobs and self._hist:
+            self._hist_base += len(self._hist)
+            self._hist.clear()
+            self._compact_at = _HIST_COMPACT
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ReplicaServer({self.host}/{self.domid}, "
@@ -152,20 +449,37 @@ class ReplicaServer:
 
 
 class _Run:
-    """Mutable state of one ``run_workload`` invocation."""
+    """Mutable state of one ``run_workload`` invocation.
 
-    __slots__ = ("requests", "latencies", "resolved", "counts")
+    Latencies live in a flat ``array('d')`` with NaN marking
+    failed/timed-out/in-flight slots (1M requests fit in 8 MB instead
+    of a list of boxed floats); counters are slotted ints bumped on the
+    hot path and flushed into the front door's ``stats`` dict once at
+    run end.
+    """
+
+    __slots__ = ("requests", "latencies", "resolved", "admitted",
+                 "rejected", "completed", "failed", "timed_out", "copies",
+                 "copies_won", "copies_cancelled", "copies_lost",
+                 "copies_timed_out", "work_served", "work_useful")
 
     def __init__(self, requests: int) -> None:
         self.requests = requests
-        #: Per-rid latency (None = failed / timed out / in flight).
-        self.latencies: list[float | None] = [None] * requests
+        #: Per-rid latency (NaN = failed / timed out / in flight).
+        self.latencies = array("d", [float("nan")]) * requests
         self.resolved = 0
-        self.counts = {
-            "completed": 0, "failed": 0, "timed_out": 0,
-            "copies": 0, "copies_won": 0, "copies_cancelled": 0,
-            "copies_lost": 0, "copies_timed_out": 0,
-        }
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.timed_out = 0
+        self.copies = 0
+        self.copies_won = 0
+        self.copies_cancelled = 0
+        self.copies_lost = 0
+        self.copies_timed_out = 0
+        self.work_served = 0.0
+        self.work_useful = 0.0
 
 
 class FrontDoor:
@@ -187,12 +501,29 @@ class FrontDoor:
         self.max_jobs_per_server = max_jobs_per_server
         #: family name -> ordered replica pool.
         self._pools: dict[str, dict[tuple[str, int], ReplicaServer]] = {}
+        #: family name -> flat pool view + the fleet topology epoch it
+        #: was derived at. ``refresh`` only re-enumerates a family when
+        #: the fleet's ``topology_epoch`` moved.
+        self._pool_lists: dict[str, list[ReplicaServer]] = {}
+        self._pool_epochs: dict[str, int] = {}
         #: Work delivered by replicas that have since died or been
         #: retired from a pool — keeps the conservation ledger whole.
         self.retired_work_ms = 0.0
         #: The in-progress ``run_workload`` bookkeeping (None between runs).
         self._run: _Run | None = None
         self._hist = None
+        #: Fast-path departure-hint heap of ``(when, seq, token, exact,
+        #: server)`` (None outside a fast-path run — slow/interleaved
+        #: runs keep departures as engine events). Each server owns one
+        #: *live* hint: every state-changing push bumps its
+        #: ``hint_seq`` token, superseding earlier entries, which then
+        #: drop for free at peek. A live entry's ``when`` is a valid
+        #: lower bound on the server's next departure; ``exact`` marks
+        #: bounds already settled by ``next_departure_ms`` — those fire
+        #: directly, while a popped bound converts with exactly one
+        #: exact recompute.
+        self._dep_heap: list | None = None
+        self._dep_seq = 0
         self.stats: dict[str, Any] = {
             "requests": 0,
             "completed": 0,
@@ -220,18 +551,28 @@ class FrontDoor:
         (or which were destroyed) retire — their in-flight copies are
         reported lost, and a request whose last copy is lost fails.
         Hosts marked DEGRADED serve at :data:`DEGRADED_RATE`.
+
+        The enumeration is keyed on ``fleet.topology_epoch``: while the
+        fleet reports no placement/host-state change, the cached pool
+        view is returned without re-walking (or re-sorting) the family.
         """
-        fam = self.fleet.families.get(family)
+        fleet = self.fleet
+        fam = fleet.families.get(family)
         if fam is None:
             raise FrontDoorError(f"unknown family {family!r}")
+        epoch = fleet.topology_epoch
+        if self._pool_epochs.get(family) == epoch:
+            cached = self._pool_lists.get(family)
+            if cached is not None:
+                return cached
         pool = self._pools.setdefault(family, {})
-        now = self.fleet.clock.now
+        now = fleet.clock.now
         live: set[tuple[str, int]] = set()
         entries = ([(h, d) for h, d in sorted(fam.replicas.items())]
                    + [(h, d) for h in sorted(fam.clones)
                       for d in fam.clones[h]])
         for host_name, domid in entries:
-            host = self.fleet.host(host_name)
+            host = fleet.host(host_name)
             if not host.alive or domid not in host.platform.hypervisor.domains:
                 continue
             live.add((host_name, domid))
@@ -243,7 +584,10 @@ class FrontDoor:
                            else 1.0)
         for key in [k for k in pool if k not in live]:
             self._retire(pool.pop(key), now)
-        return list(pool.values())
+        view = list(pool.values())
+        self._pool_lists[family] = view
+        self._pool_epochs[family] = epoch
+        return view
 
     def _retire(self, server: ReplicaServer, now_ms: float) -> None:
         """A replica left the pool (host death or destroy): orphan its
@@ -255,8 +599,10 @@ class FrontDoor:
             server.departure_event.cancel()
             server.departure_event = None
         self.stats["servers_retired"] += 1
+        vclock = server.vclock
         for copy in list(server.jobs):
-            server.jobs.remove(copy)
+            copy.consumed_ms = vclock - copy.v_admit
+            server.remove(copy)
             copy.state = _LOST
             self._end_copy(copy)
             request = copy.request
@@ -304,25 +650,22 @@ class FrontDoor:
         self._hist = self.registry.histogram(
             f"frontdoor.latency.{family}.{shape.name}.d{clone_factor}",
             bounds=LATENCY_BUCKET_BOUNDS)
-        served_before = self.stats["work_served_ms"]
-        useful_before = self.stats["work_useful_ms"]
         t_start = self.fleet.clock.now
         mean_gap_ms = 1000.0 / arrival_rps
-        state = {"next_rid": 0, "t_next": t_start}
 
-        def arrive() -> None:
-            rid = state["next_rid"]
-            state["next_rid"] = rid + 1
-            demand = demand_rng.expovariate(1.0 / shape.mean_service_ms)
-            self._admit(run, rid, demand, family, clone_factor,
-                        route_rng, timeout_ms)
-            if rid + 1 < requests:
-                state["t_next"] += arrival_rng.expovariate(1.0 / mean_gap_ms)
-                self.engine.schedule_at(
-                    max(state["t_next"], self.fleet.clock.now), arrive)
-
-        state["t_next"] = t_start + arrival_rng.expovariate(1.0 / mean_gap_ms)
-        self.engine.schedule_at(state["t_next"], arrive)
+        # Pre-generate the whole arrival process in one pass per RNG
+        # stream: the streams are independent forks, so batch order
+        # draws the same values the per-event interleaving would have.
+        expo = arrival_rng.expovariate
+        gap_rate = 1.0 / mean_gap_ms
+        arrivals = array("d", (expo(gap_rate) for _ in range(requests)))
+        t_next = t_start
+        for index, gap in enumerate(arrivals):
+            t_next += gap
+            arrivals[index] = t_next
+        expo = demand_rng.expovariate
+        demand_rate = 1.0 / shape.mean_service_ms
+        demands = array("d", (expo(demand_rate) for _ in range(requests)))
 
         periodic = []
         if heartbeat_every_ms is not None:
@@ -334,35 +677,133 @@ class FrontDoor:
             window = {"seen": 0}
 
             def check_scale() -> None:
-                arrived = state["next_rid"] - window["seen"]
-                window["seen"] = state["next_rid"]
+                arrived = run.admitted - window["seen"]
+                window["seen"] = run.admitted
                 self._autoscale_check(family, autoscale, arrived)
             periodic.append(self.engine.every(
                 autoscale.check_interval_ms, check_scale))
 
-        # Drive the engine until every request resolved. Periodic events
-        # keep the queue non-empty forever, so the loop is bounded by a
-        # drain guard rather than queue exhaustion.
+        # Drive until every request resolved, bounded by a drain guard.
         guard = 60 * requests + 100_000
         steps = 0
-        while run.resolved < requests:
-            if not self.engine.step():
-                raise FrontDoorError(
-                    "dispatch engine drained with "
-                    f"{requests - run.resolved} unresolved requests")
-            steps += 1
-            if steps > guard:
-                raise FrontDoorError("dispatch failed to drain "
-                                     f"(engine ran {steps} events)")
+        if not periodic:
+            # Fast path: no periodic events means nothing else charges
+            # the fleet clock mid-run, so arrival times never need the
+            # max(t, now) clamp. Three event sources merge directly:
+            # the pre-generated arrival array, the engine queue (only
+            # request timeouts live there now) and the departure-hint
+            # heap. Arrival wins ties; engine beats hints on ties.
+            engine = self.engine
+            next_time = engine.next_time
+            step = engine.step
+            clock = self.fleet.clock
+            admit = self._admit
+            depart = self._depart
+            heappop = heapq.heappop
+            heappush = heapq.heappush
+            self._dep_heap = dep = []
+            self._dep_seq = 0
+            rid = 0
+            try:
+                while run.resolved < requests:
+                    # Earliest live departure hint (dead servers and
+                    # drained hints are dropped on the way).
+                    while dep:
+                        head = dep[0]
+                        hint_server = head[4]
+                        if (head[2] == hint_server.hint_seq
+                                and hint_server.jobs
+                                and hint_server.alive):
+                            break
+                        heappop(dep)
+                    t_dep = dep[0][0] if dep else None
+                    t_engine = next_time()
+                    if t_engine is not None and (t_dep is None
+                                                 or t_engine <= t_dep):
+                        t_next_ev = t_engine
+                        src_engine = True
+                    else:
+                        t_next_ev = t_dep
+                        src_engine = False
+                    if rid < requests and (t_next_ev is None
+                                           or arrivals[rid] <= t_next_ev):
+                        t_arrive = arrivals[rid]
+                        if t_arrive > clock._now:
+                            clock._now = t_arrive
+                        admit(run, rid, demands[rid], family, clone_factor,
+                              route_rng, timeout_ms)
+                        rid += 1
+                    elif src_engine:
+                        step()
+                    elif t_next_ev is not None:
+                        when, _seq, token, exact, server = heappop(dep)
+                        if not exact:
+                            # A live bound: the server saw no admits or
+                            # removals since the push, so one exact
+                            # recompute settles its true departure. If
+                            # the bound was already tight, fire now;
+                            # otherwise convert it to an exact hint and
+                            # let the heap re-order it.
+                            true_when = server.next_departure_ms()
+                            if true_when != when:
+                                if true_when < clock._now:
+                                    true_when = clock._now
+                                server.hint_seq = ntoken = token + 1
+                                self._dep_seq = nseq = self._dep_seq + 1
+                                heappush(dep, (true_when, nseq, ntoken,
+                                               True, server))
+                                steps += 1
+                                continue
+                        if when > clock._now:
+                            clock._now = when
+                        depart(server)
+                    else:
+                        raise FrontDoorError(
+                            "dispatch engine drained with "
+                            f"{requests - run.resolved} unresolved "
+                            "requests")
+                    steps += 1
+                    if steps > guard:
+                        raise FrontDoorError(
+                            "dispatch failed to drain "
+                            f"(engine ran {steps} events)")
+            finally:
+                self._dep_heap = None
+        else:
+            # Slow path (heartbeats / autoscale interleaved): arrivals
+            # stay engine events so control-plane clock charges keep
+            # deferring them, but gaps and demands still come from the
+            # pre-generated arrays.
+            state = {"next_rid": 0}
+
+            def arrive() -> None:
+                rid = state["next_rid"]
+                state["next_rid"] = rid + 1
+                self._admit(run, rid, demands[rid], family, clone_factor,
+                            route_rng, timeout_ms)
+                if rid + 1 < requests:
+                    self.engine.schedule_at(
+                        max(arrivals[rid + 1], self.fleet.clock.now), arrive)
+
+            self.engine.schedule_at(arrivals[0], arrive)
+            while run.resolved < requests:
+                if not self.engine.step():
+                    raise FrontDoorError(
+                        "dispatch engine drained with "
+                        f"{requests - run.resolved} unresolved requests")
+                steps += 1
+                if steps > guard:
+                    raise FrontDoorError("dispatch failed to drain "
+                                         f"(engine ran {steps} events)")
         for handle in periodic:
             handle.cancel()
+        self._flush_run(run)
         self._run = None
         self._hist = None
         duration = self.fleet.clock.now - t_start
         return self._finalize(
             run, family, shape, clone_factor, arrival_rps, duration,
-            work_served=self.stats["work_served_ms"] - served_before,
-            work_useful=self.stats["work_useful_ms"] - useful_before)
+            work_served=run.work_served, work_useful=run.work_useful)
 
     def dispatch_one(self, family: str, shape: "RequestShape | str", *,
                      clone_factor: int = 1,
@@ -389,95 +830,220 @@ class FrontDoor:
     def _admit(self, run: _Run, rid: int, demand_ms: float, family: str,
                clone_factor: int, route_rng, timeout_ms: float | None) -> None:
         now = self.fleet.clock.now
-        pool = list(self._pools.get(family, {}).values())
-        self.stats["requests"] += 1
+        pool = self._pool_lists.get(family)
+        if pool is None:
+            pool = self._pool_lists[family] = list(
+                self._pools.get(family, {}).values())
+        run.admitted += 1
         request = _Request(rid, now, demand_ms)
         placed: list[ReplicaServer] = []
-        if pool:
-            tried: set[int] = set()
-            want = min(clone_factor, len(pool))
-            while len(placed) < want and len(tried) < len(pool):
-                index = route_rng.randint(0, len(pool) - 1)
-                if index in tried:
+        npool = len(pool)
+        if npool:
+            want = clone_factor if clone_factor < npool else npool
+            # randint(0, n-1) is exactly Random._randbelow(n) in CPython
+            # (randrange with zero start and unit step), and _randbelow
+            # is a rejection loop over getrandbits(n.bit_length()) —
+            # inlined here so each draw costs one C call instead of
+            # three Python frames, while consuming the identical bit
+            # stream and producing the identical index sequence.
+            getrandbits = route_rng._random.getrandbits
+            nbits = npool.bit_length()
+            cap = self.max_jobs_per_server
+            found = 0
+            tried_mask = 0
+            tried = 0
+            while found < want and tried < npool:
+                index = getrandbits(nbits)
+                while index >= npool:
+                    index = getrandbits(nbits)
+                bit = 1 << index
+                if tried_mask & bit:
                     continue
-                tried.add(index)
+                tried_mask |= bit
+                tried += 1
                 server = pool[index]
-                if len(server.jobs) >= self.max_jobs_per_server:
+                if len(server.jobs) >= cap:
                     continue
                 placed.append(server)
+                found += 1
         if not placed:
-            self.stats["rejected_no_capacity"] += 1
+            run.rejected += 1
             self._fail(request, run)
             return
+        copies = request.copies
+        dep = self._dep_heap
+        heappush = heapq.heappush
         for server in placed:
             copy = _Copy(request, server)
-            request.copies.append(copy)
-            server.advance(now)
-            server.jobs.append(copy)
-            self._reschedule(server)
-            run.counts["copies"] += 1
-            self.stats["copies"] += 1
+            copies.append(copy)
+            # Inlined ReplicaServer.advance(now) — the single hottest
+            # call site (one per admitted copy), worth the frame.
+            dt = now - server.last_ms
+            server.last_ms = now
+            jobs = server.jobs
+            if dt > 0.0 and jobs:
+                rate = server.rate
+                share = dt * rate / len(jobs)
+                hist = server._hist
+                hist.append(share)
+                server.vclock += share
+                server.work_done_ms += dt * rate
+                if len(hist) >= server._compact_at:
+                    server._compact_history()
+            # Inlined ReplicaServer.admit(copy).
+            copy.seq = cseq = server._seq
+            server._seq = cseq + 1
+            copy.v_admit = vclock = server.vclock
+            copy.sync_idx = server._hist_base + len(server._hist)
+            copy.remaining_ms = demand_ms
+            copy.vkey = vkey = vclock + demand_ms
+            copy.in_service = True
+            copy.job_idx = len(jobs)
+            jobs.append(copy)
+            heappush(server._heap, (vkey, cseq, copy))
+            if dep is not None:
+                # An admit never needs the exact departure time up
+                # front — except for an empty server, whose sole fresh
+                # job departs at exactly now + demand/rate: that hint
+                # is exact and fires without any recompute (the common
+                # case at light load). Busy servers get the cheap
+                # bound, converted to exact only when it pops.
+                server.hint_seq = token = server.hint_seq + 1
+                self._dep_seq = seq = self._dep_seq + 1
+                if len(jobs) == 1:
+                    heappush(dep, (now + demand_ms / server.rate, seq,
+                                   token, True, server))
+                else:
+                    bound = server.bound_departure_ms()
+                    if bound < now:
+                        bound = now
+                    heappush(dep, (bound, seq, token, False, server))
+            else:
+                self._reschedule(server, now)
+        run.copies += len(placed)
         if timeout_ms is not None:
             request.timeout_event = self.engine.schedule_at(
                 now + timeout_ms, lambda: self._expire(request, run))
 
-    def _reschedule(self, server: ReplicaServer) -> None:
-        if server.departure_event is not None:
-            server.departure_event.cancel()
-            server.departure_event = None
+    def _reschedule(self, server: ReplicaServer,
+                    now: float | None = None) -> None:
+        dep = self._dep_heap
+        if dep is not None:
+            # Fast path: push a hint instead of an engine event. The
+            # fresh token supersedes every earlier hint the server has
+            # in the heap (they drop for free at pop time), so each
+            # server owns exactly one live hint. The hint is only a
+            # cheap lower bound — computing the exact departure here
+            # would replay share history that is almost always thrown
+            # away again before the hint pops.
+            if server.jobs:
+                bound = server.bound_departure_ms()
+                if now is not None and bound < now:
+                    bound = now
+                server.hint_seq = token = server.hint_seq + 1
+                self._dep_seq = seq = self._dep_seq + 1
+                heapq.heappush(dep, (bound, seq, token, False, server))
+            return
+        event = server.departure_event
+        if event is not None:
+            event.cancel()
         if server.jobs:
+            callback = server.depart_cb
+            if callback is None:
+                callback = server.depart_cb = partial(self._depart, server)
+            when = server.next_departure_ms()
+            if now is None:
+                now = self.fleet.clock.now
             server.departure_event = self.engine.schedule_at(
-                max(server.next_departure_ms(), self.fleet.clock.now),
-                lambda: self._depart(server))
+                when if when >= now else now, callback)
+        else:
+            server.departure_event = None
 
     def _depart(self, server: ReplicaServer) -> None:
         """A replica's soonest job should now be done: complete winners."""
         server.departure_event = None
         now = self.fleet.clock.now
         server.advance(now)
-        finished = [c for c in server.jobs if c.remaining_ms <= EPS]
-        for copy in finished:
+        for copy in server.finished_jobs():
             if copy.state != _ACTIVE:
                 continue
             self._complete(copy.request, copy, now)
-        self._reschedule(server)
+        self._reschedule(server, now)
 
     def _complete(self, request: _Request, winner: _Copy,
                   now_ms: float) -> None:
         run = self._run
         winner.state = _WON
+        # finished_jobs just synced the winner: demand − exact remaining
+        # is the service it actually received (remaining can sit an ulp
+        # below zero after the final share).
+        winner.consumed_ms = request.demand_ms - winner.remaining_ms
         winner.server.remove(winner)
-        self._end_copy(winner)
-        self.stats["copies_won"] += 1
-        self.stats["work_useful_ms"] += request.demand_ms
         if run is not None:
-            run.counts["copies_won"] += 1
+            run.work_served += winner.consumed_ms
+            run.copies_won += 1
+            run.work_useful += request.demand_ms
+        else:
+            self.stats["work_served_ms"] += winner.consumed_ms
+            self.stats["copies_won"] += 1
+            self.stats["work_useful_ms"] += request.demand_ms
+        dep = self._dep_heap
+        heappush = heapq.heappush
         for copy in request.copies:
             if copy.state != _ACTIVE:
                 continue
-            copy.server.advance(now_ms)
-            copy.server.remove(copy)
+            server = copy.server
+            # Inlined ReplicaServer.advance(now_ms), work accounting
+            # and hint push — one sequence per cancelled sibling, the
+            # hottest stretch of the completion path.
+            dt = now_ms - server.last_ms
+            server.last_ms = now_ms
+            jobs = server.jobs
+            if dt > 0.0 and jobs:
+                rate = server.rate
+                share = dt * rate / len(jobs)
+                hist = server._hist
+                hist.append(share)
+                server.vclock += share
+                server.work_done_ms += dt * rate
+                if len(hist) >= server._compact_at:
+                    server._compact_history()
+            copy.consumed_ms = consumed = server.vclock - copy.v_admit
+            server.remove(copy)
             copy.state = _CANCELLED
-            self._end_copy(copy)
-            self._reschedule(copy.server)
-            self.stats["copies_cancelled"] += 1
             if run is not None:
-                run.counts["copies_cancelled"] += 1
+                run.work_served += consumed
+                run.copies_cancelled += 1
+            else:
+                self.stats["work_served_ms"] += consumed
+                self.stats["copies_cancelled"] += 1
+            if dep is not None:
+                if jobs:
+                    bound = server.bound_departure_ms()
+                    if bound < now_ms:
+                        bound = now_ms
+                    server.hint_seq = token = server.hint_seq + 1
+                    self._dep_seq = seq = self._dep_seq + 1
+                    heappush(dep, (bound, seq, token, False, server))
+            else:
+                self._reschedule(server, now_ms)
         if request.timeout_event is not None:
             request.timeout_event.cancel()
             request.timeout_event = None
         request.resolved = True
         latency = now_ms - request.t_arrive_ms + DISPATCH_RTT_MS
-        self.stats["completed"] += 1
         if run is not None:
-            run.counts["completed"] += 1
+            run.completed += 1
             run.resolved += 1
             if 0 <= request.rid < run.requests:
                 run.latencies[request.rid] = latency
-        if self._hist is not None:
-            self._hist.observe(latency)
-        tracer = self.fleet.tracer
-        tracer.count("frontdoor.requests_completed")
+            if self._hist is not None:
+                self._hist.observe(latency)
+        else:
+            self.stats["completed"] += 1
+            if self._hist is not None:
+                self._hist.observe(latency)
+            self.fleet.tracer.count("frontdoor.requests_completed")
 
     def _expire(self, request: _Request, run: _Run) -> None:
         if request.resolved:
@@ -486,17 +1052,17 @@ class FrontDoor:
         for copy in request.copies:
             if copy.state != _ACTIVE:
                 continue
-            copy.server.advance(now)
-            copy.server.remove(copy)
+            server = copy.server
+            server.advance(now)
+            copy.consumed_ms = server.vclock - copy.v_admit
+            server.remove(copy)
             copy.state = _TIMED_OUT
             self._end_copy(copy)
-            self._reschedule(copy.server)
-            self.stats["copies_timed_out"] += 1
-            run.counts["copies_timed_out"] += 1
+            self._reschedule(server, now)
+            run.copies_timed_out += 1
         request.resolved = True
         request.timeout_event = None
-        self.stats["timed_out"] += 1
-        run.counts["timed_out"] += 1
+        run.timed_out += 1
         run.resolved += 1
 
     def _fail(self, request: _Request, run: "_Run | None" = None) -> None:
@@ -507,18 +1073,42 @@ class FrontDoor:
             request.timeout_event.cancel()
             request.timeout_event = None
         run = run if run is not None else self._run
-        self.stats["failed"] += 1
         if run is not None:
-            run.counts["failed"] += 1
+            run.failed += 1
             run.resolved += 1
+        else:
+            self.stats["failed"] += 1
 
     def _end_copy(self, copy: _Copy) -> None:
         """Final work accounting for a copy leaving service."""
-        self.stats["work_served_ms"] += copy.consumed_ms
-        if copy.state == _LOST:
-            self.stats["copies_lost"] += 1
-            if self._run is not None:
-                self._run.counts["copies_lost"] += 1
+        run = self._run
+        if run is not None:
+            run.work_served += copy.consumed_ms
+            if copy.state == _LOST:
+                run.copies_lost += 1
+        else:
+            self.stats["work_served_ms"] += copy.consumed_ms
+            if copy.state == _LOST:
+                self.stats["copies_lost"] += 1
+
+    def _flush_run(self, run: _Run) -> None:
+        """Fold the run's slotted counters into the shared ledgers."""
+        stats = self.stats
+        stats["requests"] += run.admitted
+        stats["completed"] += run.completed
+        stats["failed"] += run.failed
+        stats["timed_out"] += run.timed_out
+        stats["copies"] += run.copies
+        stats["copies_won"] += run.copies_won
+        stats["copies_cancelled"] += run.copies_cancelled
+        stats["copies_lost"] += run.copies_lost
+        stats["copies_timed_out"] += run.copies_timed_out
+        stats["rejected_no_capacity"] += run.rejected
+        stats["work_served_ms"] += run.work_served
+        stats["work_useful_ms"] += run.work_useful
+        if run.completed:
+            self.fleet.tracer.count("frontdoor.requests_completed",
+                                    run.completed)
 
     def _autoscale_check(self, family: str, policy: "AutoscalePolicy",
                          arrived: int) -> None:
@@ -543,8 +1133,15 @@ class FrontDoor:
     def _finalize(self, run: _Run, family: str, shape: RequestShape,
                   clone_factor: int, arrival_rps: float, duration_ms: float,
                   *, work_served: float, work_useful: float) -> DispatchResult:
-        counts = run.counts
-        done = sorted(lat for lat in run.latencies if lat is not None)
+        counts = {
+            "completed": run.completed, "failed": run.failed,
+            "timed_out": run.timed_out,
+            "copies": run.copies, "copies_won": run.copies_won,
+            "copies_cancelled": run.copies_cancelled,
+            "copies_lost": run.copies_lost,
+            "copies_timed_out": run.copies_timed_out,
+        }
+        done = sorted(lat for lat in run.latencies if lat == lat)
 
         def quantile(q: float) -> float:
             if not done:
@@ -557,7 +1154,7 @@ class FrontDoor:
         waste = (max(0.0, 1.0 - work_useful / work_served)
                  if work_served > 0 else 0.0)
         payload = {
-            "latencies": [None if lat is None else round(lat, 9)
+            "latencies": [None if lat != lat else round(lat, 9)
                           for lat in run.latencies],
             "counts": dict(sorted(counts.items())),
         }
@@ -598,7 +1195,7 @@ class FrontDoor:
 
     def inflight_consumed_ms(self) -> float:
         """Partial work already delivered to in-flight copies."""
-        return sum(copy.consumed_ms
+        return sum(server.vclock - copy.v_admit
                    for pool in self._pools.values()
                    for server in pool.values()
                    for copy in server.jobs)
@@ -610,6 +1207,8 @@ class FrontDoor:
                       for k, v in sorted(self.stats.items())},
             "pools": {family: sorted(f"{h}/{d}" for (h, d) in pool)
                       for family, pool in sorted(self._pools.items())},
+            "pool_epochs": dict(sorted(self._pool_epochs.items())),
+            "topology_epoch": self.fleet.topology_epoch,
             "histograms": {name: hist.count
                            for name, hist in
                            sorted(self.registry.histograms.items())},

@@ -27,6 +27,22 @@ import math
 from repro.frontdoor.results import FrontDoorError
 
 
+def measured_rho_eff(work_served_ms: float, duration_ms: float,
+                     replicas: int) -> float:
+    """Effective utilization of a *measured* run.
+
+    Served work (useful plus the cancelled copies' partial service)
+    over the fleet's delivered capacity ``duration x replicas`` — the
+    quantity the experiment compares against :func:`mean_sojourn_ms`'s
+    ``rho_eff`` input. Zero-capacity runs (no elapsed virtual time)
+    report zero utilization.
+    """
+    capacity_ms = duration_ms * replicas
+    if capacity_ms > 0:
+        return work_served_ms / capacity_ms
+    return 0.0
+
+
 def effective_utilization(rho: float, d: int, waste_fraction: float) -> float:
     """Utilization including cloning overhead.
 

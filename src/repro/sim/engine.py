@@ -140,6 +140,27 @@ class Engine:
             self._cancelled = 0
             self.compactions += 1
 
+    def next_time(self) -> float | None:
+        """Time of the next live event, or None when the queue is empty.
+
+        Cancelled heads are popped on the way (the same lazy-deletion
+        discipline :meth:`step` applies), so a subsequent :meth:`step`
+        dispatches exactly the event this peeked at. Lets an external
+        driver (the front door's dispatch fast path) merge its own
+        pre-generated arrival stream with the engine queue without
+        scheduling one event per arrival.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            head = queue[0]
+            if not head[2].cancelled:
+                return head[0]
+            pop(queue)
+            head[2]._enqueued = False
+            self._cancelled -= 1
+        return None
+
     def step(self) -> bool:
         """Run the next event. Returns False when the queue is empty."""
         queue = self._queue

@@ -67,6 +67,16 @@ def test_create_family_lifecycle(session):
     assert session.handle("DELETE", "/families/api").status == 404
 
 
+def test_family_route_reports_topology_epoch(populated):
+    before = populated.handle("GET", "/families/web")
+    assert before.status == 200
+    assert before.body["topology_epoch"] == populated.fleet.topology_epoch
+    populated.clone("web", count=1)
+    after = populated.handle("GET", "/families/web")
+    # Placement changed: a poller keying on the epoch sees it move.
+    assert after.body["topology_epoch"] > before.body["topology_epoch"]
+
+
 def test_clone_route_places_instances(populated):
     response = populated.handle("POST", "/families/web/clone", {"count": 2})
     assert response.status == 200

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import ReproError
+from repro.faults.plan import FaultPlan, FaultSpec
 from repro.fleet.chaos import audit_fleet, audit_frontdoor
 from repro.fleet.fleet import HostState
 from repro.frontdoor import (
@@ -30,22 +31,22 @@ def session():
 # the processor-sharing server model
 # ----------------------------------------------------------------------
 
-def _copy_with_demand(demand_ms: float) -> _Copy:
+def _admit_with_demand(server: ReplicaServer, demand_ms: float) -> _Copy:
     request = _Request(rid=0, t_arrive_ms=0.0, demand_ms=demand_ms)
-    server = ReplicaServer("h0", 1, now_ms=0.0)
     copy = _Copy(request, server)
+    server.admit(copy)
     return copy
 
 
 def test_ps_server_splits_rate_equally():
     server = ReplicaServer("h0", 1, now_ms=0.0)
-    a, b = _copy_with_demand(4.0), _copy_with_demand(8.0)
-    server.jobs.extend([a, b])
+    a = _admit_with_demand(server, 4.0)
+    b = _admit_with_demand(server, 8.0)
     # Two jobs share the unit rate: the 4 ms job needs 8 wall ms.
     assert server.next_departure_ms() == pytest.approx(8.0)
     server.advance(8.0)
-    assert a.remaining_ms == pytest.approx(0.0)
-    assert b.remaining_ms == pytest.approx(4.0)
+    assert server.exact_remaining(a) == pytest.approx(0.0)
+    assert server.exact_remaining(b) == pytest.approx(4.0)
     assert server.work_done_ms == pytest.approx(8.0)
     server.remove(a)
     # Alone, the survivor finishes at full rate.
@@ -55,7 +56,7 @@ def test_ps_server_splits_rate_equally():
 def test_ps_server_degraded_rate_halves_service():
     server = ReplicaServer("h0", 1, now_ms=0.0)
     server.rate = DEGRADED_RATE
-    server.jobs.append(_copy_with_demand(5.0))
+    _admit_with_demand(server, 5.0)
     assert server.next_departure_ms() == pytest.approx(10.0)
     server.advance(10.0)
     assert server.work_done_ms == pytest.approx(5.0)
@@ -63,10 +64,43 @@ def test_ps_server_degraded_rate_halves_service():
 
 def test_ps_advance_is_idempotent_at_same_time():
     server = ReplicaServer("h0", 1, now_ms=0.0)
-    server.jobs.append(_copy_with_demand(5.0))
+    _admit_with_demand(server, 5.0)
     server.advance(2.0)
     server.advance(2.0)  # no time passed: no extra work
     assert server.work_done_ms == pytest.approx(2.0)
+
+
+def test_ps_virtual_clock_tracks_per_job_service():
+    server = ReplicaServer("h0", 1, now_ms=0.0)
+    a = _admit_with_demand(server, 6.0)
+    server.advance(2.0)  # alone: 2 work-ms of per-job service
+    b = _admit_with_demand(server, 6.0)
+    server.advance(6.0)  # shared: 2 more work-ms each
+    assert server.vclock == pytest.approx(4.0)
+    assert server.consumed_of(a) == pytest.approx(4.0)
+    assert server.consumed_of(b) == pytest.approx(2.0)
+    assert server.exact_remaining(a) == pytest.approx(2.0)
+    assert server.exact_remaining(b) == pytest.approx(4.0)
+    # Finish virtual times were fixed at admission.
+    assert a.vkey == pytest.approx(6.0)
+    assert b.vkey == pytest.approx(8.0)
+
+
+def test_ps_heap_lazy_deletion_compacts():
+    server = ReplicaServer("h0", 1, now_ms=0.0)
+    copies = [_admit_with_demand(server, 100.0 + i) for i in range(80)]
+    for copy in copies[:70]:
+        server.remove(copy)
+    # The compaction discipline holds: above the size floor, dead
+    # entries never outnumber live ones, so the heap stayed O(live)
+    # instead of retaining all 70 tombstones.
+    assert len(server.jobs) == 10
+    assert len(server._heap) < 80
+    assert (server._heap_dead * 2 <= len(server._heap)
+            or len(server._heap) < 64)
+    # Departure lookup is exact across the tombstones: the soonest
+    # surviving job (demand 170, 10-way sharing) departs at 1700.
+    assert server.next_departure_ms() == pytest.approx((100.0 + 70) * 10)
 
 
 # ----------------------------------------------------------------------
@@ -174,6 +208,51 @@ def test_refresh_tracks_family_size(session):
     assert len(pool) == 6  # parent + 5 clones
     session.clone("fam", count=2)
     assert len(session.frontdoor.refresh("fam")) == 8
+
+
+def test_refresh_caches_pool_on_topology_epoch(session):
+    frontdoor = session.frontdoor
+    first = frontdoor.refresh("fam")
+    # No placement or host-state change: the cached view comes back
+    # without re-enumerating the family (same list object).
+    assert frontdoor.refresh("fam") is first
+    session.clone("fam", count=1)
+    second = frontdoor.refresh("fam")
+    assert second is not first
+    assert len(second) == len(first) + 1
+
+
+def _live_replica_keys(fleet, family: str) -> set[tuple[str, int]]:
+    """Ground-truth enumeration of the family's live replicas."""
+    fam = fleet.families[family]
+    entries = ([(h, d) for h, d in sorted(fam.replicas.items())]
+               + [(h, d) for h in sorted(fam.clones)
+                  for d in fam.clones[h]])
+    return {(host_name, domid) for host_name, domid in entries
+            if fleet.host(host_name).alive
+            and domid in fleet.host(host_name).platform.hypervisor.domains}
+
+
+def test_topology_epoch_never_stale_after_crash_storm():
+    """The epoch-keyed cache may never serve a stale pool view."""
+    plan = FaultPlan(specs=[
+        FaultSpec(site="host.crash", match={"op": "heartbeat"},
+                  after=2, count=1),
+        FaultSpec(site="host.crash", match={"op": "heartbeat"},
+                  after=5, count=1),
+    ], name="epoch-storm")
+    with FleetSession(hosts=4, seed=0xC10E, plan=plan) as sess:
+        sess.create_family("fam", ip="10.5.4.1")
+        sess.clone("fam", count=7)
+        frontdoor = sess.frontdoor
+        for _ in range(12):
+            sess.fleet.tick()
+            view = frontdoor.refresh("fam")
+            assert ({server.key for server in view}
+                    == _live_replica_keys(sess.fleet, "fam"))
+        stats = sess.fleet.stats
+        assert stats["hosts_crashed"] + stats["hosts_fenced"] >= 2
+        sess.close(check=False)  # hosts killed on purpose
 
 
 def test_degraded_host_serves_at_half_rate(session):

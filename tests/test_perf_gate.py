@@ -73,6 +73,34 @@ def test_scaling_floor_enforced_with_enough_cpus():
     assert any("fleet_parallel: scaling" in v for v in violations)
 
 
+def test_frontdoor_megascale_floor_enforced():
+    """The issue's 3x megascale target is a hard floor, not advisory."""
+    payload = _payload()
+    payload["scenarios"]["frontdoor_p99"] = {"speedup": 2.4,
+                                             "work_reduction": 8.0}
+    violations, _ = check(payload, FLOORS)
+    assert any("frontdoor_p99: speedup 2.4" in v for v in violations)
+    payload["scenarios"]["frontdoor_p99"] = {"speedup": 3.2,
+                                             "work_reduction": 8.0}
+    violations, _ = check(payload, FLOORS)
+    assert violations == []
+
+
+def test_profile_artifact_writes_top_frames(tmp_path, monkeypatch):
+    import benchmarks.perf.gate as gate_mod
+
+    def fake_factory(quick):
+        assert quick is True
+        return lambda: sum(range(1000))
+
+    monkeypatch.setattr(gate_mod, "SCENARIOS", {"toy": fake_factory})
+    out = tmp_path / "profile.txt"
+    text = gate_mod.write_profile(out, quick=True)
+    assert out.read_text() == text
+    assert "=== toy ===" in text
+    assert "function calls" in text
+
+
 def test_determinism_drift_fails():
     payload = _payload(determinism={"fig5": "drift"})
     violations, _ = check(payload, FLOORS)
