@@ -239,6 +239,45 @@ def _frontdoor(quick: bool):
     return scenario
 
 
+#: FleetMigrationResult fingerprints the migration scenario must
+#: reproduce byte-for-byte: the drain/kill/baseline ablation, the
+#: migration fault storm and the serial-vs-parallel comparison all
+#: feed the hash, so any behavior drift in the migration tier fails
+#: the run before its timing is even recorded.
+MIGRATION_FINGERPRINTS = {
+    "full": "98a934ed0a6abd25196b7021df9765ba70c84645166404844a8965806e080b55",
+    "quick": "5ef74037f1e59da4d07ede5e0d76dab03d3b3f87f057b4074ef442ae5bbbb476",
+}
+
+
+def _fleet_migration(quick: bool):
+    """The drain-vs-kill migration ablation under front-door traffic.
+
+    Times the full ``fleet_migration`` experiment: three dispatch arms
+    (baseline / drain-evacuate / kill-reboot) plus the migration fault
+    storm, with the serial and process-pool runs compared inside the
+    experiment. Fingerprint and conservation audits are asserted in
+    the timed region — a faster migration path that changes a single
+    latency or leaks a page is a regression, not a win.
+    """
+    from repro.experiments import fleet_migration
+
+    expected = MIGRATION_FINGERPRINTS["quick" if quick else "full"]
+
+    def scenario():
+        result = (fleet_migration.run_quick() if quick
+                  else fleet_migration.run())
+        if result.fingerprint != expected:
+            raise AssertionError(
+                "fleet_migration fingerprint drift: "
+                f"{result.fingerprint} != {expected}")
+        if result.violations:
+            raise AssertionError(
+                f"fleet_migration violations: {result.violations}")
+
+    return scenario
+
+
 def _kvm_clone_burst(quick: bool):
     """KVM_CLONE_VM burst: boot a VM, clone it in batches, tear down.
 
@@ -343,6 +382,7 @@ SCENARIOS = {
     "xenstore_deep_clone": _xenstore_deep_clone,
     "kvm_clone_burst": _kvm_clone_burst,
     "frontdoor_p99": _frontdoor,
+    "fleet_migration": _fleet_migration,
 }
 
 

@@ -34,6 +34,7 @@ from repro.faults.sites import (
     FaultKind,
     InjectionSite,
     host_sites,
+    migration_sites,
     site_names,
 )
 
@@ -54,6 +55,7 @@ __all__ = [
     "audit_kvm_platform",
     "audit_platform",
     "host_sites",
+    "migration_sites",
     "run_chaos",
     "run_kvm_chaos",
     "site_names",

@@ -42,6 +42,10 @@ class FaultKind(str, enum.Enum):
     HOST_CRASH = "host_crash"
     HOST_PARTITION = "host_partition"
     HOST_DEGRADED = "host_degraded"
+    #: Live-migration tier (:mod:`repro.fleet.migration`): event-mode
+    #: sites polled once per migration round, modelling the migration
+    #: losing its source host, its target host, or the memory stream.
+    MIGRATION_ABORT = "migration_abort"
 
 
 class SiteMode(str, enum.Enum):
@@ -235,6 +239,53 @@ SITES: dict[str, InjectionSite] = {
             "instances, so no family is ever live on two hosts.",
         ),
         _site(
+            "migration.source", SiteMode.EVENT, FaultKind.MIGRATION_ABORT,
+            (FaultKind.MIGRATION_ABORT,),
+            "The source host of an in-flight warm migration fail-stops "
+            "mid-round, taking the family's live instances with it.",
+            "The migrating host dying while xc_domain_save streams "
+            "memory: pre-copy loses the still-running source domain "
+            "(the xl migrate sender), so the transfer can never "
+            "complete and the family is simply lost with the host.",
+            "The fleet declares the source dead through the normal "
+            "power-off path: the migration is marked failed "
+            "(``source-lost``), its un-streamed pages are accounted "
+            "aborted, and the lost instances are re-placed cold on "
+            "survivors — the target never activates a half-copied "
+            "family, so no instance is ever live on both sides.",
+        ),
+        _site(
+            "migration.target", SiteMode.EVENT, FaultKind.MIGRATION_ABORT,
+            (FaultKind.MIGRATION_ABORT,),
+            "The target host of an in-flight warm migration fail-stops "
+            "mid-round, before (pre-copy) or after (post-copy) the "
+            "family switched over to it.",
+            "The receiving host dying under xl migrate: pre-copy "
+            "restarts harmlessly (the source still runs), but "
+            "post-copy's window of vulnerability means a target death "
+            "after cutover loses the already-moved guest.",
+            "Pre-cutover the migration aborts in place: un-streamed "
+            "pages are accounted aborted and the family keeps running "
+            "wholly at the source. Post-cutover (post-copy mode) the "
+            "moved instances die with the target and are re-placed "
+            "cold by the dead-host path — never left split.",
+        ),
+        _site(
+            "migration.stream", SiteMode.EVENT, FaultKind.MIGRATION_ABORT,
+            (FaultKind.MIGRATION_ABORT,),
+            "The memory stream between source and target breaks "
+            "mid-round; both hosts stay up.",
+            "A TCP reset / network partition on the migration channel "
+            "(the classic xl migrate failure): both hosts survive but "
+            "the dirty-page stream is gone.",
+            "Pre-cutover the migration aborts cleanly: the family "
+            "keeps serving from the source, pages in flight are "
+            "accounted aborted (conservation holds), and the planner "
+            "may be re-run. Post-cutover (post-copy) the target "
+            "cannot satisfy its demand faults, so its instances are "
+            "torn down and re-placed cold — wholly at one side.",
+        ),
+        _site(
             "host.degraded", SiteMode.EVENT, FaultKind.HOST_DEGRADED,
             (FaultKind.HOST_DEGRADED,),
             "A host keeps serving but slowly (failing disk, thermal "
@@ -271,7 +322,13 @@ def drop_sites() -> list[str]:
 def host_sites() -> list[str]:
     """Names of the host-level event-mode sites (the fleet tier)."""
     return sorted(name for name, site in SITES.items()
-                  if site.mode is SiteMode.EVENT)
+                  if site.mode is SiteMode.EVENT
+                  and name.startswith("host."))
+
+
+def migration_sites() -> list[str]:
+    """Names of the migration-tier event-mode sites."""
+    return sorted(name for name in SITES if name.startswith("migration."))
 
 
 #: Sites threaded through the KVM backend so far (the parity slice):

@@ -5,7 +5,10 @@ independent simulated hosts behind one control plane that places clone
 families, routes and forwards clone requests (round-robin or
 least-loaded), detects host failures via deterministic heartbeats, and
 re-places lost clones on survivors — the ROADMAP's "natural next tier
-above per-operation faults".
+above per-operation faults". :mod:`repro.fleet.migration` adds live
+warm migration of clone families between hosts (pre-copy dirty-page
+rounds or post-copy demand streaming), driven by the ``drain_host``
+verb and the least-loaded policy's rebalance pass.
 """
 
 from repro.fleet.chaos import (
@@ -21,6 +24,17 @@ from repro.fleet.fleet import (
     FleetError,
     FleetHost,
     HostState,
+)
+from repro.fleet.migration import (
+    MIGRATION_CUTOVER_THRESHOLD_PAGES,
+    MIGRATION_ROUND_LIMIT,
+    MigrationChaosReport,
+    MigrationError,
+    MigrationPlanner,
+    MigrationRecord,
+    audit_migrations,
+    migration_storm_plan,
+    run_migration_chaos,
 )
 from repro.fleet.parallel import (
     HostSpec,
@@ -62,4 +76,13 @@ __all__ = [
     "kill_plan",
     "run_fleet_chaos",
     "FleetChaosReport",
+    "MIGRATION_CUTOVER_THRESHOLD_PAGES",
+    "MIGRATION_ROUND_LIMIT",
+    "MigrationChaosReport",
+    "MigrationError",
+    "MigrationPlanner",
+    "MigrationRecord",
+    "audit_migrations",
+    "migration_storm_plan",
+    "run_migration_chaos",
 ]

@@ -71,7 +71,11 @@ def audit_fleet(fleet: Fleet, frontdoor: Any = None) -> list[str]:
     checks the control plane's own bookkeeping: family records must
     reference only live hosts and live domains, and the child-count
     conservation laws must hold (no clone silently dropped, no lost
-    clone unaccounted).
+    clone unaccounted). Warm migrations add a page ledger
+    (:func:`repro.fleet.migration.audit_migrations`): pages queued ==
+    streamed + aborted + pending for every record — no page lost in
+    flight, none double-owned — and every planned migration ends done,
+    failed, or still streaming.
 
     Pass the fleet's :class:`~repro.frontdoor.dispatch.FrontDoor` as
     ``frontdoor`` to additionally check the request-dispatch
@@ -129,6 +133,9 @@ def audit_fleet(fleet: Fleet, frontdoor: Any = None) -> list[str]:
             f"failover conservation broken: lost {stats['children_lost']} "
             f"!= replaced {stats['children_replaced']} + replace-failed "
             f"{stats['replace_failed']}")
+    if fleet.migrations:
+        from repro.fleet.migration import audit_migrations
+        violations.extend(audit_migrations(fleet))
     if frontdoor is not None:
         violations.extend(audit_frontdoor(frontdoor))
     return violations

@@ -50,6 +50,10 @@ class HostState(enum.Enum):
     #: Grey failure: answers heartbeats but slowly; drained from new
     #: placement, existing instances keep running with a penalty.
     DEGRADED = "degraded"
+    #: Administratively evacuating: keeps serving existing instances at
+    #: full speed while warm migrations move its families away, but
+    #: receives no new placements (see :mod:`repro.fleet.migration`).
+    DRAINING = "draining"
     #: Unreachable but (presumably) still running guests — the
     #: split-brain window before fencing.
     PARTITIONED = "partitioned"
@@ -62,7 +66,7 @@ class HostState(enum.Enum):
 #: States a host can receive *new* placements in.
 _PLACEABLE = (HostState.UP,)
 #: States the control plane can still reach the host in.
-_REACHABLE = (HostState.UP, HostState.DEGRADED)
+_REACHABLE = (HostState.UP, HostState.DEGRADED, HostState.DRAINING)
 
 
 @dataclass
@@ -161,6 +165,10 @@ class _Family:
     replicas: dict[str, int] = field(default_factory=dict)
     #: host name -> clone domids living there.
     clones: dict[str, list[int]] = field(default_factory=dict)
+    #: Latest :class:`repro.fleet.migration.MigrationRecord` planned for
+    #: this family (active while ``migration.active``); ``None`` if the
+    #: family never migrated. Served by ``GET /families/{name}``.
+    migration: Any = None
 
 
 class FleetHost:
@@ -241,6 +249,13 @@ class Fleet:
         #: domains through ``platform.xl``) do not bump it.
         self.topology_epoch = 0
         self.beats = 0
+        #: Every migration ever planned on this fleet, in plan order
+        #: (active and terminal records alike — the page-ledger audit
+        #: walks the full history).
+        self.migrations: list[Any] = []
+        self._planner: Any = None
+        #: Serial for collision-free names of flatten-migrated domains.
+        self._migration_boot_serial = 0
         self.stats = {
             "clone_requests": 0,
             "children_requested": 0,
@@ -258,6 +273,17 @@ class Fleet:
             "detections": 0,
             "degraded_marked": 0,
             "repairs": 0,
+            "drains": 0,
+            "migrations_planned": 0,
+            "migrations_done": 0,
+            "migrations_failed": 0,
+            "migration_rounds": 0,
+            "migration_pages_streamed": 0,
+            "migration_pages_aborted": 0,
+            "migration_shared_remapped": 0,
+            "migration_demand_faults": 0,
+            "migration_replicas_dropped": 0,
+            "instances_migrated": 0,
         }
 
     # ------------------------------------------------------------------
@@ -530,6 +556,10 @@ class Fleet:
                     self._declare_dead(host)
             else:
                 host.missed_beats = 0
+        # Warm migrations advance one round per heartbeat, so drains and
+        # rebalances make progress while traffic keeps flowing.
+        if self.migrations:
+            self.planner.tick()
 
     def run_heartbeats(self, beats: int) -> None:
         """Run ``beats`` heartbeat rounds back to back."""
@@ -537,14 +567,61 @@ class Fleet:
             self.tick()
 
     def repair_host(self, name: str) -> None:
-        """Heal a degraded host back into the placement pool."""
+        """Heal a degraded/drained host back into the placement pool."""
         host = self.host(name)
-        if host.state is not HostState.DEGRADED:
+        if host.state not in (HostState.DEGRADED, HostState.DRAINING):
             raise FleetError(
-                f"host {name} is {host.state.value}, not degraded")
+                f"host {name} is {host.state.value}, "
+                f"not degraded or draining")
         host.state = HostState.UP
         self.topology_epoch += 1
         self.stats["repairs"] += 1
+
+    # ------------------------------------------------------------------
+    # warm migration: drain + rebalance (see repro.fleet.migration)
+    # ------------------------------------------------------------------
+    @property
+    def planner(self):
+        """The fleet's :class:`~repro.fleet.migration.MigrationPlanner`.
+
+        Created lazily so fleets that never migrate pay nothing (and so
+        the module import stays acyclic).
+        """
+        if self._planner is None:
+            from repro.fleet.migration import MigrationPlanner
+            self._planner = MigrationPlanner(self)
+        return self._planner
+
+    def drain_host(self, name: str, mode: str = "precopy") -> list:
+        """Evacuate ``name``: warm-migrate every family it hosts away.
+
+        The host enters :attr:`HostState.DRAINING` — it keeps serving
+        its existing instances at full speed but takes no new placements
+        — and one migration per resident family is planned; they stream
+        on subsequent heartbeats. Returns the planned records (families
+        with no feasible target are skipped and stay put). Once drained,
+        ``repair_host`` returns the host to the pool.
+        """
+        host = self.host(name)
+        if host.state is HostState.DRAINING:
+            raise FleetError(f"host {name} is already draining")
+        if host.state not in _PLACEABLE:
+            raise FleetError(
+                f"host {name} is {host.state.value}, not up")
+        host.state = HostState.DRAINING
+        self.topology_epoch += 1
+        self.stats["drains"] += 1
+        self.tracer.event("fleet.drain", host=name)
+        return self.planner.plan_drain(host, mode=mode)
+
+    def rebalance(self, mode: str = "precopy") -> list:
+        """One rebalance pass: warm-migrate a family off the most
+        loaded host when the placement policy reports an imbalance.
+
+        Policies without a rebalance notion (round-robin) plan nothing;
+        returns the planned records (empty when balanced).
+        """
+        return self.planner.plan_rebalance(mode=mode)
 
     def _declare_dead(self, host: FleetHost) -> None:
         """Fence + account a failed host, then re-place its children."""
@@ -568,6 +645,22 @@ class Fleet:
         host.state = HostState.DEAD
         host.dying = False
         self.topology_epoch += 1
+        # A dead host aborts every in-flight migration touching it: the
+        # family stays wholly where it was (pre-cutover) or is torn down
+        # at the target and re-placed cold (post-copy that lost its
+        # source) — never left split across hosts.
+        if self.migrations:
+            for record in self.migrations:
+                if not record.active:
+                    continue
+                if host.name not in (record.source, record.target):
+                    continue
+                reason = ("source-lost" if record.source == host.name
+                          else "target-lost")
+                if record.committed and record.source == host.name:
+                    self.planner._fail_moved_family(record, reason)
+                else:
+                    self.planner._abort(record, reason)
         # Power-off accounting: every guest's frames/grants/backends are
         # released, and all in-flight clone-plumbing state dies with the
         # host — audit_fleet verifies nothing survives.
@@ -608,6 +701,9 @@ class Fleet:
         if family is None:
             raise FleetError(f"unknown family {name!r}")
         self.topology_epoch += 1
+        for record in self.migrations:
+            if record.active and record.family == name:
+                self.planner._abort(record, "family-destroyed")
         for host_name in sorted(set(family.clones) | set(family.replicas)):
             host = self._by_name[host_name]
             if host.state is HostState.DEAD:
@@ -625,6 +721,11 @@ class Fleet:
         for host in self.hosts:
             if host.state in (HostState.CRASHED, HostState.PARTITIONED):
                 self._declare_dead(host)
+        # In-flight migrations are aborted in place (families are about
+        # to be destroyed anyway); the page ledger stays conserved.
+        for record in self.migrations:
+            if record.active:
+                self.planner._abort(record, "fleet-shutdown")
         for name in sorted(self._families):
             self.destroy_family(name)
 
@@ -666,5 +767,7 @@ class Fleet:
             "policy": self.policy.name,
             "beats": self.beats,
             "clock_ms": round(self.clock.now, 6),
+            "migrations": [record.to_dict()
+                           for record in self.migrations],
             "stats": dict(self.stats),
         }

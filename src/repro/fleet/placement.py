@@ -34,6 +34,16 @@ class PlacementPolicy:
     def reset(self) -> None:
         """Drop any internal state (between independent runs)."""
 
+    def rebalance_pair(self, candidates: Sequence["FleetHost"],
+                       ) -> tuple["FleetHost", "FleetHost"] | None:
+        """Propose an (overloaded, underloaded) host pair to migrate a
+        family between, or ``None`` when the fleet looks balanced.
+
+        Consulted by :meth:`repro.fleet.fleet.Fleet.rebalance`. The
+        base policy has no load notion and never proposes a move.
+        """
+        return None
+
 
 class RoundRobinPolicy(PlacementPolicy):
     """Rotate over hosts in index order.
@@ -70,11 +80,30 @@ class LeastLoadedPolicy(PlacementPolicy):
 
     name = "least-loaded"
 
+    #: Rebalance trigger: propose a move only when the busiest host has
+    #: less than this fraction of the idlest host's free frames.
+    REBALANCE_RATIO = 0.5
+
     def choose(self, candidates: Sequence["FleetHost"]) -> "FleetHost":
         """Pick the candidate with the most free frames."""
         if not candidates:
             raise PlacementError("no candidate hosts")
         return max(candidates, key=lambda h: (h.free_frames, -h.index))
+
+    def rebalance_pair(self, candidates: Sequence["FleetHost"],
+                       ) -> tuple["FleetHost", "FleetHost"] | None:
+        """Propose (busiest, idlest) once the imbalance crosses the
+        threshold; ties break on host index, keeping the proposal
+        deterministic."""
+        if len(candidates) < 2:
+            return None
+        busiest = min(candidates, key=lambda h: (h.free_frames, h.index))
+        idlest = max(candidates, key=lambda h: (h.free_frames, -h.index))
+        if busiest is idlest:
+            return None
+        if busiest.free_frames >= idlest.free_frames * self.REBALANCE_RATIO:
+            return None
+        return busiest, idlest
 
 
 #: Policy registry: ``--policy`` names -> constructors.

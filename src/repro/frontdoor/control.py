@@ -69,6 +69,8 @@ class ControlPlane:
             ("GET", re.compile(r"^/hosts$"), self._route_hosts),
             ("GET", re.compile(r"^/hosts/(?P<name>[^/]+)$"),
              self._route_host),
+            ("POST", re.compile(r"^/hosts/(?P<name>[^/]+)/drain$"),
+             self._route_drain),
             ("GET", re.compile(r"^/status$"), self._route_status),
             ("GET", re.compile(r"^/families$"), self._route_families),
             ("POST", re.compile(r"^/families$"), self._route_create),
@@ -152,6 +154,26 @@ class ControlPlane:
             config, app_factory=APP_FACTORIES[app])
         return placement.to_dict()
 
+    def drain_host(self, name: str,
+                   mode: str = "precopy") -> dict[str, Any]:
+        """Evacuate a host: warm-migrate every family it holds away.
+
+        Returns the host's new state plus the planned migration
+        records; the migrations stream on subsequent heartbeats (drive
+        them with ``dispatch(..., heartbeat_every_ms=...)`` or
+        ``fleet.run_heartbeats``).
+        """
+        if mode not in ("precopy", "postcopy"):
+            raise FrontDoorError(
+                f"unknown migration mode {mode!r} "
+                f"(known: precopy, postcopy)")
+        records = self.fleet.drain_host(name, mode=mode)
+        return {
+            "host": name,
+            "state": self.fleet.host(name).state.value,
+            "migrations": [record.to_dict() for record in records],
+        }
+
     def dispatch(self, family: str, workload: str = "faas", *,
                  requests: int = 1000, arrival_rps: float = 100.0,
                  clone_factor: int = 1, timeout_ms: float | None = None,
@@ -178,6 +200,12 @@ class ControlPlane:
             return Response(404, {"error": str(exc)})
         return Response(200, info.to_dict())
 
+    def _route_drain(self, body: dict[str, Any], name: str) -> Response:
+        if name not in {host.name for host in self.fleet.hosts}:
+            return Response(404, {"error": f"unknown host {name!r}"})
+        return Response(200, self.drain_host(
+            name, mode=str(body.get("mode", "precopy"))))
+
     def _route_status(self, body: dict[str, Any]) -> Response:
         return Response(200, {
             "fleet": self.fleet.report(),
@@ -193,6 +221,7 @@ class ControlPlane:
         family = self.fleet.families.get(name)
         if family is None:
             return Response(404, {"error": f"unknown family {name!r}"})
+        migration = family.migration
         return Response(200, {
             "name": family.name,
             "origin": family.origin,
@@ -203,6 +232,16 @@ class ControlPlane:
             # cache on: a poller can skip re-reading the placement
             # whenever the epoch has not moved.
             "topology_epoch": self.fleet.topology_epoch,
+            # Live migration state: ``migrating`` while a warm move is
+            # streaming; the host pair and round progress come from the
+            # family's latest migration record (null if never migrated).
+            "migrating": bool(migration is not None and migration.active),
+            "source_host": (migration.source if migration is not None
+                            else None),
+            "target_host": (migration.target if migration is not None
+                            else None),
+            "rounds_done": (migration.rounds_done
+                            if migration is not None else 0),
         })
 
     def _route_create(self, body: dict[str, Any]) -> Response:

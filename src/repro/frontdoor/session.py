@@ -96,6 +96,16 @@ class FleetSession:
         """Run a request-dispatch workload (see ``FrontDoor``)."""
         return self.control.dispatch(family, workload, **kwargs)
 
+    def drain_host(self, name: str, mode: str = "precopy"
+                   ) -> dict[str, Any]:
+        """Warm-migrate every family off a host (see ``ControlPlane``).
+
+        The planned migrations stream on heartbeats — run a dispatch
+        with ``heartbeat_every_ms`` (or ``fleet.run_heartbeats``) to
+        advance them.
+        """
+        return self.control.drain_host(name, mode=mode)
+
     def inventory(self) -> HostInventory:
         """The fleet's typed host inventory."""
         return self.control.inventory()

@@ -27,6 +27,16 @@ from repro.sim.units import MSEC, USEC
 #: see docs/CALIBRATION.md for the derivations.
 FLEET_LAN_RTT: float = 0.5 * MSEC
 
+#: Time to put one 4 KiB page on a 10 GbE migration stream (virtual
+#: ms). Published figure: 10 Gbps line rate moves 4096 B in
+#: 4096 * 8 / 10e9 s ≈ 3.277 us — the NIC generation of the
+#: memory-streaming literature ("Virtual Memory Streaming Technique
+#: for VMs for Rapid Scaling...", arXiv 1406.5760, evaluates exactly
+#: this pre-copy/streaming tradeoff). Every ``migration_*`` per-page
+#: time constant below derives from this anchor; see
+#: docs/MIGRATION.md and docs/CALIBRATION.md.
+MIGRATION_WIRE_PAGE: float = 3.2768e-3 * MSEC
+
 
 @dataclass(slots=True)
 class CostModel:
@@ -268,6 +278,42 @@ class CostModel:
     fleet_degraded_penalty: float = 2 * FLEET_LAN_RTT
 
     # ------------------------------------------------------------------
+    # Live warm migration (repro.fleet.migration). Anchored to
+    # MIGRATION_WIRE_PAGE (10 GbE line rate, ~3.28 us per 4 KiB page)
+    # and FLEET_LAN_RTT; the dirty-rate anchor reuses the paper's §7.2
+    # per-request dirty-page counts. docs/MIGRATION.md derives the
+    # cost model; docs/CALIBRATION.md pins the derivations via
+    # tests/test_calibration_docs.py (same contract as fleet_*).
+    # ------------------------------------------------------------------
+    #: Streaming one page of guest memory source -> target during a
+    #: pre-copy round or the post-copy background stream: the wire
+    #: anchor itself (copies overlap the wire at line rate).
+    migration_page_stream: float = MIGRATION_WIRE_PAGE
+    #: Per-round fixed cost: dirty-bitmap scan handshake plus stream
+    #: framing — two round trips on the fleet network.
+    migration_round_fixed: float = 2 * FLEET_LAN_RTT
+    #: The stop-and-copy cutover window floor: pause, ship the final
+    #: dirty set (charged per page on top), resume on the target and
+    #: switch the family's routing — four round trips, the same budget
+    #: as one forwarded clone RPC.
+    migration_cutover_fixed: float = 4 * FLEET_LAN_RTT
+    #: Serving one post-copy demand fault: a synchronous page request
+    #: blocking the guest for a full round trip plus the page's wire
+    #: time (vs. ~3.3 us when the page arrived ahead of the fault —
+    #: the post-copy tax docs/MIGRATION.md quantifies).
+    migration_postcopy_fault: float = FLEET_LAN_RTT + MIGRATION_WIRE_PAGE
+    #: Re-binding one COW-shared page of a migrated clone against the
+    #: replica already resident on the target (the ship-delta path):
+    #: a grant-style remap, no page body on the wire — 1/16 of the
+    #: wire cost, i.e. a ~16-byte descriptor instead of 4 KiB.
+    migration_remap_shared_page: float = MIGRATION_WIRE_PAGE / 16
+    #: Guest dirty rate while a migration round streams, in pages per
+    #: virtual ms. Anchor: paper §7.2 measures ~3 dirty pages per
+    #: serviced request for Unikraft guests; at the front door's
+    #: ~1 request/ms per-replica service rate that is ~3 pages/ms.
+    migration_dirty_rate_pages_per_ms: float = 3.0
+
+    # ------------------------------------------------------------------
     # Memory sizes (bytes) used by the platform model
     # ------------------------------------------------------------------
     #: Xen's minimum domain memory (paper §6.2: "the mandatory limit of
@@ -305,6 +351,10 @@ class CostModel:
             if name == "extras" or name.endswith("_bytes") or name.endswith("_pages"):
                 continue
             if name.endswith("_bytes_per_request") or name.endswith("_per_guest"):
+                continue
+            # Rates are not durations: a 2x-slower testbed does not
+            # dirty pages 2x faster.
+            if name.endswith("_pages_per_ms"):
                 continue
             value = getattr(clone, name)
             if isinstance(value, float):

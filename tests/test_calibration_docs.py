@@ -118,6 +118,51 @@ def test_fleet_constants_derive_from_the_lan_rtt_anchor():
             f"derivation ({derived} ms)")
 
 
+def test_migration_constants_derive_from_the_wire_anchor():
+    """The migration_* table is anchored the same way: every constant
+    is the documented function of the 10 GbE wire-page anchor, the LAN
+    RTT and the paper's §7.2 dirty rate, exactly as docs/CALIBRATION.md
+    (and docs/MIGRATION.md) derive them."""
+    from repro.sim.costs import FLEET_LAN_RTT, MIGRATION_WIRE_PAGE
+
+    # 4096 B at 10 Gbps line rate, in virtual ms.
+    assert MIGRATION_WIRE_PAGE == pytest.approx(4096 * 8 / 10e9 * 1e3)
+    model = CostModel()
+    derivations = {
+        "migration_page_stream": MIGRATION_WIRE_PAGE,
+        "migration_round_fixed": 2 * FLEET_LAN_RTT,
+        "migration_cutover_fixed": 4 * FLEET_LAN_RTT,
+        "migration_postcopy_fault": FLEET_LAN_RTT + MIGRATION_WIRE_PAGE,
+        "migration_remap_shared_page": MIGRATION_WIRE_PAGE / 16,
+        "migration_dirty_rate_pages_per_ms": 3.0,
+    }
+    migration_fields = {f.name for f in dataclasses.fields(CostModel)
+                        if f.name.startswith("migration_")}
+    assert derivations.keys() == migration_fields, (
+        "a migration_* constant was added without a documented "
+        "derivation")
+    text = CALIBRATION_MD.read_text(encoding="utf-8")
+    for name, derived in derivations.items():
+        assert getattr(model, name) == pytest.approx(derived), (
+            f"{name} no longer matches its docs/CALIBRATION.md "
+            f"derivation ({derived})")
+        assert f"`{name}`" in text, (
+            f"migration constant {name} missing from "
+            f"docs/CALIBRATION.md")
+
+
+def test_dirty_rate_survives_cost_scaling():
+    """``CostModel.scaled`` must scale migration *times* but leave the
+    dirty rate alone — it is a guest property, not a testbed speed
+    (docs/CALIBRATION.md states this explicitly)."""
+    slow = CostModel().scaled(2.0)
+    fast = CostModel()
+    assert slow.migration_page_stream == pytest.approx(
+        2.0 * fast.migration_page_stream)
+    assert slow.migration_dirty_rate_pages_per_ms == pytest.approx(
+        fast.migration_dirty_rate_pages_per_ms)
+
+
 def test_fleet_anchor_sources_are_cited():
     text = CALIBRATION_MD.read_text(encoding="utf-8")
     assert "FLEET_LAN_RTT" in text

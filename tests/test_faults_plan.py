@@ -9,6 +9,7 @@ from repro.faults.sites import (
     SITES,
     drop_sites,
     host_sites,
+    migration_sites,
     raise_sites,
     site_names,
 )
@@ -21,7 +22,8 @@ def test_site_registry_well_formed():
         assert site.default_kind in site.allowed_kinds
         assert site.description and site.analogue and site.recovery
     assert set(site_names()) == (set(raise_sites()) | set(drop_sites())
-                                 | set(host_sites()))
+                                 | set(host_sites())
+                                 | set(migration_sites()))
 
 
 def test_spec_rejects_unknown_site():

@@ -1,0 +1,366 @@
+"""Warm migration: planning, pricing, rounds, aborts, verbs, ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.fleet import (
+    Fleet,
+    FleetConfig,
+    FleetError,
+    HostState,
+    MigrationError,
+    audit_fleet,
+    audit_migrations,
+)
+from repro.sim.units import MIB
+from repro.toolstack.config import DomainConfig, VifConfig
+
+
+def fam(i: int, max_clones: int = 64) -> DomainConfig:
+    return DomainConfig(name=f"fam{i}", memory_mb=4,
+                        vifs=[VifConfig(ip=f"10.9.{i + 1}.1")],
+                        max_clones=max_clones)
+
+
+def small_fleet(hosts: int = 3, plan: FaultPlan | None = None,
+                **overrides) -> Fleet:
+    """Hosts sized so a handful of clones fills one (16 MiB pool)."""
+    overrides.setdefault("host_memory_bytes", 24 * MIB)
+    overrides.setdefault("host_dom0_bytes", 8 * MIB)
+    config = FleetConfig(hosts=hosts, **overrides)
+    return Fleet(config, plan=plan)
+
+
+def spread_family(fleet: Fleet, name: str = "fam0") -> None:
+    """Clone one at a time until the family spans a second host."""
+    fleet.create_family(fam(0))
+    family = fleet.families[name]
+    for _ in range(40):
+        fleet.clone_family(name, count=1)
+        if len(family.replicas) > 1:
+            return
+    raise AssertionError("family never spilled to a second host")
+
+
+def dirty_clone(fleet: Fleet, name: str, host: str, pages: int) -> None:
+    """COW-break ``pages`` of the family's first clone on ``host``."""
+    family = fleet.families[name]
+    domid = family.clones[host][0]
+    memory = fleet.host(host).platform.hypervisor.domains[domid].memory
+    remaining = pages
+    for segment in memory.segments:
+        if remaining <= 0:
+            break
+        count = min(remaining, segment.pfn_end - segment.pfn_start)
+        memory.write_range(segment.pfn_start, count)
+        remaining -= count
+
+
+def family_hosts(fleet: Fleet, name: str) -> set[str]:
+    family = fleet.families[name]
+    return (set(family.replicas)
+            | {h for h, ids in family.clones.items() if ids})
+
+
+# ----------------------------------------------------------------------
+# planning validation
+# ----------------------------------------------------------------------
+def test_plan_rejects_bad_input():
+    fleet = small_fleet(hosts=2)
+    fleet.create_family(fam(0))
+    fleet.clone_family("fam0", count=1)
+    planner = fleet.planner
+    with pytest.raises(MigrationError):
+        planner.plan_family("nope", "host0")
+    with pytest.raises(MigrationError):
+        planner.plan_family("fam0", "host0", mode="lazy")
+    with pytest.raises(MigrationError):
+        planner.plan_family("fam0", "host1")  # nothing lives there
+    with pytest.raises(MigrationError):
+        planner.plan_family("fam0", "host0", target="host0")
+    planner.plan_family("fam0", "host0", target="host1")
+    with pytest.raises(MigrationError):  # one active move per family
+        planner.plan_family("fam0", "host0", target="host1")
+
+
+def test_plan_with_no_capacity_anywhere_raises():
+    fleet = small_fleet(hosts=1)
+    fleet.create_family(fam(0))
+    with pytest.raises(MigrationError):
+        fleet.planner.plan_family("fam0", "host0")
+
+
+# ----------------------------------------------------------------------
+# pricing: ship-delta vs flatten from real page accounting
+# ----------------------------------------------------------------------
+def test_sole_template_ships_replica_via_ship_delta():
+    fleet = small_fleet(hosts=2)
+    fleet.create_family(fam(0))
+    fleet.clone_family("fam0", count=2)
+    record = fleet.planner.plan_family("fam0", "host0", target="host1")
+    # Re-sharing against the moved replica beats streaming every clone
+    # page flat, so the COW tree ships and re-roots on the target.
+    assert record.decision == "ship-delta"
+    assert record.replica_ships
+    assert record.clones_moving == 2
+    assert record.shared_remapped > 0
+    assert record.pages_queued == record.pages_pending > 0
+
+
+def test_target_replica_makes_ship_delta_a_pure_delta():
+    fleet = small_fleet(hosts=3)
+    spread_family(fleet)
+    family = fleet.families["fam0"]
+    source = "host0"
+    target = next(h for h in family.replicas if h != source)
+    record = fleet.planner.plan_family("fam0", source, target=target)
+    # The target already holds a replica: nothing template-sized moves,
+    # only the clones' private pages stream (shared pages just remap).
+    assert record.decision == "ship-delta"
+    assert not record.replica_ships
+    assert record.shared_remapped > 0
+    memory = fleet.host(source).platform.hypervisor.domains
+    private = sum(memory[d].memory.private_pages()
+                  for d in family.clones[source])
+    assert record.pages_queued == private
+
+
+def test_mostly_private_clone_flattens():
+    fleet = small_fleet(hosts=3)
+    spread_family(fleet)
+    family = fleet.families["fam0"]
+    source = next(h for h in family.replicas if h != "host0")
+    # Break nearly every shared page: ship-delta would still stream the
+    # template (the target holds no replica) for almost no re-sharing
+    # win, so flattening the clone into a standalone boot is cheaper.
+    dirty_clone(fleet, "fam0", source, 1000)
+    target = next(h.name for h in fleet.hosts
+                  if h.name not in family.replicas)
+    record = fleet.planner.plan_family("fam0", source, target=target)
+    assert record.decision == "flatten"
+    assert record.shared_remapped == 0
+    # host0 still holds a template, so the source replica is dropped,
+    # not moved.
+    assert not record.replica_ships
+
+
+# ----------------------------------------------------------------------
+# pre-copy rounds, convergence and cutover
+# ----------------------------------------------------------------------
+def test_precopy_moves_family_wholly_and_keeps_the_ledger():
+    fleet = small_fleet(hosts=2)
+    fleet.create_family(fam(0))
+    fleet.clone_family("fam0", count=2)
+    dirty_clone(fleet, "fam0", "host0", 40)
+    record = fleet.planner.plan_family("fam0", "host0", target="host1")
+    assert record.working_set > 0
+    before = fleet.clock.now
+    fleet.run_heartbeats(fleet.planner.round_limit + 2)
+    assert record.phase == "done"
+    assert record.rounds_done >= 1
+    assert record.committed
+    assert fleet.clock.now > before
+    assert family_hosts(fleet, "fam0") == {"host1"}
+    assert fleet.families["fam0"].origin == "host1"
+    assert fleet.host("host0").platform.guest_count() == 0
+    assert record.pages_queued == record.pages_streamed
+    assert record.pages_pending == 0
+    assert fleet.stats["migrations_done"] == 1
+    assert fleet.stats["instances_migrated"] == 3
+    assert not audit_fleet(fleet)
+
+
+def test_precopy_cutover_bounded_by_round_limit():
+    fleet = small_fleet(hosts=2)
+    fleet.create_family(fam(0))
+    fleet.clone_family("fam0", count=2)
+    # A huge dirty working set never converges below the threshold;
+    # the round limit must force the stop-and-copy anyway.
+    dirty_clone(fleet, "fam0", "host0", 1000)
+    record = fleet.planner.plan_family("fam0", "host0", target="host1")
+    fleet.run_heartbeats(fleet.planner.round_limit + 2)
+    assert record.phase == "done"
+    assert record.rounds_done <= fleet.planner.round_limit
+    assert record.pages_streamed == record.pages_queued
+    assert not audit_migrations(fleet)
+
+
+# ----------------------------------------------------------------------
+# post-copy: cut over first, stream behind, fault the hot set
+# ----------------------------------------------------------------------
+def test_postcopy_commits_first_then_demand_streams():
+    fleet = small_fleet(hosts=2)
+    fleet.create_family(fam(0))
+    fleet.clone_family("fam0", count=2)
+    dirty_clone(fleet, "fam0", "host0", 30)
+    record = fleet.planner.plan_family("fam0", "host0",
+                                       target="host1", mode="postcopy")
+    fleet.tick()
+    # Round one is the cutover: the family already serves from the
+    # target while every queued page is still outstanding.
+    assert record.committed
+    assert record.active
+    assert record.pages_pending == record.pages_queued
+    assert family_hosts(fleet, "fam0") == {"host1"}
+    fleet.tick()
+    assert record.phase == "done"
+    assert record.demand_faults > 0
+    assert record.pages_pending == 0
+    assert not audit_fleet(fleet)
+
+
+def test_postcopy_source_loss_after_commit_replaces_cold():
+    plan = FaultPlan(specs=[FaultSpec(site="migration.source", count=1,
+                                      after=1)],
+                     name="source-dies-streaming")
+    fleet = small_fleet(hosts=3, plan=plan)
+    fleet.create_family(fam(0))
+    fleet.clone_family("fam0", count=2)
+    dirty_clone(fleet, "fam0", "host0", 30)
+    record = fleet.planner.plan_family("fam0", "host0",
+                                       target="host1", mode="postcopy")
+    fleet.run_heartbeats(2)
+    # The source died with pages outstanding: the moved instances are
+    # torn down and re-placed cold — failed migration, no split family.
+    assert record.phase == "failed"
+    assert record.reason == "source-lost"
+    assert fleet.host("host0").state in (HostState.CRASHED,
+                                         HostState.DEAD)
+    assert "host0" not in family_hosts(fleet, "fam0")
+    assert fleet.stats["children_lost"] > 0
+    assert not audit_fleet(fleet)
+
+
+# ----------------------------------------------------------------------
+# abort paths: in-place, never half-migrated
+# ----------------------------------------------------------------------
+def test_stream_loss_aborts_in_place():
+    plan = FaultPlan(specs=[FaultSpec(site="migration.stream", count=1)],
+                     name="one-stream-loss")
+    fleet = small_fleet(hosts=2, plan=plan)
+    fleet.create_family(fam(0))
+    fleet.clone_family("fam0", count=2)
+    guests_before = fleet.host("host1").platform.guest_count()
+    record = fleet.planner.plan_family("fam0", "host0", target="host1")
+    fleet.tick()
+    assert record.phase == "failed"
+    assert record.reason == "stream-lost"
+    # Both hosts survive; the family never left the source.
+    assert all(h.state is HostState.UP for h in fleet.hosts)
+    assert family_hosts(fleet, "fam0") == {"host0"}
+    assert fleet.host("host1").platform.guest_count() == guests_before
+    assert record.pages_aborted == record.pages_queued
+    assert record.pages_streamed == 0
+    assert not audit_fleet(fleet)
+
+
+def test_target_capacity_race_unwinds_to_source():
+    fleet = small_fleet(hosts=2)
+    fleet.create_family(fam(0))
+    fleet.clone_family("fam0", count=1)
+    # Fill the explicit target after planning-time admission would have
+    # passed: the cutover's instantiation must fail and unwind.
+    fleet.create_family(fam(1))
+    fleet.clone_family("fam1", count=8)
+    target = fleet.host("host1")
+    assert target.free_frames < fleet._parent_frames_estimate(fam(0))
+    guests_before = target.platform.guest_count()
+    record = fleet.planner.plan_family("fam0", "host0", target="host1")
+    fleet.run_heartbeats(fleet.planner.round_limit + 2)
+    assert record.phase == "failed"
+    assert record.reason == "target-capacity"
+    assert family_hosts(fleet, "fam0") == {"host0"}
+    assert target.platform.guest_count() == guests_before
+    assert not audit_fleet(fleet)
+
+
+# ----------------------------------------------------------------------
+# admission footprint: per-target, replica-aware
+# ----------------------------------------------------------------------
+def test_footprint_charges_the_template_only_where_missing():
+    fleet = small_fleet(hosts=3)
+    spread_family(fleet)
+    family = fleet.families["fam0"]
+    planner = fleet.planner
+    clone_est = fleet._clone_frames_estimate(family.config)
+    parent_est = fleet._parent_frames_estimate(family.config)
+    with_replica = next(iter(family.replicas))
+    without = next(h.name for h in fleet.hosts
+                   if h.name not in family.replicas)
+    assert planner._footprint(family, 2, with_replica) == 2 * clone_est
+    assert (planner._footprint(family, 2, without)
+            == 2 * clone_est + parent_est)
+    # No target named: assume the worst (template boots too).
+    assert planner._footprint(family, 2) == 2 * clone_est + parent_est
+
+
+# ----------------------------------------------------------------------
+# fleet verbs: drain, rebalance, repair
+# ----------------------------------------------------------------------
+def test_drain_host_evacuates_and_repairs():
+    fleet = small_fleet(hosts=2)
+    fleet.create_family(fam(0))
+    fleet.clone_family("fam0", count=2)
+    records = fleet.drain_host("host0")
+    assert len(records) == 1
+    assert fleet.host("host0").state is HostState.DRAINING
+    with pytest.raises(FleetError):
+        fleet.drain_host("host0")  # already draining
+    with pytest.raises(FleetError):
+        fleet.drain_host("nope")
+    fleet.run_heartbeats(fleet.planner.round_limit + 2)
+    assert records[0].phase == "done"
+    assert family_hosts(fleet, "fam0") == {"host1"}
+    fleet.repair_host("host0")
+    assert fleet.host("host0").state is HostState.UP
+    with pytest.raises(FleetError):
+        fleet.repair_host("host0")  # already up
+    assert not audit_fleet(fleet)
+
+
+def test_rebalance_is_policy_driven():
+    balanced = small_fleet(hosts=2, policy="least-loaded")
+    balanced.create_family(fam(0))
+    assert balanced.rebalance() == []  # imbalance below the threshold
+
+    fleet = small_fleet(hosts=2, policy="least-loaded")
+    fleet.create_family(fam(0))
+    fleet.clone_family("fam0", count=6)
+    records = fleet.rebalance()
+    assert len(records) == 1
+    assert (records[0].source, records[0].target) == ("host0", "host1")
+    fleet.run_heartbeats(fleet.planner.round_limit + 2)
+    assert records[0].phase == "done"
+    assert family_hosts(fleet, "fam0") == {"host1"}
+    assert not audit_fleet(fleet)
+
+    round_robin = small_fleet(hosts=2, policy="round-robin")
+    round_robin.create_family(fam(0))
+    round_robin.clone_family("fam0", count=6)
+    assert round_robin.rebalance() == []  # no load notion
+
+
+# ----------------------------------------------------------------------
+# the conservation oracle itself
+# ----------------------------------------------------------------------
+def test_audit_migrations_catches_tampered_ledgers():
+    fleet = small_fleet(hosts=2)
+    fleet.create_family(fam(0))
+    fleet.clone_family("fam0", count=1)
+    record = fleet.planner.plan_family("fam0", "host0", target="host1")
+    fleet.run_heartbeats(fleet.planner.round_limit + 2)
+    assert not audit_migrations(fleet)
+    record.pages_streamed += 1
+    assert any("ledger broken" in v for v in audit_migrations(fleet))
+    record.pages_streamed -= 1
+    record.pages_pending = 3
+    record.pages_queued += 3
+    violations = audit_migrations(fleet)
+    assert any("still pending" in v for v in violations)
+    record.pages_pending = 0
+    record.pages_queued -= 3
+    fleet.stats["migrations_planned"] += 1
+    assert any("conservation broken" in v
+               for v in audit_migrations(fleet))
