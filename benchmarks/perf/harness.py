@@ -278,6 +278,46 @@ def _fleet_migration(quick: bool):
     return scenario
 
 
+#: FrontdoorOverloadResult fingerprints the overload scenario must
+#: reproduce byte-for-byte: the baseline/unprotected/protected
+#: ablation past the knee, the overload chaos storm and the
+#: serial-vs-parallel comparison all feed the hash, so any drift in
+#: admission control, retry budgets or breaker behavior fails the run
+#: before its timing is even recorded.
+OVERLOAD_FINGERPRINTS = {
+    "full": "b83a8d41029448f188e4544a3fe760e7e243ff92bbf08549e98d74ed9a622390",
+    "quick": "f0a47d0cef0e99c345ddc1c8198b1ff847447407132284cdf36697ad818bf62c",
+}
+
+
+def _frontdoor_overload(quick: bool):
+    """The past-the-knee overload ablation with and without protection.
+
+    Times the full ``frontdoor_overload`` experiment: three dispatch
+    arms (below-knee baseline / unprotected retry storm / protected
+    admission+budget+breaker stack) plus the overload chaos storm,
+    with the serial and process-pool runs compared inside the
+    experiment. Fingerprint and conservation audits are asserted in
+    the timed region.
+    """
+    from repro.experiments import frontdoor_overload
+
+    expected = OVERLOAD_FINGERPRINTS["quick" if quick else "full"]
+
+    def scenario():
+        result = (frontdoor_overload.run_quick() if quick
+                  else frontdoor_overload.run())
+        if result.fingerprint != expected:
+            raise AssertionError(
+                "frontdoor_overload fingerprint drift: "
+                f"{result.fingerprint} != {expected}")
+        if result.violations:
+            raise AssertionError(
+                f"frontdoor_overload violations: {result.violations}")
+
+    return scenario
+
+
 def _kvm_clone_burst(quick: bool):
     """KVM_CLONE_VM burst: boot a VM, clone it in batches, tear down.
 
@@ -383,6 +423,7 @@ SCENARIOS = {
     "kvm_clone_burst": _kvm_clone_burst,
     "frontdoor_p99": _frontdoor,
     "fleet_migration": _fleet_migration,
+    "frontdoor_overload": _frontdoor_overload,
 }
 
 

@@ -19,6 +19,7 @@ additions:
     fleet storm [hosts kills]  multi-host host-kill storm (repro.fleet)
     fleet policies             placement policy registry
     frontdoor [reqs [d]]       request-cloning dispatch smoke (repro.frontdoor)
+    frontdoor storm [faults]   overload-resilience chaos smoke (shed/retry/breaker)
     trace [summary]            per-stage virtual-time breakdown table
     trace spans [kind]         recorded spans (optionally one kind)
     trace export <file.json>   write the machine-readable run report
@@ -336,9 +337,12 @@ class XlShell:
             self._print("  leak audit: clean (fleet-wide)")
 
     def cmd_frontdoor(self, args: list[str]) -> None:
-        """frontdoor [requests [clone-factor]]: dispatch smoke run."""
+        """frontdoor [requests [clone-factor]] | frontdoor storm [faults]"""
+        if args and args[0] == "storm":
+            return self._frontdoor_storm(args[1:])
         if len(args) > 2:
-            raise CliError("usage: frontdoor [requests [clone-factor]]")
+            raise CliError("usage: frontdoor [requests [clone-factor]] "
+                           "| frontdoor storm [faults]")
         try:
             requests = int(args[0]) if args else 2000
             clone_factor = int(args[1]) if len(args) >= 2 else 2
@@ -362,6 +366,33 @@ class XlShell:
                     f"max={result.latency_max_ms:.3f}")
         self._print(f"  waste fraction: {result.waste_fraction:.4f}")
         self._print(f"  fingerprint: {result.fingerprint}")
+
+    def _frontdoor_storm(self, args: list[str]) -> None:
+        """frontdoor storm [faults]: the overload-resilience smoke."""
+        if len(args) > 1:
+            raise CliError("usage: frontdoor storm [faults]")
+        try:
+            faults = int(args[0]) if args else 30
+        except ValueError as error:
+            raise CliError(f"bad faults: {error}") from error
+        from repro.frontdoor.resilience import (
+            format_storm_report,
+            run_overload_storm,
+        )
+
+        # The storm owns its own fleet (own clock, own tracer); fold
+        # its shed/retry/breaker counters into the shell tracer so
+        # `trace summary` surfaces them alongside the datapath counts.
+        report = run_overload_storm(faults=faults)
+        self._print(format_storm_report(report))
+        if self.platform.tracer.enabled:
+            stats = report.stats
+            for key, counter in (("shed", "frontdoor.requests_shed"),
+                                 ("retries", "frontdoor.retries"),
+                                 ("breaker_trips",
+                                  "frontdoor.breaker_trips")):
+                if stats.get(key):
+                    self.platform.tracer.count(counter, stats[key])
 
     def cmd_trace(self, args: list[str]) -> None:
         """trace [summary | spans [kind] | export <file> | reset]"""

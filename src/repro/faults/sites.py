@@ -46,6 +46,15 @@ class FaultKind(str, enum.Enum):
     #: sites polled once per migration round, modelling the migration
     #: losing its source host, its target host, or the memory stream.
     MIGRATION_ABORT = "migration_abort"
+    #: Front-door resilience tier (:mod:`repro.frontdoor.resilience`):
+    #: event-mode sites polled by the dispatcher's admission and
+    #: routing paths, modelling the front door itself misbehaving —
+    #: an admission filter dropping a request it should have admitted,
+    #: a replica swallowing copies without serving them, or a circuit
+    #: breaker tripping spuriously.
+    ADMISSION_DROP = "admission_drop"
+    REPLICA_STALL = "replica_stall"
+    BREAKER_FLAP = "breaker_flap"
 
 
 class SiteMode(str, enum.Enum):
@@ -298,6 +307,51 @@ SITES: dict[str, InjectionSite] = {
             "latency penalty charged to the fleet clock, and "
             "``Fleet.repair_host`` restores it.",
         ),
+        _site(
+            "frontdoor.admission", SiteMode.EVENT, FaultKind.ADMISSION_DROP,
+            (FaultKind.ADMISSION_DROP,),
+            "The admission filter sheds a first-try request that the "
+            "token bucket and sojourn bound would have admitted.",
+            "A load balancer in front of a Xen serving fleet shedding "
+            "on a stale utilization signal — an haproxy maxconn or "
+            "nginx limit_req tripping on a spike the backends had "
+            "already absorbed.",
+            "The request is counted shed, resolves immediately (the "
+            "caller sees 429 + Retry-After, never a hang), and the "
+            "offered == admitted + shed ledger in audit_frontdoor "
+            "still balances — a spurious shed can cost goodput but "
+            "never conservation.",
+        ),
+        _site(
+            "frontdoor.replica_stall", SiteMode.EVENT,
+            FaultKind.REPLICA_STALL, (FaultKind.REPLICA_STALL,),
+            "A routed copy is swallowed by its replica: admitted, "
+            "never served, immediately lost.",
+            "A Unikraft replica wedged after accept() — the vif ring "
+            "accepts the request but the guest never schedules the "
+            "handler (the paper's §6 OpenFaaS pool with a hung "
+            "worker), so the copy blackholes.",
+            "The copy is accounted lost (copy conservation holds), "
+            "the replica's circuit breaker records a failure — "
+            "repeated stalls trip it OPEN and eject the replica from "
+            "routing — and the request survives via its sibling "
+            "copies or the retry budget.",
+        ),
+        _site(
+            "frontdoor.breaker_flap", SiteMode.EVENT,
+            FaultKind.BREAKER_FLAP, (FaultKind.BREAKER_FLAP,),
+            "A healthy replica's circuit breaker trips spuriously, "
+            "ejecting it from the routing set with no real failure "
+            "behind it.",
+            "Health-check flapping in a Xen serving fleet: a slow "
+            "xenstore read or a dropped probe marks a live backend "
+            "down, the classic grey-failure false positive.",
+            "The breaker follows its normal lifecycle — OPEN for the "
+            "cooldown, HALF_OPEN probes readmit the replica after "
+            "frontdoor_breaker_cooldown — so a flap costs at most one "
+            "cooldown window of that replica's capacity and the "
+            "half-open probe path is exercised end to end.",
+        ),
     )
 }
 
@@ -329,6 +383,11 @@ def host_sites() -> list[str]:
 def migration_sites() -> list[str]:
     """Names of the migration-tier event-mode sites."""
     return sorted(name for name in SITES if name.startswith("migration."))
+
+
+def frontdoor_sites() -> list[str]:
+    """Names of the front-door resilience event-mode sites."""
+    return sorted(name for name in SITES if name.startswith("frontdoor."))
 
 
 #: Sites threaded through the KVM backend so far (the parity slice):

@@ -144,8 +144,12 @@ def audit_fleet(fleet: Fleet, frontdoor: Any = None) -> list[str]:
 def audit_frontdoor(frontdoor: Any) -> list[str]:
     """The front-door work-conservation laws, as violation strings.
 
-    Three invariants, all exact counts except the float work ledger:
+    Five invariants, all exact counts except the float work ledger:
 
+    - every first try accounted at admission:
+      ``offered == admitted (requests) + shed`` — admission control
+      never silently drops a request, and shed requests never leak
+      into the admitted ledger;
     - every request resolved exactly once:
       ``requests == completed + failed + timed_out + in-flight``;
     - every copy ended exactly once:
@@ -153,11 +157,20 @@ def audit_frontdoor(frontdoor: Any) -> list[str]:
     - no double-counted service: the work the replica servers delivered
       (live pools plus retired servers) equals the work charged to
       copies (ended plus in-flight partial service), and the useful
-      work never exceeds the served work.
+      work never exceeds the served work;
+    - retries within budget: granted retries never exceed the
+      configured fraction of first-try traffic plus the burst
+      allowance (checked through the live resilience state when one
+      is armed).
     """
     violations: list[str] = []
     stats = frontdoor.stats
     inflight = frontdoor.inflight_copies()
+    if stats["offered"] != stats["requests"] + stats["shed"]:
+        violations.append(
+            f"frontdoor admission conservation broken: "
+            f"{stats['offered']} offered != {stats['requests']} admitted "
+            f"+ {stats['shed']} shed")
     resolved = (stats["completed"] + stats["failed"] + stats["timed_out"])
     if stats["requests"] < resolved:
         violations.append(
@@ -180,6 +193,14 @@ def audit_frontdoor(frontdoor: Any) -> list[str]:
         violations.append(
             f"frontdoor useful work {stats['work_useful_ms']:.6f} exceeds "
             f"served work {stats['work_served_ms']:.6f}")
+    res = getattr(frontdoor, "_res", None)
+    if res is not None:
+        violations.extend(res.audit())
+        if stats["retries"] < res.budget.granted:
+            violations.append(
+                f"frontdoor retry ledger broken: stats count "
+                f"{stats['retries']} retries < {res.budget.granted} "
+                f"granted by the budget")
     return violations
 
 

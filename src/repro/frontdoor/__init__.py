@@ -7,6 +7,9 @@
   virtual clock).
 - :mod:`repro.frontdoor.model` — the analytic processor-sharing curves
   the headline experiment validates against.
+- :mod:`repro.frontdoor.resilience` — overload protection (admission
+  control, brownout, retry budgets, circuit breakers) and the seeded
+  overload-storm smoke.
 - :mod:`repro.frontdoor.session` — ``FleetSession``, the multi-host
   counterpart of ``NepheleSession``.
 """
@@ -18,6 +21,16 @@ from repro.frontdoor.dispatch import (
     FrontDoor,
     ReplicaServer,
 )
+from repro.frontdoor.resilience import (
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryBudget,
+    StormReport,
+    TokenBucket,
+    format_storm_report,
+    run_overload_storm,
+    storm_policy,
+)
 from repro.frontdoor.results import (
     DispatchResult,
     DispatchTimeout,
@@ -25,12 +38,14 @@ from repro.frontdoor.results import (
     HostInfo,
     HostInventory,
     NoCapacity,
+    Overloaded,
 )
 from repro.frontdoor.session import FleetSession
 
 __all__ = [
     "APP_FACTORIES",
     "AutoscalePolicy",
+    "CircuitBreaker",
     "ControlPlane",
     "DISPATCH_RTT_MS",
     "DispatchResult",
@@ -41,6 +56,14 @@ __all__ = [
     "HostInfo",
     "HostInventory",
     "NoCapacity",
+    "Overloaded",
     "ReplicaServer",
+    "ResiliencePolicy",
     "Response",
+    "RetryBudget",
+    "StormReport",
+    "TokenBucket",
+    "format_storm_report",
+    "run_overload_storm",
+    "storm_policy",
 ]

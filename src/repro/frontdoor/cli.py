@@ -6,6 +6,12 @@ one or more times at a fixed seed, print the per-factor latency table,
 and exit non-zero on any conservation-law violation, on fingerprint
 drift between runs, or on requests that went unaccounted. CI pins
 exactly this contract in the ``frontdoor-smoke`` job.
+
+``--overload-storm`` switches to the resilience smoke instead: a
+seeded chaos storm across the ``frontdoor.*`` fault sites under the
+protected policy (admission control + brownout + budgeted retries +
+circuit breakers), with mid-run conservation audits — the contract the
+``overload-chaos-smoke`` CI job pins.
 """
 
 from __future__ import annotations
@@ -49,6 +55,14 @@ def _build_parser() -> argparse.ArgumentParser:
                              "either way")
     parser.add_argument("--json", action="store_true",
                         help="print the results as JSON")
+    parser.add_argument("--overload-storm", action="store_true",
+                        help="run the overload-resilience chaos storm "
+                             "(frontdoor.* fault sites, protected "
+                             "policy, mid-run audits) instead of the "
+                             "dispatch sweep")
+    parser.add_argument("--faults", type=int, default=30,
+                        help="fault budget for --overload-storm "
+                             "(default 30)")
     return parser
 
 
@@ -105,9 +119,41 @@ def _one_run(args: argparse.Namespace) -> tuple[list[dict], list[str]]:
     return results, violations
 
 
+def _storm_main(args: argparse.Namespace) -> int:
+    """The ``--overload-storm`` smoke: run, audit, compare, exit."""
+    from repro.frontdoor.resilience import (
+        format_storm_report,
+        run_overload_storm,
+    )
+
+    reports = [
+        run_overload_storm(args.seed, hosts=args.hosts,
+                           replicas=args.replicas, requests=args.requests,
+                           faults=args.faults)
+        for _ in range(max(1, args.runs))
+    ]
+    report = reports[-1]
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_storm_report(report))
+    exit_code = 0
+    if report.violations:
+        print(f"FAIL: {len(report.violations)} conservation violations",
+              file=sys.stderr)
+        exit_code = 1
+    if len({r.fingerprint for r in reports}) > 1:
+        print(f"FAIL: fingerprint drift across {len(reports)} runs",
+              file=sys.stderr)
+        exit_code = 1
+    return exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the smoke sweep; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.overload_storm:
+        return _storm_main(args)
     fingerprints: list[str] = []
     results: list[dict] = []
     violations: list[str] = []

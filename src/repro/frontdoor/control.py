@@ -10,9 +10,11 @@ handler is also a plain typed-result method (``inventory()``,
 ``dispatch(...)``) for callers that do not want to marshal dicts.
 
 Error mapping follows the usual REST conventions: unknown resources are
-404, malformed requests 400, conflicts 409, :class:`NoCapacity` 503 and
-:class:`DispatchTimeout` 504 — all carried as :class:`Response` objects
-rather than exceptions, so scenario scripts can assert on status codes.
+404, malformed requests 400, conflicts 409, :class:`NoCapacity` 503,
+:class:`DispatchTimeout` 504 and :class:`Overloaded` 429 — the latter
+with a deterministic ``retry_after_ms`` hint from the analytic PS model
+— all carried as :class:`Response` objects rather than exceptions, so
+scenario scripts can assert on status codes.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from repro.apps.udp_server import UdpServerApp
 from repro.errors import ReproError
 from repro.fleet.fleet import Fleet, FleetError
 from repro.frontdoor.dispatch import AutoscalePolicy, FrontDoor
+from repro.frontdoor.resilience import ResiliencePolicy
 from repro.frontdoor.results import (
     DispatchResult,
     DispatchTimeout,
@@ -32,6 +35,7 @@ from repro.frontdoor.results import (
     HostInfo,
     HostInventory,
     NoCapacity,
+    Overloaded,
 )
 from repro.toolstack.config import DomainConfig, VifConfig
 
@@ -100,6 +104,13 @@ class ControlPlane:
                 continue
             try:
                 return handler(body or {}, **match.groupdict())
+            except Overloaded as exc:
+                # Shed by admission control: 429, not 503 — the
+                # capacity exists, the client is asked to back off for
+                # a deterministic PS-model sojourn.
+                return Response(429, {
+                    "error": str(exc),
+                    "retry_after_ms": round(exc.retry_after_ms, 6)})
             except NoCapacity as exc:
                 return Response(503, {"error": str(exc)})
             except DispatchTimeout as exc:
@@ -179,12 +190,15 @@ class ControlPlane:
                  clone_factor: int = 1, timeout_ms: float | None = None,
                  autoscale: AutoscalePolicy | None = None,
                  heartbeat_every_ms: float | None = None,
+                 resilience: ResiliencePolicy | None = None,
+                 report_segments: int = 0,
                  label: str = "") -> DispatchResult:
         """Run a request-dispatch workload against a family."""
         return self.frontdoor.run_workload(
             family, workload, requests=requests, arrival_rps=arrival_rps,
             clone_factor=clone_factor, timeout_ms=timeout_ms,
             autoscale=autoscale, heartbeat_every_ms=heartbeat_every_ms,
+            resilience=resilience, report_segments=report_segments,
             label=label)
 
     # ------------------------------------------------------------------
@@ -242,6 +256,11 @@ class ControlPlane:
                             else None),
             "rounds_done": (migration.rounds_done
                             if migration is not None else 0),
+            # Per-replica circuit-breaker state for this family's pool
+            # (null when the front door runs without a resilience
+            # policy): lets an operator see which replicas dispatch is
+            # currently routing around.
+            "resilience": self.frontdoor.family_resilience(name),
         })
 
     def _route_create(self, body: dict[str, Any]) -> Response:
@@ -277,11 +296,24 @@ class ControlPlane:
         if family not in self.fleet.families:
             return Response(404, {"error": f"unknown family {family!r}"})
         timeout = body.get("timeout_ms")
+        policy = body.get("resilience")
+        if policy is not None and not isinstance(policy, ResiliencePolicy):
+            policy = ResiliencePolicy(**policy)
         result = self.dispatch(
             family, body.get("workload", "faas"),
             requests=int(body.get("requests", 1000)),
             arrival_rps=float(body.get("arrival_rps", 100.0)),
             clone_factor=int(body.get("clone_factor", 1)),
             timeout_ms=None if timeout is None else float(timeout),
+            resilience=policy,
+            report_segments=int(body.get("report_segments", 0)),
             label=str(body.get("label", "")))
+        if result.offered and result.shed == result.offered:
+            # Admission shed the whole run: the aggregate analogue of
+            # the single-request 429, with the same deterministic hint.
+            return Response(429, {
+                "error": f"all {result.offered} requests shed",
+                "retry_after_ms": round(self.frontdoor.retry_after_hint_ms(
+                    family, body.get("workload", "faas")), 6),
+                "result": result.to_dict()})
         return Response(200, result.to_dict())

@@ -52,11 +52,14 @@ from functools import partial
 from typing import TYPE_CHECKING, Any
 
 from repro.apps.traffic import RequestShape, as_shape
+from repro.frontdoor.model import expected_sojourn_ms, retry_after_ms
+from repro.frontdoor.resilience import ResiliencePolicy, ResilienceState
 from repro.frontdoor.results import (
     DispatchResult,
     DispatchTimeout,
     FrontDoorError,
     NoCapacity,
+    Overloaded,
 )
 from repro.obs.registry import LATENCY_BUCKET_BOUNDS, MetricsRegistry
 from repro.sim.engine import Engine
@@ -128,7 +131,7 @@ class _Request:
     """One user request: demand plus its live copies."""
 
     __slots__ = ("rid", "t_arrive_ms", "demand_ms", "copies", "resolved",
-                 "timeout_event")
+                 "timeout_event", "attempts")
 
     def __init__(self, rid: int, t_arrive_ms: float, demand_ms: float) -> None:
         self.rid = rid
@@ -137,6 +140,10 @@ class _Request:
         self.copies: list[_Copy] = []
         self.resolved = False
         self.timeout_event = None
+        #: Dispatch attempts so far, the first try included. Retries
+        #: (resilience layer) bump this; ``t_arrive_ms`` keeps the
+        #: *original* arrival so latency and deadline cover the retries.
+        self.attempts = 1
 
     def active_copies(self) -> list[_Copy]:
         return [c for c in self.copies if c.state == _ACTIVE]
@@ -158,8 +165,8 @@ class ReplicaServer:
 
     __slots__ = ("host", "domid", "rate", "jobs", "last_ms",
                  "work_done_ms", "departure_event", "depart_cb", "alive",
-                 "vclock", "hint_seq", "_hist", "_hist_base", "_heap",
-                 "_heap_dead", "_seq", "_compact_at")
+                 "draining", "vclock", "hint_seq", "_hist", "_hist_base",
+                 "_heap", "_heap_dead", "_seq", "_compact_at")
 
     def __init__(self, host: str, domid: int, now_ms: float) -> None:
         self.host = host
@@ -171,6 +178,9 @@ class ReplicaServer:
         self.departure_event = None
         self.depart_cb = None
         self.alive = True
+        #: Host is DRAINING (mid-migration): resilient routing avoids
+        #: it unless it is the only capacity left.
+        self.draining = False
         #: Cumulative per-job service (virtual time), in work-ms.
         self.vclock = 0.0
         #: Token of this server's single *live* departure hint in the
@@ -461,7 +471,9 @@ class _Run:
     __slots__ = ("requests", "latencies", "resolved", "admitted",
                  "rejected", "completed", "failed", "timed_out", "copies",
                  "copies_won", "copies_cancelled", "copies_lost",
-                 "copies_timed_out", "work_served", "work_useful")
+                 "copies_timed_out", "work_served", "work_useful",
+                 "offered", "shed", "retries", "family", "clone_factor",
+                 "timeout_ms", "mean_service_ms")
 
     def __init__(self, requests: int) -> None:
         self.requests = requests
@@ -480,6 +492,16 @@ class _Run:
         self.copies_timed_out = 0
         self.work_served = 0.0
         self.work_useful = 0.0
+        #: First tries offered to admission (== admitted + shed).
+        self.offered = 0
+        self.shed = 0
+        self.retries = 0
+        # Run context the resilience layer (admission sheds, retries)
+        # needs off the hot path; set once by ``run_workload``.
+        self.family = ""
+        self.clone_factor = 1
+        self.timeout_ms: float | None = None
+        self.mean_service_ms = 0.0
 
 
 class FrontDoor:
@@ -493,12 +515,26 @@ class FrontDoor:
     """
 
     def __init__(self, fleet: "Fleet",
-                 max_jobs_per_server: int = MAX_JOBS_PER_SERVER) -> None:
+                 max_jobs_per_server: int = MAX_JOBS_PER_SERVER,
+                 resilience: "ResiliencePolicy | None" = None) -> None:
         self.fleet = fleet
         self.engine = Engine(fleet.clock)
         self.rng = fleet.rng.fork("frontdoor")
         self.registry = MetricsRegistry()
         self.max_jobs_per_server = max_jobs_per_server
+        #: Default overload-resilience policy for every run (may be
+        #: overridden per ``run_workload`` call); ``None`` keeps the
+        #: resilience layer entirely off the hot path.
+        self.resilience = resilience
+        #: Persistent resilience runtime (breakers, retry budget) —
+        #: survives across runs so breaker state sees history.
+        self._res: ResilienceState | None = None
+        #: The *current run's* resilience state (None when the run has
+        #: no policy): the only thing hot paths test.
+        self._active_res: ResilienceState | None = None
+        #: Fault injector for the frontdoor.* sites, non-None only
+        #: during a resilient run with faults enabled.
+        self._inj = None
         #: family name -> ordered replica pool.
         self._pools: dict[str, dict[tuple[str, int], ReplicaServer]] = {}
         #: family name -> flat pool view + the fleet topology epoch it
@@ -539,6 +575,10 @@ class FrontDoor:
             "autoscale_events": 0,
             "work_served_ms": 0.0,
             "work_useful_ms": 0.0,
+            "offered": 0,
+            "shed": 0,
+            "retries": 0,
+            "breaker_trips": 0,
         }
 
     # ------------------------------------------------------------------
@@ -582,6 +622,7 @@ class FrontDoor:
                     host_name, domid, now)
             server.rate = (DEGRADED_RATE if host.state.value == "degraded"
                            else 1.0)
+            server.draining = host.state.value == "draining"
         for key in [k for k in pool if k not in live]:
             self._retire(pool.pop(key), now)
         view = list(pool.values())
@@ -618,7 +659,9 @@ class FrontDoor:
                      timeout_ms: float | None = None,
                      autoscale: "AutoscalePolicy | None" = None,
                      heartbeat_every_ms: float | None = None,
-                     label: str = "") -> DispatchResult:
+                     label: str = "",
+                     resilience: "ResiliencePolicy | None" = None,
+                     report_segments: int = 0) -> DispatchResult:
         """Dispatch an open-loop Poisson request stream at the family.
 
         Each request is cloned to ``clone_factor`` distinct replicas
@@ -626,7 +669,11 @@ class FrontDoor:
         grows the family during the run; ``heartbeat_every_ms``
         interleaves fleet heartbeat rounds (and pool refreshes) with
         the traffic, which is how host-kill chaos composes with
-        dispatch. Returns a :class:`DispatchResult`.
+        dispatch. ``resilience`` (or the front door's default policy)
+        arms admission control, brownout, budgeted retries and circuit
+        breakers for this run; ``report_segments`` adds a per-segment
+        completed-count series to the result (goodput over virtual
+        time). Returns a :class:`DispatchResult`.
         """
         shape = as_shape(shape)
         if requests < 1:
@@ -635,17 +682,35 @@ class FrontDoor:
             raise FrontDoorError(f"non-positive clone factor: {clone_factor}")
         if arrival_rps <= 0:
             raise FrontDoorError(f"non-positive arrival rate: {arrival_rps}")
+        if report_segments < 0:
+            raise FrontDoorError(f"negative report_segments: {report_segments}")
         pool = self.refresh(family)
         if len(pool) < clone_factor:
             raise NoCapacity(
                 f"family {family!r} has {len(pool)} ready replicas, "
                 f"need clone_factor={clone_factor}")
 
+        policy = resilience if resilience is not None else self.resilience
+        res = None
+        if policy is not None:
+            res = self._res
+            if res is None or res.policy != policy:
+                res = self._res = ResilienceState(
+                    policy, self.rng, self.fleet.clock.now)
+        self._active_res = res
+        faults = self.fleet.faults
+        self._inj = (faults if res is not None
+                     and getattr(faults, "enabled", False) else None)
+
         base = self.rng.fork(f"dispatch:{family}:{shape.name}:{label}")
         arrival_rng = base.fork("arrivals")
         demand_rng = base.fork("demand")
         route_rng = base.fork("route")
         run = _Run(requests)
+        run.family = family
+        run.clone_factor = clone_factor
+        run.timeout_ms = timeout_ms
+        run.mean_service_ms = shape.mean_service_ms
         self._run = run
         self._hist = self.registry.histogram(
             f"frontdoor.latency.{family}.{shape.name}.d{clone_factor}",
@@ -800,10 +865,13 @@ class FrontDoor:
         self._flush_run(run)
         self._run = None
         self._hist = None
+        self._active_res = None
+        self._inj = None
         duration = self.fleet.clock.now - t_start
         return self._finalize(
             run, family, shape, clone_factor, arrival_rps, duration,
-            work_served=run.work_served, work_useful=run.work_useful)
+            work_served=run.work_served, work_useful=run.work_useful,
+            resilient=res is not None, report_segments=report_segments)
 
     def dispatch_one(self, family: str, shape: "RequestShape | str", *,
                      clone_factor: int = 1,
@@ -817,12 +885,30 @@ class FrontDoor:
             family, shape, requests=1, arrival_rps=1000.0,
             clone_factor=clone_factor, timeout_ms=timeout_ms,
             label=f"one:{self.stats['requests']}")
+        if result.shed and not result.completed:
+            raise Overloaded(
+                f"request to {family!r} shed by admission control",
+                retry_after_ms=self.retry_after_hint_ms(family, shape))
         if result.timed_out:
             raise DispatchTimeout(
                 f"request to {family!r} exceeded {timeout_ms} ms")
         if not result.completed:
             raise NoCapacity(f"request to {family!r} found no capacity")
         return result.latency_mean_ms
+
+    def retry_after_hint_ms(self, family: str,
+                            shape: "RequestShape | str") -> float:
+        """Deterministic ``Retry-After`` hint for a shed request.
+
+        One expected PS sojourn at the family's current mean queue
+        depth (:func:`repro.frontdoor.model.retry_after_ms`) — the
+        control plane turns this into the 429 response's hint.
+        """
+        shape = as_shape(shape)
+        pool = self.refresh(family)
+        depth = (sum(len(s.jobs) for s in pool) / len(pool)
+                 if pool else 0.0)
+        return retry_after_ms(shape.mean_service_ms, depth)
 
     # ------------------------------------------------------------------
     # internals
@@ -834,6 +920,15 @@ class FrontDoor:
         if pool is None:
             pool = self._pool_lists[family] = list(
                 self._pools.get(family, {}).values())
+        run.offered += 1
+        res = self._active_res
+        if res is not None:
+            clone_factor = self._gatekeep(run, res, now, pool)
+            if clone_factor < 0:
+                run.shed += 1
+                run.resolved += 1
+                return
+            res.budget.note_first_try()
         run.admitted += 1
         request = _Request(rid, now, demand_ms)
         placed: list[ReplicaServer] = []
@@ -864,8 +959,12 @@ class FrontDoor:
                 server = pool[index]
                 if len(server.jobs) >= cap:
                     continue
+                if res is not None and not self._routable(res, server, now):
+                    continue
                 placed.append(server)
                 found += 1
+            if res is not None and not placed:
+                self._fallback_place(res, pool, placed, want, cap, now)
         if not placed:
             run.rejected += 1
             self._fail(request, run)
@@ -873,9 +972,22 @@ class FrontDoor:
         copies = request.copies
         dep = self._dep_heap
         heappush = heapq.heappush
+        inj = self._inj
+        stalled = 0
         for server in placed:
             copy = _Copy(request, server)
             copies.append(copy)
+            if inj is not None and inj.event(
+                    "frontdoor.replica_stall", op="route",
+                    host=server.host, domid=server.domid):
+                # The replica swallows the copy: admitted, never
+                # served, immediately lost (consumed 0 work). Copy
+                # conservation holds; the breaker records a failure.
+                copy.state = _LOST
+                self._end_copy(copy)
+                self._breaker_failure(res, server.key, now)
+                stalled += 1
+                continue
             # Inlined ReplicaServer.advance(now) — the single hottest
             # call site (one per admitted copy), worth the frame.
             dt = now - server.last_ms
@@ -921,9 +1033,224 @@ class FrontDoor:
             else:
                 self._reschedule(server, now)
         run.copies += len(placed)
+        if res is not None:
+            if stalled == len(placed):
+                self._fail(request, run)
+                return
+            deadline = res.policy.deadline_ms
+            if deadline is not None:
+                # Deadline propagation: the attempt's timeout never
+                # outlives the request deadline, so doomed copies are
+                # cancelled early instead of simmered.
+                slack = request.t_arrive_ms + deadline - now
+                if timeout_ms is None or slack < timeout_ms:
+                    timeout_ms = slack
         if timeout_ms is not None:
             request.timeout_event = self.engine.schedule_at(
                 now + timeout_ms, lambda: self._expire(request, run))
+
+    # ------------------------------------------------------------------
+    # resilience internals (only reached when a policy is active)
+    # ------------------------------------------------------------------
+    def _gatekeep(self, run: _Run, res: ResilienceState, now: float,
+                  pool: list[ReplicaServer]) -> int:
+        """Admission control for one first-try request.
+
+        Returns the effective clone factor — brownout may have
+        degraded it toward 1 — or ``-1`` to shed. Order: fault site,
+        token bucket, brownout, then the PS expected-sojourn bound and
+        the deadline, both evaluated at the browned-out clone factor.
+        """
+        policy = res.policy
+        inj = self._inj
+        if inj is not None and inj.event("frontdoor.admission",
+                                         op="admit", family=run.family):
+            res.note_shed("fault")
+            return -1
+        if res.bucket is not None and not res.bucket.take(now):
+            res.note_shed("bucket")
+            return -1
+        depth = 0.0
+        npool = len(pool)
+        if npool:
+            jobs = 0
+            for server in pool:
+                jobs += len(server.jobs)
+            depth = jobs / npool
+        d = res.effective_clone_factor(run.clone_factor, depth)
+        bound = policy.sojourn_bound_ms
+        deadline = policy.deadline_ms
+        if bound is not None or deadline is not None:
+            expected = expected_sojourn_ms(run.mean_service_ms, depth, d)
+            if bound is not None and expected > bound:
+                res.note_shed("sojourn")
+                return -1
+            if deadline is not None and expected > deadline:
+                res.note_shed("deadline")
+                return -1
+        if inj is not None and inj.event("frontdoor.breaker_flap",
+                                         op="admit", family=run.family):
+            self._flap_breaker(res, pool, now)
+        return d
+
+    def _routable(self, res: ResilienceState, server: ReplicaServer,
+                  now: float) -> bool:
+        """May routing place a copy on ``server`` right now?"""
+        if server.draining and res.policy.route_around_draining:
+            return False
+        breaker = res.breakers.get(server.key)
+        return breaker is None or breaker.allow(now)
+
+    def _fallback_place(self, res: ResilienceState,
+                        pool: list[ReplicaServer],
+                        placed: list[ReplicaServer], want: int, cap: int,
+                        now: float) -> None:
+        """Routing skipped every sampled candidate: a deterministic
+        pool-order pass readmits DRAINING replicas (better than failing
+        the request outright) — but never an OPEN breaker."""
+        for server in pool:
+            if len(server.jobs) >= cap:
+                continue
+            if not res.allow_route(server.key, now):
+                continue
+            placed.append(server)
+            if len(placed) >= want:
+                return
+
+    def _flap_breaker(self, res: ResilienceState,
+                      pool: list[ReplicaServer], now: float) -> None:
+        """The breaker-flap fault site: spuriously trip the breaker of
+        the most-loaded pool replica (ties break to pool order)."""
+        if not pool or not res.policy.breaker_window:
+            return
+        target = pool[0]
+        for server in pool[1:]:
+            if len(server.jobs) > len(target.jobs):
+                target = server
+        breaker = res.breaker_for(target.key)
+        if breaker is not None and breaker.force_open(now):
+            res.breaker_trips += 1
+            self.stats["breaker_trips"] += 1
+            self.fleet.tracer.count("frontdoor.breaker_trips")
+
+    def _breaker_failure(self, res: ResilienceState, key: tuple[str, int],
+                         now: float) -> None:
+        """Feed a copy failure to the replica's breaker."""
+        if res.record_failure(key, now):
+            self.stats["breaker_trips"] += 1
+            self.fleet.tracer.count("frontdoor.breaker_trips")
+
+    def _retry(self, request: _Request, run: _Run, res: ResilienceState,
+               now: float) -> bool:
+        """Client-side retry gate: attempts, deadline, then the budget.
+
+        ``True`` means a retry was granted and scheduled (the request
+        stays unresolved); ``False`` leaves resolution to the caller.
+        The backoff draw happens before the budget check so the retry
+        RNG stream advances identically whether or not tokens remain.
+        """
+        policy = res.policy
+        attempt = request.attempts
+        if attempt >= policy.max_attempts:
+            return False
+        when = now + res.backoff_ms(attempt)
+        if (policy.deadline_ms is not None
+                and when >= request.t_arrive_ms + policy.deadline_ms):
+            return False
+        if not res.budget.grant():
+            return False
+        request.attempts = attempt + 1
+        run.retries += 1
+        self.engine.schedule_at(when, lambda: self._readmit(request, run))
+        return True
+
+    def _readmit(self, request: _Request, run: _Run) -> None:
+        """Place a budget-granted retry: same request, fresh copies.
+
+        Off the hot path by construction. Routing and backoff draw
+        from the resilience fork (``rng.fork("retries")``), so the
+        first-try route stream stays bit-identical to a retry-free
+        run and retry storms replay bit-for-bit.
+        """
+        if request.resolved:
+            return
+        res = self._active_res
+        if res is None:
+            self._fail(request, run)
+            return
+        now = self.fleet.clock.now
+        pool = self._pool_lists.get(run.family)
+        if pool is None:
+            pool = self._pool_lists[run.family] = list(
+                self._pools.get(run.family, {}).values())
+        placed: list[ReplicaServer] = []
+        npool = len(pool)
+        cap = self.max_jobs_per_server
+        if npool:
+            jobs = 0
+            for server in pool:
+                jobs += len(server.jobs)
+            d = res.effective_clone_factor(run.clone_factor, jobs / npool)
+            want = d if d < npool else npool
+            rng = res.rng
+            tried_mask = 0
+            tried = 0
+            while len(placed) < want and tried < npool:
+                index = rng.randint(0, npool - 1)
+                bit = 1 << index
+                if tried_mask & bit:
+                    continue
+                tried_mask |= bit
+                tried += 1
+                server = pool[index]
+                if len(server.jobs) >= cap:
+                    continue
+                if not self._routable(res, server, now):
+                    continue
+                placed.append(server)
+            if not placed:
+                self._fallback_place(res, pool, placed, want, cap, now)
+        if not placed:
+            run.rejected += 1
+            if not self._retry(request, run, res, now):
+                self._resolve_failed(request, run)
+            return
+        inj = self._inj
+        stalled = 0
+        for server in placed:
+            copy = _Copy(request, server)
+            request.copies.append(copy)
+            if inj is not None and inj.event(
+                    "frontdoor.replica_stall", op="route",
+                    host=server.host, domid=server.domid):
+                copy.state = _LOST
+                self._end_copy(copy)
+                self._breaker_failure(res, server.key, now)
+                stalled += 1
+                continue
+            server.advance(now)
+            server.admit(copy)
+            self._reschedule(server, now)
+        run.copies += len(placed)
+        if stalled == len(placed):
+            if not self._retry(request, run, res, now):
+                self._resolve_failed(request, run)
+            return
+        timeout = run.timeout_ms
+        deadline = res.policy.deadline_ms
+        if deadline is not None:
+            slack = request.t_arrive_ms + deadline - now
+            if timeout is None or slack < timeout:
+                timeout = slack
+        if timeout is not None:
+            request.timeout_event = self.engine.schedule_at(
+                now + timeout, lambda: self._expire(request, run))
+
+    def _resolve_failed(self, request: _Request, run: _Run) -> None:
+        """Terminal failure of a retried request (no further gates)."""
+        request.resolved = True
+        run.failed += 1
+        run.resolved += 1
 
     def _reschedule(self, server: ReplicaServer,
                     now: float | None = None) -> None:
@@ -979,6 +1306,9 @@ class FrontDoor:
         # below zero after the final share).
         winner.consumed_ms = request.demand_ms - winner.remaining_ms
         winner.server.remove(winner)
+        res = self._active_res
+        if res is not None:
+            res.record_success(winner.server.key, now_ms)
         if run is not None:
             run.work_served += winner.consumed_ms
             run.copies_won += 1
@@ -1049,6 +1379,21 @@ class FrontDoor:
         if request.resolved:
             return
         now = self.fleet.clock.now
+        request.timeout_event = None
+        res = self._active_res
+        # Timeout/departure tie: a copy whose service is already
+        # complete at the expiry instant departs *first* — the request
+        # resolves completed, deterministically, on both the fast path
+        # and the engine path (pinned by the tie regression tests).
+        for copy in request.copies:
+            if copy.state != _ACTIVE:
+                continue
+            server = copy.server
+            server.advance(now)
+            if server.exact_remaining(copy) <= EPS:
+                self._complete(request, copy, now)
+                self._reschedule(server, now)
+                return
         for copy in request.copies:
             if copy.state != _ACTIVE:
                 continue
@@ -1060,19 +1405,29 @@ class FrontDoor:
             self._end_copy(copy)
             self._reschedule(server, now)
             run.copies_timed_out += 1
+            if res is not None:
+                self._breaker_failure(res, server.key, now)
+        if res is not None and self._retry(request, run, res, now):
+            return
         request.resolved = True
-        request.timeout_event = None
         run.timed_out += 1
         run.resolved += 1
 
     def _fail(self, request: _Request, run: "_Run | None" = None) -> None:
         if request.resolved:
             return
+        run = run if run is not None else self._run
+        res = self._active_res
+        if (res is not None and run is not None
+                and self._retry(request, run, res, self.fleet.clock.now)):
+            if request.timeout_event is not None:
+                request.timeout_event.cancel()
+                request.timeout_event = None
+            return
         request.resolved = True
         if request.timeout_event is not None:
             request.timeout_event.cancel()
             request.timeout_event = None
-        run = run if run is not None else self._run
         if run is not None:
             run.failed += 1
             run.resolved += 1
@@ -1106,9 +1461,16 @@ class FrontDoor:
         stats["rejected_no_capacity"] += run.rejected
         stats["work_served_ms"] += run.work_served
         stats["work_useful_ms"] += run.work_useful
+        stats["offered"] += run.offered
+        stats["shed"] += run.shed
+        stats["retries"] += run.retries
         if run.completed:
             self.fleet.tracer.count("frontdoor.requests_completed",
                                     run.completed)
+        if run.shed:
+            self.fleet.tracer.count("frontdoor.requests_shed", run.shed)
+        if run.retries:
+            self.fleet.tracer.count("frontdoor.retries", run.retries)
 
     def _autoscale_check(self, family: str, policy: "AutoscalePolicy",
                          arrived: int) -> None:
@@ -1132,7 +1494,9 @@ class FrontDoor:
     # ------------------------------------------------------------------
     def _finalize(self, run: _Run, family: str, shape: RequestShape,
                   clone_factor: int, arrival_rps: float, duration_ms: float,
-                  *, work_served: float, work_useful: float) -> DispatchResult:
+                  *, work_served: float, work_useful: float,
+                  resilient: bool = False,
+                  report_segments: int = 0) -> DispatchResult:
         counts = {
             "completed": run.completed, "failed": run.failed,
             "timed_out": run.timed_out,
@@ -1141,6 +1505,12 @@ class FrontDoor:
             "copies_lost": run.copies_lost,
             "copies_timed_out": run.copies_timed_out,
         }
+        if resilient:
+            # Only resilient runs extend the fingerprint vocabulary, so
+            # the pinned legacy fingerprints stay byte-identical.
+            counts["offered"] = run.offered
+            counts["shed"] = run.shed
+            counts["retries"] = run.retries
         done = sorted(lat for lat in run.latencies if lat == lat)
 
         def quantile(q: float) -> float:
@@ -1160,6 +1530,15 @@ class FrontDoor:
         }
         fingerprint = hashlib.sha256(
             json.dumps(payload, sort_keys=True).encode()).hexdigest()
+        segments: tuple = ()
+        if report_segments > 0:
+            seg = [0] * report_segments
+            lats = run.latencies
+            n = run.requests
+            for rid in range(n):
+                if lats[rid] == lats[rid]:
+                    seg[rid * report_segments // n] += 1
+            segments = tuple(seg)
         return DispatchResult(
             family=family, workload=shape.name, clone_factor=clone_factor,
             requests=run.requests, completed=counts["completed"],
@@ -1176,7 +1555,9 @@ class FrontDoor:
             latency_p99_ms=quantile(0.99),
             latency_max_ms=(done[-1] if done else 0.0),
             work_served_ms=work_served, work_useful_ms=work_useful,
-            waste_fraction=waste, fingerprint=fingerprint)
+            waste_fraction=waste, fingerprint=fingerprint,
+            offered=run.offered, shed=run.shed, retries=run.retries,
+            segment_completed=segments)
 
     # ------------------------------------------------------------------
     # introspection (the audit hooks)
@@ -1200,6 +1581,24 @@ class FrontDoor:
                    for server in pool.values()
                    for copy in server.jobs)
 
+    def resilience_report(self) -> "dict[str, Any] | None":
+        """Snapshot of breakers / budget / sheds (None when disabled)."""
+        return self._res.report() if self._res is not None else None
+
+    def family_resilience(self, family: str) -> "dict[str, Any] | None":
+        """The resilience snapshot scoped to one family's pool."""
+        if self._res is None:
+            return None
+        report = self._res.report()
+        keys = {f"{h}/{d}" for (h, d) in self._pools.get(family, {})}
+        report["breakers"] = {key: state
+                              for key, state in report["breakers"].items()
+                              if key in keys}
+        report["open_breakers"] = sum(
+            1 for state in report["breakers"].values()
+            if state["state"] != "closed")
+        return report
+
     def report(self) -> dict[str, Any]:
         """Machine-readable front-door state (JSON-serializable)."""
         return {
@@ -1209,6 +1608,7 @@ class FrontDoor:
                       for family, pool in sorted(self._pools.items())},
             "pool_epochs": dict(sorted(self._pool_epochs.items())),
             "topology_epoch": self.fleet.topology_epoch,
+            "resilience": self.resilience_report(),
             "histograms": {name: hist.count
                            for name, hist in
                            sorted(self.registry.histograms.items())},

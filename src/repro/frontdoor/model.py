@@ -89,6 +89,48 @@ def quantile_sojourn_ms(mean_service_ms: float, rho_eff: float,
     return -math.log(1.0 - q) * mean
 
 
+def expected_sojourn_ms(mean_service_ms: float, queue_depth: float,
+                        d: int = 1) -> float:
+    """Expected sojourn of a request admitted *right now*.
+
+    The admission-control form of the PS sojourn law: a job joining a
+    PS server already holding ``queue_depth`` resident jobs expects to
+    receive a ``1/(n+1)`` share, i.e. ``S * (depth + 1)`` of sojourn;
+    ``d`` synchronized copies on independently loaded servers divide
+    that by the clone factor (the winner samples the least-loaded
+    copy). ``queue_depth`` is the mean resident jobs per pool replica
+    at admission time — the instantaneous analogue of ``rho_eff`` in
+    :func:`mean_sojourn_ms`, usable before any work is measured.
+    """
+    if d < 1:
+        raise FrontDoorError(f"non-positive clone factor: {d}")
+    if queue_depth < 0:
+        raise FrontDoorError(f"negative queue depth: {queue_depth}")
+    return mean_service_ms * (queue_depth + 1.0) / d
+
+
+#: Utilization cap for the Retry-After hint: past the knee the mean
+#: sojourn diverges, but a shed client needs a *finite* deterministic
+#: backoff, so the hint prices the queue as if it sat just below
+#: saturation.
+RETRY_AFTER_RHO_CAP = 0.95
+
+
+def retry_after_ms(mean_service_ms: float, queue_depth: float,
+                   d: int = 1) -> float:
+    """Deterministic ``Retry-After`` hint for a shed request (ms).
+
+    One expected sojourn at the current operating point: the earliest
+    instant at which the queue that caused the shed can plausibly have
+    drained enough to admit, per the same PS law admission control
+    used to shed. Capped via :data:`RETRY_AFTER_RHO_CAP` so the hint
+    stays finite past the knee.
+    """
+    hint = expected_sojourn_ms(mean_service_ms, queue_depth, d)
+    cap = quantile_sojourn_ms(mean_service_ms, RETRY_AFTER_RHO_CAP, d=d)
+    return min(hint, cap)
+
+
 def predicted_p99_curve(mean_service_ms: float, rho: float,
                         clone_factors: list[int],
                         waste_by_d: dict[int, float]) -> dict[int, float]:

@@ -28,6 +28,19 @@ class DispatchTimeout(FrontDoorError):
     """A synchronously dispatched request exceeded its deadline."""
 
 
+class Overloaded(FrontDoorError):
+    """Admission control shed the request (HTTP 429, not 503).
+
+    Carries a deterministic ``retry_after_ms`` hint computed from the
+    analytic PS model (:func:`repro.frontdoor.model.retry_after_ms`):
+    one expected sojourn at the operating point that caused the shed.
+    """
+
+    def __init__(self, message: str, retry_after_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
 @dataclass(frozen=True)
 class HostInfo:
     """One member host, as the control-plane inventory sees it."""
@@ -122,7 +135,23 @@ class DispatchResult:
     #: 1 - useful/served: the request-cloning overhead.
     waste_fraction: float
     fingerprint: str
+    #: First-try requests offered to admission control. Equals
+    #: ``requests + shed`` (the admission conservation law); without a
+    #: resilience policy nothing is shed, so ``offered == requests``.
+    offered: int = 0
+    #: First-try requests shed by admission control before any copy
+    #: was placed. Shed requests are *not* counted in ``requests``.
+    shed: int = 0
+    #: Retry attempts granted by the retry budget during the run.
+    retries: int = 0
+    #: Completed-request counts per equal-offered segment of the run
+    #: (``report_segments`` of them; empty when not requested). Offered
+    #: load is flat across segments by construction, so a falling
+    #: series is goodput collapse. Excluded from the fingerprint.
+    segment_completed: tuple = ()
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready representation."""
-        return asdict(self)
+        data = asdict(self)
+        data["segment_completed"] = list(self.segment_completed)
+        return data

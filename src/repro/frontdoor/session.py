@@ -29,6 +29,7 @@ from repro.fleet.chaos import audit_fleet
 from repro.fleet.fleet import CloneResult, FamilyPlacement, Fleet, FleetConfig
 from repro.frontdoor.control import ControlPlane
 from repro.frontdoor.dispatch import AutoscalePolicy, FrontDoor
+from repro.frontdoor.resilience import ResiliencePolicy
 from repro.frontdoor.results import (
     DispatchResult,
     FrontDoorError,
@@ -41,13 +42,17 @@ class FleetSession:
 
     Keyword arguments mirror :class:`~repro.fleet.fleet.FleetConfig`
     (``hosts``, ``seed``, ``policy``, ``host_memory_bytes``...); pass a
-    :class:`FaultPlan` via ``plan`` to run under host-level chaos.
+    :class:`FaultPlan` via ``plan`` to run under host-level chaos, and a
+    :class:`~repro.frontdoor.resilience.ResiliencePolicy` via
+    ``resilience`` to arm the front door's overload protections for
+    every dispatch run.
     """
 
     def __init__(self, *, plan: FaultPlan | None = None,
+                 resilience: ResiliencePolicy | None = None,
                  **config_kwargs: Any) -> None:
         self.fleet = Fleet(FleetConfig(**config_kwargs), plan=plan)
-        self.frontdoor = FrontDoor(self.fleet)
+        self.frontdoor = FrontDoor(self.fleet, resilience=resilience)
         self.control = ControlPlane(self.fleet, self.frontdoor)
         self._closed = False
 

@@ -314,6 +314,25 @@ class CostModel:
     migration_dirty_rate_pages_per_ms: float = 3.0
 
     # ------------------------------------------------------------------
+    # Front-door overload resilience (repro.frontdoor.resilience).
+    # Anchored to FLEET_LAN_RTT like the rest of the fleet control
+    # plane; docs/RESILIENCE.md derives the policy defaults and
+    # docs/CALIBRATION.md pins the derivations via
+    # tests/test_calibration_docs.py (same contract as fleet_*).
+    # ------------------------------------------------------------------
+    #: Base delay before the first client-side retry of a failed or
+    #: timed-out request (doubled per attempt, jittered). Four round
+    #: trips — the same budget as one forwarded clone RPC, so a retry
+    #: is never cheaper than the forwarding it replaces.
+    frontdoor_retry_backoff_base: float = 4 * FLEET_LAN_RTT
+    #: How long an open circuit breaker keeps a replica out of the
+    #: routing set before probing it half-open: 20 round trips, i.e.
+    #: two replace-backoff windows — long enough for a draining or
+    #: degraded replica to shed its backlog, short enough to readmit
+    #: within one heartbeat interval.
+    frontdoor_breaker_cooldown: float = 20 * FLEET_LAN_RTT
+
+    # ------------------------------------------------------------------
     # Memory sizes (bytes) used by the platform model
     # ------------------------------------------------------------------
     #: Xen's minimum domain memory (paper §6.2: "the mandatory limit of

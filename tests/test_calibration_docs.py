@@ -118,6 +118,33 @@ def test_fleet_constants_derive_from_the_lan_rtt_anchor():
             f"derivation ({derived} ms)")
 
 
+def test_frontdoor_constants_derive_from_the_lan_rtt_anchor():
+    """The frontdoor_* resilience constants are anchored the same way
+    as the fleet control plane: every one is the documented multiple
+    of `FLEET_LAN_RTT`, exactly as docs/CALIBRATION.md (and
+    docs/RESILIENCE.md) derive them."""
+    from repro.sim.costs import FLEET_LAN_RTT
+
+    model = CostModel()
+    derivations = {
+        "frontdoor_retry_backoff_base": 4 * FLEET_LAN_RTT,
+        "frontdoor_breaker_cooldown": 20 * FLEET_LAN_RTT,
+    }
+    frontdoor_fields = {f.name for f in dataclasses.fields(CostModel)
+                        if f.name.startswith("frontdoor_")}
+    assert derivations.keys() == frontdoor_fields, (
+        "a frontdoor_* constant was added without a documented "
+        "derivation")
+    text = CALIBRATION_MD.read_text(encoding="utf-8")
+    for name, derived in derivations.items():
+        assert getattr(model, name) == pytest.approx(derived), (
+            f"{name} no longer matches its docs/CALIBRATION.md "
+            f"derivation ({derived} ms)")
+        assert f"`{name}`" in text, (
+            f"frontdoor constant {name} missing from "
+            f"docs/CALIBRATION.md")
+
+
 def test_migration_constants_derive_from_the_wire_anchor():
     """The migration_* table is anchored the same way: every constant
     is the documented function of the 10 GbE wire-page anchor, the LAN

@@ -8,6 +8,7 @@ from repro.faults import EMPTY_PLAN, FaultKind, FaultPlan, FaultPlanError, Fault
 from repro.faults.sites import (
     SITES,
     drop_sites,
+    frontdoor_sites,
     host_sites,
     migration_sites,
     raise_sites,
@@ -23,7 +24,8 @@ def test_site_registry_well_formed():
         assert site.description and site.analogue and site.recovery
     assert set(site_names()) == (set(raise_sites()) | set(drop_sites())
                                  | set(host_sites())
-                                 | set(migration_sites()))
+                                 | set(migration_sites())
+                                 | set(frontdoor_sites()))
 
 
 def test_spec_rejects_unknown_site():

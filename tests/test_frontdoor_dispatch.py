@@ -346,3 +346,83 @@ def test_seed_and_label_change_the_stream():
     base = _smoke_fingerprint(0xC10E)
     assert _smoke_fingerprint(0xBEEF) != base
     assert _smoke_fingerprint(0xC10E, label="other") != base
+
+
+# ----------------------------------------------------------------------
+# the timeout/departure tie
+# ----------------------------------------------------------------------
+
+TIE_MS = 7.0
+
+
+@pytest.fixture
+def constant_draws(monkeypatch):
+    """Pin every exponential draw to TIE_MS: arrivals land TIE_MS
+    apart and every request demands exactly TIE_MS of service, so
+    ``timeout_ms=TIE_MS`` collides with the departure instant."""
+    from repro.sim.rng import DeterministicRNG
+
+    monkeypatch.setattr(DeterministicRNG, "expovariate",
+                        lambda self, rate: TIE_MS)
+
+
+def _tie_session():
+    sess = FleetSession(hosts=2)
+    sess.create_family("tie", ip="10.5.4.1")
+    return sess
+
+
+def test_timeout_departure_tie_departure_wins_fast_path(constant_draws):
+    with _tie_session() as sess:
+        result = sess.dispatch("tie", "faas", requests=1,
+                               arrival_rps=100.0, clone_factor=1,
+                               timeout_ms=TIE_MS)
+        # The copy's service is complete at the expiry instant: the
+        # departure wins the tie and the request resolves completed.
+        assert result.completed == 1 and result.timed_out == 0
+        assert audit_frontdoor(sess.frontdoor) == []
+
+
+def test_timeout_departure_tie_departure_wins_engine_path(constant_draws):
+    with _tie_session() as sess:
+        # A periodic heartbeat forces the event-engine slow path.
+        result = sess.dispatch("tie", "faas", requests=1,
+                               arrival_rps=100.0, clone_factor=1,
+                               timeout_ms=TIE_MS,
+                               heartbeat_every_ms=1000.0)
+        assert result.completed == 1 and result.timed_out == 0
+        engine = sess.frontdoor.engine
+        # The tie leaves nothing behind: no pending timeout event, no
+        # cancelled husk leaked in the queue.
+        assert engine.next_time() is None
+        assert engine.cancelled_pending == 0
+
+
+def test_mass_tie_resolves_every_request_without_leaks(constant_draws):
+    with _tie_session() as sess:
+        sess.clone("tie", count=3)
+        result = sess.dispatch("tie", "faas", requests=100,
+                               arrival_rps=100.0, clone_factor=2,
+                               timeout_ms=TIE_MS)
+        assert result.completed + result.timed_out == 100
+        assert result.completed == 100  # every tie resolves as a departure
+        engine = sess.frontdoor.engine
+        assert engine.next_time() is None
+        assert engine.cancelled_pending == 0
+        assert audit_fleet(sess.fleet, sess.frontdoor) == []
+
+
+def test_cancelled_timeout_events_are_compacted_not_leaked(session):
+    # Long timeouts that never fire: every completion cancels its
+    # timeout event, and the engine's lazy compaction keeps the
+    # cancelled fraction bounded instead of accumulating husks.
+    result = session.dispatch("fam", "faas", requests=500,
+                              arrival_rps=400.0, clone_factor=2,
+                              timeout_ms=10_000.0,
+                              heartbeat_every_ms=5.0)
+    assert result.completed == 500
+    engine = session.frontdoor.engine
+    # The compaction bound: above the 64-event floor the queue never
+    # holds a cancelled majority.
+    assert (engine.pending < 64
+            or engine.cancelled_pending * 2 <= engine.pending)

@@ -1,0 +1,164 @@
+"""Property tests: resilience state machines under any interleaving.
+
+Three contracts from the issue, hammered by hypothesis instead of by
+hand-picked schedules:
+
+- a circuit breaker never allows a route while OPEN (inside its
+  cooldown), and HALF_OPEN admits exactly its probe quota before the
+  first probe outcome decides the state;
+- a retry budget can never be overdrawn — ``granted <= fraction *
+  first_tries + burst`` — under any interleaving of first tries and
+  grant attempts;
+- the end-to-end protected dispatch obeys the same laws with real
+  traffic, arbitrary load, and the full audit running.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.traffic import SHAPES
+from repro.fleet.chaos import audit_fleet, audit_frontdoor
+from repro.frontdoor import FleetSession
+from repro.frontdoor.resilience import (
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryBudget,
+)
+
+# ----------------------------------------------------------------------
+# circuit breaker state machine
+# ----------------------------------------------------------------------
+
+
+@given(
+    window=st.integers(1, 8),
+    min_samples=st.integers(1, 8),
+    threshold=st.floats(0.1, 1.0),
+    cooldown=st.floats(1.0, 50.0),
+    quota=st.integers(1, 4),
+    # Each step: (advance the clock by, outcome to record or None,
+    # number of allow() calls to make first).
+    steps=st.lists(st.tuples(st.floats(0.0, 20.0),
+                             st.one_of(st.none(), st.booleans()),
+                             st.integers(0, 6)),
+                   min_size=1, max_size=40),
+)
+@settings(max_examples=80, deadline=None)
+def test_breaker_never_routes_while_open_and_probes_exactly(
+        window, min_samples, threshold, cooldown, quota, steps):
+    policy = ResiliencePolicy(
+        breaker_window=window,
+        breaker_min_samples=min(min_samples, window),
+        breaker_failure_threshold=threshold,
+        breaker_cooldown_ms=cooldown,
+        breaker_probe_quota=quota)
+    breaker = CircuitBreaker(policy)
+    now = 0.0
+    probes_admitted = 0
+    for advance, outcome, allows in steps:
+        now += advance
+        for _ in range(allows):
+            was_open = breaker.state == BREAKER_OPEN
+            admitted = breaker.allow(now)
+            if was_open and now - breaker.opened_at_ms < cooldown:
+                # Inside the cooldown an OPEN breaker admits nothing.
+                assert not admitted
+            if breaker.state == BREAKER_HALF_OPEN:
+                if admitted:
+                    probes_admitted += 1
+                # Half-open admits exactly the probe quota, never more.
+                assert probes_admitted <= quota
+        if outcome is not None:
+            before = breaker.state
+            breaker.record(outcome, now)
+            if before == BREAKER_HALF_OPEN:
+                # The first probe outcome decides: the breaker leaves
+                # HALF_OPEN immediately and the probe ledger resets.
+                assert breaker.state != BREAKER_HALF_OPEN
+                probes_admitted = 0
+        assert breaker.probes_left >= 0
+        assert 0 <= len(breaker.window) <= window
+
+
+# ----------------------------------------------------------------------
+# retry budget under any interleaving
+# ----------------------------------------------------------------------
+
+
+@given(
+    fraction=st.floats(0.0, 1.0),
+    burst=st.floats(0.0, 16.0),
+    ops=st.lists(st.booleans(), min_size=1, max_size=300),
+)
+@settings(max_examples=100, deadline=None)
+def test_retry_budget_never_overdrawn(fraction, burst, ops):
+    budget = RetryBudget(fraction=fraction, burst=burst)
+    for is_first_try in ops:
+        if is_first_try:
+            budget.note_first_try()
+        else:
+            budget.grant()
+        # The invariant holds mid-stream, not just at quiesce.
+        assert budget.granted <= budget.ceiling() + 1e-9
+        assert budget.tokens <= budget.burst + 1e-9
+        assert budget.audit() == []
+
+
+# ----------------------------------------------------------------------
+# end-to-end: protected dispatch keeps all the ledgers balanced
+# ----------------------------------------------------------------------
+
+
+@given(
+    seed=st.integers(0, 0xFFFF),
+    replicas=st.integers(2, 6),
+    clone_factor=st.integers(1, 4),
+    requests=st.integers(5, 50),
+    utilization=st.floats(0.1, 2.0),
+    sojourn_bound=st.one_of(st.none(), st.floats(0.5, 30.0)),
+    deadline=st.one_of(st.none(), st.floats(1.0, 40.0)),
+    max_attempts=st.integers(1, 3),
+)
+@settings(max_examples=25, deadline=None)
+def test_protected_dispatch_conserves_everything(
+        seed, replicas, clone_factor, requests, utilization,
+        sojourn_bound, deadline, max_attempts):
+    shape = SHAPES["faas"]
+    policy = ResiliencePolicy(
+        sojourn_bound_ms=sojourn_bound,
+        brownout_start=2.0, brownout_full=8.0,
+        retry_budget_fraction=0.2, retry_burst=4.0,
+        max_attempts=max_attempts,
+        breaker_window=6, breaker_min_samples=3,
+        breaker_failure_threshold=0.5,
+        deadline_ms=deadline)
+    with FleetSession(hosts=2, seed=seed, resilience=policy) as session:
+        session.create_family("prop", ip="10.8.1.1")
+        session.clone("prop", count=replicas - 1)
+        arrival_rps = utilization * replicas * shape.capacity_rps
+        result = session.dispatch(
+            "prop", shape.name, requests=requests,
+            arrival_rps=arrival_rps,
+            clone_factor=min(clone_factor, replicas),
+            timeout_ms=10.0)
+        frontdoor = session.frontdoor
+
+        # Admission conservation: every arrival admitted or shed.
+        assert result.offered == requests
+        admitted = result.offered - result.shed
+        assert admitted == (result.completed + result.failed
+                            + result.timed_out)
+        # The budget ceiling bounds observed retries.
+        assert result.retries <= (policy.retry_budget_fraction * admitted
+                                  + policy.retry_burst + 1e-9)
+        # Completed requests yield a finite, positive tail.
+        if result.completed:
+            assert math.isfinite(result.latency_p99_ms)
+            assert result.latency_p99_ms > 0
+        assert audit_frontdoor(frontdoor) == []
+        assert audit_fleet(session.fleet, frontdoor) == []
+        session.close(check=False)
